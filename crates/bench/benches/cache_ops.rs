@@ -1,0 +1,93 @@
+//! Criterion benches for the cache substrate: LRU operations, partitioned
+//! buffer-cache references, and online stack-distance estimation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use prefetch_cache::{BufferCache, LruCache, PrefetchMeta, StackDistanceEstimator};
+use prefetch_trace::synth::TraceKind;
+use prefetch_trace::BlockId;
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache/lru");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("insert_touch_evict_100k", |b| {
+        b.iter(|| {
+            let mut lru: LruCache<u32> = LruCache::with_capacity(1024);
+            for i in 0..100_000u64 {
+                lru.insert(BlockId(i % 4096), i as u32);
+                if lru.len() > 1024 {
+                    lru.pop_lru();
+                }
+                lru.touch(BlockId((i * 7) % 4096));
+            }
+            black_box(lru.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_buffer_cache(c: &mut Criterion) {
+    let trace = TraceKind::Snake.generate(100_000, 3);
+    let blocks: Vec<BlockId> = trace.blocks().collect();
+    let mut g = c.benchmark_group("cache/buffer_cache");
+    g.throughput(Throughput::Elements(blocks.len() as u64));
+    g.bench_function("reference_stream_snake_100k", |b| {
+        b.iter(|| {
+            let mut cache = BufferCache::new(1024);
+            let mut misses = 0u64;
+            for &blk in &blocks {
+                match cache.reference(blk) {
+                    prefetch_cache::buffer_cache::RefOutcome::Miss => {
+                        if cache.is_full() {
+                            cache.evict_demand_lru();
+                        }
+                        cache.insert_demand(blk);
+                        misses += 1;
+                    }
+                    _ => {}
+                }
+            }
+            black_box(misses)
+        })
+    });
+    g.bench_function("prefetch_migrate_cycle", |b| {
+        b.iter(|| {
+            let mut cache = BufferCache::new(256);
+            for i in 0..50_000u64 {
+                let blk = BlockId(i % 512);
+                if !cache.contains(blk) {
+                    if cache.is_full() {
+                        cache.evict_prefetch_lru().map(|_| ()).or_else(|| {
+                            cache.evict_demand_lru().map(|_| ())
+                        });
+                    }
+                    cache.insert_prefetch(blk, PrefetchMeta::default());
+                }
+                cache.reference(blk);
+            }
+            black_box(cache.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_stack_distance(c: &mut Criterion) {
+    let trace = TraceKind::Cello.generate(100_000, 4);
+    let blocks: Vec<u64> = trace.blocks().map(|b| b.0).collect();
+    let mut g = c.benchmark_group("cache/stack_distance");
+    g.throughput(Throughput::Elements(blocks.len() as u64));
+    for (name, decay) in [("cumulative", 1.0f64), ("decayed", 0.99999)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut e = StackDistanceEstimator::new(decay);
+                for &blk in &blocks {
+                    black_box(e.record(blk));
+                }
+                black_box(e.hit_rate(1024))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lru, bench_buffer_cache, bench_stack_distance);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end simulator throughput per policy: references simulated per
+//! second on each synthetic workload. This is the number that bounds how
+//! long a full figure sweep takes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prefetch_sim::{run_simulation, PolicySpec, SimConfig};
+use prefetch_trace::synth::TraceKind;
+
+fn bench_policies(c: &mut Criterion) {
+    const REFS: usize = 20_000;
+    let mut g = c.benchmark_group("sim/end_to_end");
+    g.throughput(Throughput::Elements(REFS as u64));
+    g.sample_size(10);
+    for kind in [TraceKind::Cad, TraceKind::Cello] {
+        let trace = kind.generate(REFS, 5);
+        for spec in [
+            PolicySpec::NoPrefetch,
+            PolicySpec::NextLimit,
+            PolicySpec::Tree,
+            PolicySpec::TreeNextLimit,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(spec.name(), kind.name()),
+                &trace,
+                |b, t| {
+                    let cfg = SimConfig::new(1024, spec);
+                    b.iter(|| black_box(run_simulation(t, &cfg).metrics.miss_rate()))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_cache_size_scaling(c: &mut Criterion) {
+    // The tree policy's per-reference cost should stay flat as the cache
+    // grows (the victim scan is the risk).
+    const REFS: usize = 20_000;
+    let trace = TraceKind::Snake.generate(REFS, 6);
+    let mut g = c.benchmark_group("sim/tree_cache_scaling");
+    g.throughput(Throughput::Elements(REFS as u64));
+    g.sample_size(10);
+    for cache in [256usize, 2048, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(cache), &cache, |b, &cache| {
+            let cfg = SimConfig::new(cache, PolicySpec::Tree);
+            b.iter(|| black_box(run_simulation(&trace, &cfg).metrics.miss_rate()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_cache_size_scaling);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! One criterion bench per paper artifact: times the regeneration of each
+//! table/figure at smoke scale. Keeping every experiment wired into the
+//! bench harness guarantees the reproduction path stays runnable; the full
+//! runs go through the `figures` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prefetch_sim::experiments::{run_experiment, ExperimentOpts, TraceSet, ALL_IDS};
+
+fn bench_each_artifact(c: &mut Criterion) {
+    let opts = ExperimentOpts { refs: 4_000, seed: 1999, cache_sizes: vec![64, 256] };
+    let traces = TraceSet::generate(&opts);
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    for id in ALL_IDS {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let reports = run_experiment(id, &traces, &opts);
+                black_box(reports.iter().map(|r| r.rows.len()).sum::<usize>())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_each_artifact);
+criterion_main!(benches);

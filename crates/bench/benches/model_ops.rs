@@ -1,0 +1,48 @@
+//! Criterion benches for the cost-benefit model: the per-candidate
+//! arithmetic of Equations 1-14, which sits on the simulator's innermost
+//! loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use prefetch_core::{CostBenefitModel, SystemParams};
+
+fn bench_model(c: &mut Criterion) {
+    let model = CostBenefitModel::patterson();
+    let mut g = c.benchmark_group("model");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("net_benefit", |b| {
+        b.iter(|| black_box(model.net_benefit(black_box(0.42), black_box(2), black_box(0.9))))
+    });
+    g.bench_function("prefetch_eject_cost", |b| {
+        b.iter(|| black_box(model.prefetch_eject_cost(black_box(0.42), black_box(5))))
+    });
+    g.bench_function("demand_eject_cost", |b| {
+        b.iter(|| black_box(model.demand_eject_cost(black_box(0.002))))
+    });
+    g.bench_function("min_useful_probability", |b| {
+        b.iter(|| black_box(model.min_useful_probability(black_box(0.8), black_box(2))))
+    });
+    g.finish();
+}
+
+fn bench_timing_sweep(c: &mut Criterion) {
+    // The T_cpu sensitivity sweep exercises the full stall model.
+    let mut g = c.benchmark_group("model/timing");
+    g.bench_function("t_stall_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for t_cpu in [20.0, 50.0, 160.0, 640.0] {
+                let p = SystemParams::with_t_cpu(t_cpu);
+                for d in 0..16u32 {
+                    for s in [0.0, 1.0, 4.0] {
+                        acc += prefetch_core::timing::t_stall(d, &p, s);
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model, bench_timing_sweep);
+criterion_main!(benches);

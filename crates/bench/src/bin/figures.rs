@@ -1,0 +1,116 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv]
+//! ```
+//!
+//! `<id>` is one of `table1 table2 table3 table4 fig6 fig7 fig8 fig9 fig10
+//! fig11 fig12 fig13 fig14 fig15 fig16 fig17`. Markdown renderings go to
+//! stdout; with `--out DIR` each report is also written as
+//! `DIR/<report-id>.csv`.
+
+use prefetch_sim::experiments::{run_all, run_experiment, ExperimentOpts, TraceSet, ALL_IDS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    id: String,
+    opts: ExperimentOpts,
+    out: Option<PathBuf>,
+    csv_stdout: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let id = argv.next().ok_or_else(usage)?;
+    let mut opts = ExperimentOpts::default();
+    let mut out = None;
+    let mut csv_stdout = false;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--quick" => {
+                let refs = opts.refs;
+                opts = ExperimentOpts::quick();
+                // --refs before --quick should still win; keep any
+                // explicitly-set value if it differs from the default.
+                if refs != ExperimentOpts::default().refs {
+                    opts.refs = refs;
+                }
+            }
+            "--refs" => {
+                let v = argv.next().ok_or("--refs needs a value")?;
+                opts.refs = v.parse().map_err(|_| format!("bad --refs {v:?}"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed {v:?}"))?;
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--csv" => csv_stdout = true,
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    const EXTENSIONS: [&str; 2] = ["ablation", "disks"];
+    if id != "all" && !EXTENSIONS.contains(&id.as_str()) && !ALL_IDS.contains(&id.as_str()) {
+        return Err(format!(
+            "unknown experiment {id:?}; known: all, {}, {}",
+            EXTENSIONS.join(", "),
+            ALL_IDS.join(", ")
+        ));
+    }
+    Ok(Args { id, opts, out, csv_stdout })
+}
+
+fn usage() -> String {
+    "usage: figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv]".to_string()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "generating traces (refs={}, seed={}) and running {} ...",
+        args.opts.refs, args.opts.seed, args.id
+    );
+    let t0 = std::time::Instant::now();
+    let traces = TraceSet::generate(&args.opts);
+    eprintln!("traces ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let reports = if args.id == "all" {
+        run_all(&traces, &args.opts)
+    } else {
+        run_experiment(&args.id, &traces, &args.opts)
+    };
+
+    for r in &reports {
+        if args.csv_stdout {
+            println!("{}", r.to_csv());
+        } else {
+            println!("{}", r.to_markdown());
+        }
+        if let Some(dir) = &args.out {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {dir:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let path = dir.join(format!("{}.csv", r.id));
+            if let Err(e) = std::fs::write(&path, r.to_csv()) {
+                eprintln!("cannot write {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("done in {:.1}s ({} report(s))", t0.elapsed().as_secs_f64(), reports.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,21 @@
+//! # prefetch-bench
+//!
+//! Criterion micro-benchmarks for the substrates (tree operations, cache
+//! operations, model evaluation, end-to-end simulation throughput) and the
+//! `figures` binary that regenerates every table and figure of the paper.
+//!
+//! Run the full reproduction:
+//!
+//! ```text
+//! cargo run --release -p prefetch-bench --bin figures -- all
+//! ```
+//!
+//! or a single artifact (`fig6`, `table2`, ...), with options:
+//!
+//! ```text
+//! figures -- fig6 --refs 400000 --seed 1999 --out results/
+//! figures -- all --quick          # scaled-down smoke run
+//! ```
+
+/// Re-export so benches and the binary share one entry point.
+pub use prefetch_sim::experiments;

@@ -1,0 +1,353 @@
+//! An O(1) LRU cache over [`BlockId`] keys with per-entry values.
+//!
+//! Implemented as a slab-backed intrusive doubly-linked list plus a
+//! `HashMap` index — no per-operation allocation once warmed up, per the
+//! HPC guideline of keeping hot paths allocation-free.
+
+use prefetch_trace::BlockId;
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<V> {
+    block: BlockId,
+    value: V,
+    prev: u32,
+    next: u32,
+}
+
+/// LRU-ordered map from blocks to values. The *caller* enforces any
+/// capacity bound; `LruCache` itself grows as needed (the partitions of a
+/// [`crate::BufferCache`] share one budget, so neither partition has a
+/// fixed capacity of its own).
+#[derive(Clone, Debug)]
+pub struct LruCache<V> {
+    map: HashMap<u64, u32>,
+    nodes: Vec<Node<V>>,
+    free: Vec<u32>,
+    head: u32, // MRU
+    tail: u32, // LRU
+}
+
+impl<V> Default for LruCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> LruCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LruCache { map: HashMap::new(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    /// An empty cache with pre-allocated space for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(cap),
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `block` is resident. Does not affect recency.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.map.contains_key(&block.0)
+    }
+
+    /// Shared reference to the value for `block`. Does not affect recency.
+    pub fn peek(&self, block: BlockId) -> Option<&V> {
+        self.map.get(&block.0).map(|&i| &self.nodes[i as usize].value)
+    }
+
+    /// Mutable reference to the value for `block`. Does not affect recency.
+    pub fn peek_mut(&mut self, block: BlockId) -> Option<&mut V> {
+        let i = *self.map.get(&block.0)?;
+        Some(&mut self.nodes[i as usize].value)
+    }
+
+    /// Move `block` to the MRU position; returns `false` if absent.
+    pub fn touch(&mut self, block: BlockId) -> bool {
+        let Some(&i) = self.map.get(&block.0) else { return false };
+        self.unlink(i);
+        self.push_front(i);
+        true
+    }
+
+    /// Insert `block` at the MRU position, replacing (and returning) any
+    /// previous value.
+    pub fn insert(&mut self, block: BlockId, value: V) -> Option<V> {
+        if let Some(&i) = self.map.get(&block.0) {
+            let old = std::mem::replace(&mut self.nodes[i as usize].value, value);
+            self.unlink(i);
+            self.push_front(i);
+            return Some(old);
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node { block, value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                assert!(self.nodes.len() < u32::MAX as usize, "LruCache overflow");
+                self.nodes.push(Node { block, value, prev: NIL, next: NIL });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.map.insert(block.0, i);
+        self.push_front(i);
+        None
+    }
+
+    /// Remove `block`, returning its value.
+    pub fn remove(&mut self, block: BlockId) -> Option<V>
+    where
+        V: Default,
+    {
+        let i = self.map.remove(&block.0)?;
+        self.unlink(i);
+        self.free.push(i);
+        Some(std::mem::take(&mut self.nodes[i as usize].value))
+    }
+
+    /// The least-recently-used entry, if any. Does not affect recency.
+    pub fn lru(&self) -> Option<(BlockId, &V)> {
+        if self.tail == NIL {
+            None
+        } else {
+            let n = &self.nodes[self.tail as usize];
+            Some((n.block, &n.value))
+        }
+    }
+
+    /// The most-recently-used entry, if any.
+    pub fn mru(&self) -> Option<(BlockId, &V)> {
+        if self.head == NIL {
+            None
+        } else {
+            let n = &self.nodes[self.head as usize];
+            Some((n.block, &n.value))
+        }
+    }
+
+    /// Remove and return the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(BlockId, V)>
+    where
+        V: Default,
+    {
+        let tail = self.tail;
+        if tail == NIL {
+            return None;
+        }
+        let block = self.nodes[tail as usize].block;
+        let v = self.remove(block)?;
+        Some((block, v))
+    }
+
+    /// Iterate entries from MRU to LRU.
+    pub fn iter(&self) -> LruIter<'_, V> {
+        LruIter { cache: self, cursor: self.head }
+    }
+
+    /// Iterate entries from LRU to MRU.
+    pub fn iter_lru(&self) -> LruRevIter<'_, V> {
+        LruRevIter { cache: self, cursor: self.tail }
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[i as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[i as usize].prev = NIL;
+        self.nodes[i as usize].next = NIL;
+    }
+
+    fn push_front(&mut self, i: u32) {
+        self.nodes[i as usize].prev = NIL;
+        self.nodes[i as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+/// MRU→LRU iterator over an [`LruCache`].
+pub struct LruIter<'a, V> {
+    cache: &'a LruCache<V>,
+    cursor: u32,
+}
+
+impl<'a, V> Iterator for LruIter<'a, V> {
+    type Item = (BlockId, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let n = &self.cache.nodes[self.cursor as usize];
+        self.cursor = n.next;
+        Some((n.block, &n.value))
+    }
+}
+
+/// LRU→MRU iterator over an [`LruCache`].
+pub struct LruRevIter<'a, V> {
+    cache: &'a LruCache<V>,
+    cursor: u32,
+}
+
+impl<'a, V> Iterator for LruRevIter<'a, V> {
+    type Item = (BlockId, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let n = &self.cache.nodes[self.cursor as usize];
+        self.cursor = n.prev;
+        Some((n.block, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order<V>(c: &LruCache<V>) -> Vec<u64> {
+        c.iter().map(|(b, _)| b.0).collect()
+    }
+
+    #[test]
+    fn insert_touch_remove_ordering() {
+        let mut c = LruCache::new();
+        c.insert(BlockId(1), "a");
+        c.insert(BlockId(2), "b");
+        c.insert(BlockId(3), "c");
+        assert_eq!(order(&c), vec![3, 2, 1]);
+        assert!(c.touch(BlockId(1)));
+        assert_eq!(order(&c), vec![1, 3, 2]);
+        assert_eq!(c.lru().unwrap().0, BlockId(2));
+        assert_eq!(c.mru().unwrap().0, BlockId(1));
+        assert_eq!(c.remove(BlockId(3)), Some("c"));
+        assert_eq!(order(&c), vec![1, 2]);
+        assert!(!c.touch(BlockId(3)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_existing_updates_value_and_recency() {
+        let mut c = LruCache::new();
+        c.insert(BlockId(1), 10);
+        c.insert(BlockId(2), 20);
+        assert_eq!(c.insert(BlockId(1), 11), Some(10));
+        assert_eq!(order(&c), vec![1, 2]);
+        assert_eq!(*c.peek(BlockId(1)).unwrap(), 11);
+    }
+
+    #[test]
+    fn pop_lru_drains_in_order() {
+        let mut c = LruCache::new();
+        for i in 0..5u64 {
+            c.insert(BlockId(i), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((b, _)) = c.pop_lru() {
+            popped.push(b.0);
+        }
+        assert_eq!(popped, vec![0, 1, 2, 3, 4]);
+        assert!(c.is_empty());
+        assert!(c.lru().is_none());
+        assert!(c.mru().is_none());
+    }
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut c = LruCache::new();
+        for i in 0..100u64 {
+            c.insert(BlockId(i), ());
+            if i >= 10 {
+                c.pop_lru();
+            }
+        }
+        // Slab should not have grown past ~12 nodes.
+        assert!(c.nodes.len() <= 12, "slab grew to {}", c.nodes.len());
+    }
+
+    #[test]
+    fn peek_does_not_affect_recency() {
+        let mut c = LruCache::new();
+        c.insert(BlockId(1), 1);
+        c.insert(BlockId(2), 2);
+        let _ = c.peek(BlockId(1));
+        let _ = c.peek_mut(BlockId(1));
+        assert_eq!(c.lru().unwrap().0, BlockId(1));
+    }
+
+    #[test]
+    fn matches_reference_model_under_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let mut c: LruCache<u64> = LruCache::new();
+        let mut model: Vec<(u64, u64)> = Vec::new(); // front = MRU
+        for step in 0..30_000 {
+            let b = rng.gen_range(0..24u64);
+            match rng.gen_range(0..4) {
+                0 => {
+                    let old = c.insert(BlockId(b), step);
+                    let pos = model.iter().position(|&(k, _)| k == b);
+                    let expect_old = pos.map(|p| model.remove(p).1);
+                    assert_eq!(old, expect_old);
+                    model.insert(0, (b, step));
+                }
+                1 => {
+                    let hit = c.touch(BlockId(b));
+                    let pos = model.iter().position(|&(k, _)| k == b);
+                    assert_eq!(hit, pos.is_some());
+                    if let Some(p) = pos {
+                        let e = model.remove(p);
+                        model.insert(0, e);
+                    }
+                }
+                2 => {
+                    let got = c.remove(BlockId(b));
+                    let pos = model.iter().position(|&(k, _)| k == b);
+                    let expect = pos.map(|p| model.remove(p).1);
+                    assert_eq!(got, expect);
+                }
+                _ => {
+                    let got = c.pop_lru();
+                    let expect = model.pop();
+                    assert_eq!(got.map(|(b, v)| (b.0, v)), expect);
+                }
+            }
+            assert_eq!(c.len(), model.len());
+            assert_eq!(order(&c), model.iter().map(|&(k, _)| k).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The benefit of prefetching one access deeper: Equation 1 of the paper.
+//!
+//! Allocating one more buffer lets the prefetcher extend a path in the tree
+//! from block `x` (path probability `p_x`, distance `d_b − 1`) to its child
+//! `b` (path probability `p_b`, distance `d_b`). The expected time saved
+//! per unit of bufferage (bufferage = 1 here) is
+//!
+//! ```text
+//! B(b) = p_b·ΔT_pf(b, d_b) − p_x·ΔT_pf(x, d_b − 1)
+//! ```
+//!
+//! Unlike Patterson's informed prefetching — where hints are certain and
+//! the benefit depends only on depth — the probabilistic weighting makes
+//! deep, unlikely candidates unattractive even when their disk time would
+//! be fully overlapped.
+
+use crate::params::SystemParams;
+use crate::timing::delta_t_pf;
+
+/// `B(b)` (Eq. 1): benefit of allocating a buffer to prefetch block `b` at
+/// distance `d_b` whose parent on the path has probability `p_x`.
+///
+/// `s` is the current average number of prefetches per access period.
+/// For a direct child of the cursor (`d_b = 1`), pass `p_x = 1.0`; the
+/// parent term vanishes because `ΔT_pf(·, 0) = 0`.
+#[inline]
+pub fn benefit(p_b: f64, d_b: u32, p_x: f64, params: &SystemParams, s: f64) -> f64 {
+    debug_assert!(d_b >= 1, "benefit is defined for prefetches, not demand fetches");
+    debug_assert!((0.0..=1.0 + 1e-9).contains(&p_b));
+    debug_assert!(p_b <= p_x + 1e-9, "a path cannot be more likely than its prefix");
+    p_b * delta_t_pf(d_b, params, s) - p_x * delta_t_pf(d_b - 1, params, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> SystemParams {
+        SystemParams::patterson()
+    }
+
+    #[test]
+    fn depth_one_benefit_is_probability_times_saving() {
+        // ΔT_pf(0) = 0, so B = p_b · ΔT_pf(1). With Patterson constants the
+        // access is fully hidden: ΔT_pf(1) = T_disk = 15.
+        let b = benefit(0.5, 1, 1.0, &p(), 0.0);
+        assert!((b - 0.5 * 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_hints_reduce_to_patterson_form() {
+        // With p_b = p_x = 1 (deterministic hints), B = ΔT_pf(d) − ΔT_pf(d−1):
+        // exactly informed prefetching's marginal benefit.
+        let fast = SystemParams { t_cpu: 2.0, ..p() };
+        for d in 2..10 {
+            let b = benefit(1.0, d, 1.0, &fast, 0.0);
+            let expect = delta_t_pf(d, &fast, 0.0) - delta_t_pf(d - 1, &fast, 0.0);
+            assert!((b - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fully_hidden_deeper_prefetch_of_unlikely_block_can_be_negative() {
+        // When both depths fully hide the disk (ΔT_pf = T_disk at d and
+        // d−1), B = (p_b − p_x)·T_disk ≤ 0: no reason to go deeper for a
+        // less likely block.
+        let b = benefit(0.2, 3, 0.8, &p(), 0.0);
+        assert!(b < 0.0);
+        assert!((b - (0.2 - 0.8) * 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benefit_increases_with_probability() {
+        let fast = SystemParams { t_cpu: 2.0, ..p() };
+        let lo = benefit(0.1, 1, 1.0, &fast, 0.0);
+        let hi = benefit(0.9, 1, 1.0, &fast, 0.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn benefit_bounded_by_t_disk() {
+        for d in 1..20 {
+            for (pb, px) in [(1.0, 1.0), (0.5, 0.7), (0.01, 1.0)] {
+                let b = benefit(pb, d, px, &p(), 1.0);
+                assert!(b <= 15.0 + 1e-9, "B = {b} at d={d}");
+                assert!(b >= -15.0 - 1e-9);
+            }
+        }
+    }
+}

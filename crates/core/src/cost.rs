@@ -1,0 +1,102 @@
+//! Replacement costs: Equations 11 and 13 of the paper.
+//!
+//! When a prefetch (or a demand fetch) needs a buffer, the scheme prices
+//! both possible victims and takes the cheaper:
+//!
+//! * **Prefetch-cache ejection** (Eq. 11): an ejected, not-yet-referenced
+//!   block may have to be re-fetched; spread over the `d_b − x` access
+//!   periods of bufferage the ejection frees,
+//!   `C_pr(b) = p_b·(T_driver + T_stall(x)) / (d_b − x)` where `x` is the
+//!   lead (in periods) with which the block would be re-prefetched.
+//! * **Demand-cache shrinking** (Eq. 13): losing the LRU buffer costs the
+//!   accesses that would have hit exactly there,
+//!   `C_dc(n) = (H(n) − H(n−1))·(T_driver + T_disk)`.
+
+use crate::params::SystemParams;
+use crate::timing::t_stall;
+
+/// `C_pr(b)` (Eq. 11): cost per unit bufferage of ejecting prefetched block
+/// `b` with path probability `p_b` that is expected to be referenced
+/// `d_remaining` periods from now, assuming it would be re-prefetched `x`
+/// periods before its use.
+///
+/// A block already *overdue* (`d_remaining <= x`) was mispredicted — its
+/// expected reference has passed — so ejecting it is free. The stall term
+/// uses the current prefetch rate `s` (Eq. 6).
+#[inline]
+pub fn prefetch_eject_cost(
+    p_b: f64,
+    d_remaining: u32,
+    x: u32,
+    params: &SystemParams,
+    s: f64,
+) -> f64 {
+    debug_assert!((0.0..=1.0 + 1e-9).contains(&p_b));
+    if d_remaining <= x {
+        return 0.0;
+    }
+    let bufferage = (d_remaining - x) as f64;
+    p_b * (params.t_driver + t_stall(x, params, s)) / bufferage
+}
+
+/// `C_dc(n)` (Eq. 13): cost per unit bufferage of shrinking an LRU demand
+/// cache whose marginal hit rate at its current size is
+/// `marginal_hit_rate = H(n) − H(n−1)`.
+#[inline]
+pub fn demand_eject_cost(marginal_hit_rate: f64, params: &SystemParams) -> f64 {
+    debug_assert!((0.0..=1.0 + 1e-9).contains(&marginal_hit_rate));
+    marginal_hit_rate * (params.t_driver + params.t_disk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> SystemParams {
+        SystemParams::patterson()
+    }
+
+    #[test]
+    fn demand_cost_is_linear_in_marginal_rate() {
+        assert_eq!(demand_eject_cost(0.0, &p()), 0.0);
+        let c = demand_eject_cost(0.01, &p());
+        assert!((c - 0.01 * 15.580).abs() < 1e-12);
+        assert!((demand_eject_cost(0.02, &p()) - 2.0 * c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_cost_matches_equation_11() {
+        // With Patterson constants T_stall(1) = 0, so
+        // C_pr = p·T_driver/(d−x).
+        let c = prefetch_eject_cost(0.5, 5, 1, &p(), 0.0);
+        assert!((c - 0.5 * 0.580 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_cost_includes_stall_when_cpu_is_fast() {
+        let fast = SystemParams { t_cpu: 2.0, ..p() };
+        // T_stall(1) = 15 − (0.243+2.0) = 12.757 with s=0.
+        let c = prefetch_eject_cost(1.0, 2, 1, &fast, 0.0);
+        assert!((c - (0.580 + 12.757) / 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdue_blocks_are_free_to_eject() {
+        assert_eq!(prefetch_eject_cost(0.9, 1, 1, &p(), 0.0), 0.0);
+        assert_eq!(prefetch_eject_cost(0.9, 0, 1, &p(), 0.0), 0.0);
+    }
+
+    #[test]
+    fn sooner_needed_blocks_cost_more() {
+        let near = prefetch_eject_cost(0.5, 2, 1, &p(), 0.0);
+        let far = prefetch_eject_cost(0.5, 10, 1, &p(), 0.0);
+        assert!(near > far, "{near} vs {far}");
+    }
+
+    #[test]
+    fn higher_probability_costs_more_to_eject() {
+        let lo = prefetch_eject_cost(0.1, 4, 1, &p(), 0.0);
+        let hi = prefetch_eject_cost(0.9, 4, 1, &p(), 0.0);
+        assert!(hi > lo);
+    }
+}

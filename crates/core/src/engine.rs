@@ -1,0 +1,572 @@
+//! The cost-benefit prefetching engine: the paper's Section 7 algorithm.
+//!
+//! [`CostBenefitEngine`] bundles the prefetch tree, the cost-benefit model
+//! (with its dynamic `s` estimate), and the online stack-distance estimator
+//! that prices demand-cache shrinking. Tree-based policies compose it:
+//! `tree` uses it alone, `tree-next-limit` adds one-block-lookahead,
+//! `tree-lvc` adds last-visited-child prefetching.
+//!
+//! Each access period the engine:
+//!
+//! 1. records the reference in the stack-distance estimator and the tree
+//!    (advancing the LZ cursor);
+//! 2. runs the **benefit frontier**: a best-first queue over descendants of
+//!    the cursor ordered by net benefit `B(b) − T_oh(b)` (Eq. 1, 14). The
+//!    top candidate is compared against the cheapest replacement cost
+//!    (min of Eq. 11 over the prefetch cache and Eq. 13 for the demand
+//!    LRU); it is prefetched — or skipped if already resident — and its
+//!    children join the frontier. The round ends when the best remaining
+//!    net benefit no longer exceeds the replacement cost (Section 7,
+//!    step 4), realizing "prefetch along multiple paths simultaneously".
+
+use crate::model::{CostBenefitModel, ModelConfig};
+use crate::params::SystemParams;
+use crate::policy::{PeriodActivity, Victim};
+use prefetch_cache::{BufferCache, PrefetchMeta, StackDistanceEstimator};
+use prefetch_tree::{AccessOutcome, Candidate, PrefetchTree};
+use prefetch_trace::BlockId;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Configuration of the cost-benefit engine.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Cost-benefit model tunables (re-prefetch lead `x`, `s` smoothing).
+    pub model: ModelConfig,
+    /// Maximum tree depth the frontier may descend below the cursor.
+    pub max_depth: u32,
+    /// Hard cap on prefetches issued per access period (safety valve; the
+    /// cost comparison is the real stopping rule).
+    pub max_per_period: u32,
+    /// Hard cap on candidates examined per access period, bounding the
+    /// per-reference work when large cached subtrees sit below the cursor.
+    pub max_considered_per_period: u32,
+    /// Candidates with path probability below this are not pursued.
+    pub min_probability: f64,
+    /// Exponential decay of the stack-distance histogram (1.0 = cumulative).
+    pub stack_decay: f64,
+    /// Prefetch-tree node limit (`usize::MAX` = unlimited) — Figure 13.
+    pub node_limit: usize,
+    /// Extension beyond the paper: after an LZ reset, anchor candidate
+    /// enumeration at the root's child for the current block (order-1
+    /// context) instead of the bare root. Off by default for paper
+    /// fidelity; the `tree-reanchor` policy and the ablation bench turn it
+    /// on.
+    pub reanchor_after_reset: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            model: ModelConfig::default(),
+            max_depth: 8,
+            max_per_period: 64,
+            max_considered_per_period: 256,
+            min_probability: 1e-4,
+            stack_decay: 0.99999,
+            node_limit: usize::MAX,
+            reanchor_after_reset: false,
+        }
+    }
+}
+
+/// Frontier entry ordered by net benefit.
+struct FrontierEntry {
+    net: f64,
+    cand: Candidate,
+}
+
+impl PartialEq for FrontierEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.net == other.net
+    }
+}
+impl Eq for FrontierEntry {}
+impl PartialOrd for FrontierEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FrontierEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.net.total_cmp(&other.net)
+    }
+}
+
+/// Tree + model + H(n) estimator + the Section 7 prefetch loop.
+pub struct CostBenefitEngine {
+    tree: PrefetchTree,
+    model: CostBenefitModel,
+    stack: StackDistanceEstimator,
+    cfg: EngineConfig,
+    period: u64,
+    scratch: Vec<Candidate>,
+}
+
+impl CostBenefitEngine {
+    /// Build an engine.
+    pub fn new(params: SystemParams, cfg: EngineConfig) -> Self {
+        let tree = if cfg.node_limit == usize::MAX {
+            PrefetchTree::new()
+        } else {
+            PrefetchTree::with_node_limit(cfg.node_limit)
+        };
+        CostBenefitEngine {
+            tree,
+            model: CostBenefitModel::new(params, cfg.model),
+            stack: StackDistanceEstimator::new(cfg.stack_decay),
+            cfg,
+            period: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The underlying tree (read access for policies and diagnostics).
+    pub fn tree(&self) -> &PrefetchTree {
+        &self.tree
+    }
+
+    /// The cost-benefit model (read access).
+    pub fn model(&self) -> &CostBenefitModel {
+        &self.model
+    }
+
+    /// Mutable model access (policies report prefetch hits).
+    pub fn model_mut(&mut self) -> &mut CostBenefitModel {
+        &mut self.model
+    }
+
+    /// Current access period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Record the reference in the H(n) estimator and the prefetch tree.
+    /// Call once per reference, before [`Self::prefetch_round`].
+    pub fn record_reference(&mut self, block: BlockId) -> AccessOutcome {
+        self.stack.record(block.0);
+        self.tree.record_access(block)
+    }
+
+    /// Observe whether the cursor node's last-visited child is already
+    /// resident (Figure 16). Call *before* [`Self::record_reference`], on
+    /// the pre-access cursor.
+    pub fn lvc_already_cached(&self, cache: &BufferCache) -> Option<bool> {
+        let cursor = self.tree.cursor();
+        let lvc = self.tree.last_visited_child(cursor)?;
+        let block = self.tree.block(lvc)?;
+        Some(cache.contains(block))
+    }
+
+    /// Cheapest replacement victim and its cost per Eq. 11 vs Eq. 13.
+    /// Returns cost 0 with no victim when the cache has free buffers.
+    pub fn cheapest_victim(&self, cache: &BufferCache) -> (Option<Victim>, f64) {
+        if !cache.is_full() {
+            return (None, 0.0);
+        }
+        // Eq. 11: cheapest prefetched block. Exact scan; the prefetch
+        // partition is small in practice (see DESIGN.md §5.3).
+        let mut best_pr: Option<(BlockId, f64)> = None;
+        for (b, meta) in cache.prefetch_iter() {
+            let elapsed = self.period.saturating_sub(meta.issued_at);
+            let remaining = (meta.distance as u64).saturating_sub(elapsed) as u32;
+            let c = self.model.prefetch_eject_cost(meta.probability, remaining);
+            if best_pr.map_or(true, |(_, bc)| c < bc) {
+                best_pr = Some((b, c));
+            }
+        }
+        // Eq. 13: shrink the demand cache at its current size.
+        let dc = if cache.demand_len() > 1 {
+            Some(self.model.demand_eject_cost(self.stack.marginal_hit_rate(cache.demand_len())))
+        } else {
+            // Never take the last demand buffer (it holds the block being
+            // accessed) for a prefetch.
+            None
+        };
+        match (best_pr, dc) {
+            (Some((b, cp)), Some(cd)) => {
+                if cp <= cd {
+                    (Some(Victim::Prefetch(b)), cp)
+                } else {
+                    (Some(Victim::DemandLru), cd)
+                }
+            }
+            (Some((b, cp)), None) => (Some(Victim::Prefetch(b)), cp),
+            (None, Some(cd)) => (Some(Victim::DemandLru), cd),
+            (None, None) => (None, f64::INFINITY),
+        }
+    }
+
+    /// Victim for a *demand* fetch: same comparison, but the demand LRU is
+    /// always available as a fallback (the incoming block will immediately
+    /// occupy a demand buffer anyway).
+    pub fn demand_victim(&self, cache: &BufferCache) -> Victim {
+        let mut best_pr: Option<(BlockId, f64)> = None;
+        for (b, meta) in cache.prefetch_iter() {
+            let elapsed = self.period.saturating_sub(meta.issued_at);
+            let remaining = (meta.distance as u64).saturating_sub(elapsed) as u32;
+            let c = self.model.prefetch_eject_cost(meta.probability, remaining);
+            if best_pr.map_or(true, |(_, bc)| c < bc) {
+                best_pr = Some((b, c));
+            }
+        }
+        let cd = if cache.demand_len() > 0 {
+            Some(self.model.demand_eject_cost(self.stack.marginal_hit_rate(cache.demand_len())))
+        } else {
+            None
+        };
+        match (best_pr, cd) {
+            (Some((b, cp)), Some(cdv)) if cp <= cdv => Victim::Prefetch(b),
+            (_, Some(_)) => Victim::DemandLru,
+            (Some((b, _)), None) => Victim::Prefetch(b),
+            (None, None) => unreachable!("demand_victim called on an empty full cache"),
+        }
+    }
+
+    /// Run the Section 7 cost-benefit prefetch loop for this access period
+    /// and advance the period counter. `last_block` is the block the
+    /// period just referenced (used only by the re-anchoring extension);
+    /// `act` accumulates what happened.
+    pub fn prefetch_round(
+        &mut self,
+        last_block: BlockId,
+        cache: &mut BufferCache,
+        act: &mut PeriodActivity,
+    ) {
+        let anchor = if self.cfg.reanchor_after_reset {
+            self.tree.prediction_anchor(last_block)
+        } else {
+            self.tree.cursor()
+        };
+        let mut frontier: BinaryHeap<FrontierEntry> = BinaryHeap::new();
+        self.scratch.clear();
+        // Enumerate only children that could possibly have positive net
+        // benefit (children are weight-sorted, so this is O(useful), not
+        // O(fan-out) — the root can have tens of thousands of children).
+        let cutoff = self
+            .model
+            .min_useful_probability(1.0, 1)
+            .max(self.cfg.min_probability);
+        self.tree.child_candidates_pruned(anchor, 1.0, 0, cutoff, &mut self.scratch);
+        for cand in self.scratch.drain(..) {
+            let net = self.model.net_benefit(cand.probability, cand.depth, cand.parent_probability);
+            frontier.push(FrontierEntry { net, cand });
+        }
+
+        let mut issued: u32 = 0;
+        let mut considered: u32 = 0;
+        while let Some(entry) = frontier.pop() {
+            if issued >= self.cfg.max_per_period
+                || considered >= self.cfg.max_considered_per_period
+            {
+                break;
+            }
+            // The heap is net-ordered: once the best remaining candidate
+            // has no positive net benefit, no candidate (or descendant —
+            // ΔT_pf's increments shrink with depth while probabilities
+            // shrink along paths) can justify a prefetch. Stop the round.
+            if entry.net <= 0.0 {
+                break;
+            }
+            let cand = entry.cand;
+            if cand.probability < self.cfg.min_probability {
+                // Net-ordered heap, so skip (don't break) — but don't
+                // expand either.
+                continue;
+            }
+            considered += 1;
+            act.candidates_considered += 1;
+
+            if cache.contains(cand.block) {
+                // Chosen for prefetch but already resident (Figure 7);
+                // treat as settled and extend the path one deeper.
+                act.candidates_already_cached += 1;
+                self.expand(&cand, &mut frontier);
+                continue;
+            }
+
+            // Step 2/3: cheapest replacement vs. net benefit.
+            let (victim, cost) = self.cheapest_victim(cache);
+            if entry.net < cost {
+                break;
+            }
+            if let Some(v) = victim {
+                match crate::policy::apply_victim(v, cache) {
+                    true => act.prefetch_evictions += 1,
+                    false => act.demand_evictions_for_prefetch += 1,
+                }
+            }
+            cache.insert_prefetch(
+                cand.block,
+                PrefetchMeta {
+                    probability: cand.probability,
+                    distance: cand.depth,
+                    issued_at: self.period,
+                    sequential: false,
+                },
+            );
+            issued += 1;
+            act.prefetched_blocks.push(cand.block);
+            act.prefetches_issued += 1;
+            act.prefetch_probability_sum += cand.probability;
+            self.expand(&cand, &mut frontier);
+        }
+
+        self.model.observe_period(issued);
+        self.period += 1;
+    }
+
+    fn expand(&mut self, cand: &Candidate, frontier: &mut BinaryHeap<FrontierEntry>) {
+        if cand.depth >= self.cfg.max_depth {
+            return;
+        }
+        self.scratch.clear();
+        let cutoff = self
+            .model
+            .min_useful_probability(cand.probability, cand.depth + 1)
+            .max(self.cfg.min_probability);
+        self.tree.child_candidates_pruned(
+            cand.node,
+            cand.probability,
+            cand.depth,
+            cutoff,
+            &mut self.scratch,
+        );
+        for c in self.scratch.drain(..) {
+            let net = self.model.net_benefit(c.probability, c.depth, c.parent_probability);
+            frontier.push(FrontierEntry { net, cand: c });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> CostBenefitEngine {
+        CostBenefitEngine::new(SystemParams::patterson(), EngineConfig::default())
+    }
+
+    /// Train the tree on several laps of a cycle so predictions are strong.
+    fn trained_engine(cycle: &[u64], laps: usize) -> CostBenefitEngine {
+        let mut e = engine();
+        for _ in 0..laps {
+            for &b in cycle {
+                e.record_reference(BlockId(b));
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn prefetches_strongly_predicted_blocks() {
+        let mut e = trained_engine(&[1, 2, 3, 4], 50);
+        let mut cache = BufferCache::new(16);
+        // Anchor the cursor by accessing block 1.
+        e.record_reference(BlockId(1));
+        let mut act = PeriodActivity::default();
+        e.prefetch_round(BlockId(1), &mut cache, &mut act);
+        // The blocks following 1 in the cycle are near-certain; at least
+        // one should be prefetched (cache has free buffers: cost 0).
+        assert!(act.prefetches_issued >= 1, "no prefetches issued: {act:?}");
+        let prefetched: Vec<u64> = cache.prefetch_iter().map(|(b, _)| b.0).collect();
+        assert!(
+            prefetched.contains(&2) || prefetched.contains(&3),
+            "prefetched {prefetched:?}"
+        );
+    }
+
+    #[test]
+    fn does_not_prefetch_from_an_untrained_tree() {
+        let mut e = engine();
+        let mut cache = BufferCache::new(16);
+        // First-ever access: the parse resets to the root, whose only
+        // child is the block itself — which is resident, so nothing can
+        // be prefetched.
+        cache.insert_demand(BlockId(1));
+        e.record_reference(BlockId(1));
+        let mut act = PeriodActivity::default();
+        e.prefetch_round(BlockId(1), &mut cache, &mut act);
+        assert_eq!(act.prefetches_issued, 0);
+        assert_eq!(act.candidates_already_cached, 1);
+    }
+
+    #[test]
+    fn already_cached_candidates_are_counted_not_fetched() {
+        let mut e = trained_engine(&[1, 2, 3, 4], 50);
+        let mut cache = BufferCache::new(16);
+        // Pre-insert the likely candidates as demand blocks.
+        for b in [2u64, 3, 4] {
+            cache.insert_demand(BlockId(b));
+        }
+        e.record_reference(BlockId(1));
+        let mut act = PeriodActivity::default();
+        e.prefetch_round(BlockId(1), &mut cache, &mut act);
+        assert!(act.candidates_already_cached >= 1, "{act:?}");
+    }
+
+    #[test]
+    fn stops_when_cost_exceeds_benefit() {
+        // A tiny cache full of *valuable* demand blocks (tight loop → huge
+        // marginal hit rate) must not be raided for speculative prefetches
+        // of weak candidates.
+        let mut e = engine();
+        let mut cache = BufferCache::new(4);
+        // Loop over exactly 4 blocks: every block is hit at stack distance
+        // 3, so H(4)−H(3) is large.
+        for lap in 0..200 {
+            for b in [10u64, 20, 30, 40] {
+                if !cache.contains(BlockId(b)) {
+                    if cache.is_full() {
+                        cache.evict_demand_lru();
+                    }
+                    cache.insert_demand(BlockId(b));
+                } else {
+                    cache.reference(BlockId(b));
+                }
+                e.record_reference(BlockId(b));
+                let _ = lap;
+            }
+        }
+        // Train a weak side-branch: 10 is sometimes followed by 99.
+        for _ in 0..3 {
+            e.record_reference(BlockId(10));
+            e.record_reference(BlockId(99));
+        }
+        for b in [10u64, 20, 30] {
+            e.record_reference(BlockId(b));
+        }
+        let mut act = PeriodActivity::default();
+        let demand_before = cache.demand_len();
+        e.prefetch_round(BlockId(30), &mut cache, &mut act);
+        // Whatever was prefetched must not have displaced the hot demand
+        // blocks wholesale.
+        assert!(
+            cache.demand_len() + 1 >= demand_before,
+            "demand cache raided: {} -> {}",
+            demand_before,
+            cache.demand_len()
+        );
+    }
+
+    #[test]
+    fn cheapest_victim_prefers_stale_prefetch() {
+        let mut e = trained_engine(&[1, 2, 3], 30);
+        let mut cache = BufferCache::new(2);
+        cache.insert_demand(BlockId(100));
+        cache.insert_prefetch(
+            BlockId(50),
+            PrefetchMeta { probability: 0.9, distance: 1, issued_at: 0, sequential: false },
+        );
+        // Engine period is far past the prefetch's expected use: the stale
+        // prefetch should be the cheap victim (cost 0).
+        let (victim, cost) = e.cheapest_victim(&cache);
+        assert_eq!(victim, Some(Victim::Prefetch(BlockId(50))));
+        assert_eq!(cost, 0.0);
+        let _ = &mut e;
+    }
+
+    #[test]
+    fn free_buffers_cost_nothing() {
+        let e = engine();
+        let cache = BufferCache::new(8);
+        let (victim, cost) = e.cheapest_victim(&cache);
+        assert_eq!(victim, None);
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn s_estimate_moves_with_observed_prefetching() {
+        let mut e = trained_engine(&[1, 2, 3, 4, 5, 6, 7, 8], 80);
+        let mut cache = BufferCache::new(64);
+        let s0 = e.model().s();
+        for _ in 0..30 {
+            for b in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+                e.record_reference(BlockId(b));
+                let mut act = PeriodActivity::default();
+                e.prefetch_round(BlockId(b), &mut cache, &mut act);
+                // Consume prefetch hits so the cache keeps circulating.
+                let _ = cache.reference(BlockId(b));
+            }
+        }
+        // s must have been updated away from its prior at least once.
+        assert_ne!(e.model().s(), s0);
+        assert!(e.period() > 0);
+    }
+
+    #[test]
+    fn respects_max_per_period() {
+        let cfg = EngineConfig { max_per_period: 2, ..EngineConfig::default() };
+        let mut e = CostBenefitEngine::new(SystemParams::patterson(), cfg);
+        for _ in 0..60 {
+            for b in [1u64, 2, 3, 4, 5, 6] {
+                e.record_reference(BlockId(b));
+            }
+        }
+        let mut cache = BufferCache::new(32);
+        e.record_reference(BlockId(1));
+        let mut act = PeriodActivity::default();
+        e.prefetch_round(BlockId(1), &mut cache, &mut act);
+        assert!(act.prefetches_issued <= 2);
+    }
+
+    #[test]
+    fn reanchoring_predicts_at_substring_boundaries() {
+        // Dilute the root with many one-shot children, then train a
+        // deterministic pair X → Y. After a reset, the root-anchored
+        // engine sees only diluted candidates, while the re-anchored one
+        // predicts Y from the order-1 context of X.
+        let build = |reanchor: bool| {
+            let cfg = EngineConfig { reanchor_after_reset: reanchor, ..EngineConfig::default() };
+            let mut e = CostBenefitEngine::new(SystemParams::patterson(), cfg);
+            for i in 0..200u64 {
+                e.record_reference(BlockId(1000 + i)); // unique: dilutes root
+            }
+            // Four full (7, 8, 2000) rounds: builds root→7→8 with weight,
+            // and leaves the parse deep at node "7 8 2000".
+            for _ in 0..4 {
+                e.record_reference(BlockId(7));
+                e.record_reference(BlockId(8));
+                e.record_reference(BlockId(2000));
+            }
+            // Access 8 (parse moves to the root's "8" child), then 7 —
+            // novel under that node, so the parse resets with 7 as the
+            // last access. The engine now stands at the root having just
+            // seen 7, whose root child has a trained successor 8.
+            e.record_reference(BlockId(8));
+            let out = e.record_reference(BlockId(7));
+            assert!(out.reset, "setup expects the access to end a substring");
+            e
+        };
+        let run = |mut e: CostBenefitEngine| {
+            let mut cache = BufferCache::new(64);
+            let mut act = PeriodActivity::default();
+            e.prefetch_round(BlockId(7), &mut cache, &mut act);
+            cache.contains(BlockId(8))
+        };
+        assert!(
+            run(build(true)),
+            "re-anchored engine failed to prefetch the trained successor after a reset"
+        );
+        assert!(
+            !run(build(false)),
+            "root-anchored engine should be blind here (root children are diluted)"
+        );
+    }
+
+    #[test]
+    fn lvc_already_cached_reports_cursor_child() {
+        let mut e = trained_engine(&[1, 2, 3], 10);
+        let mut cache = BufferCache::new(8);
+        // Position cursor at node for "1" whose lvc is "2".
+        e.record_reference(BlockId(1));
+        // Without 2 cached:
+        if let Some(flag) = e.lvc_already_cached(&cache) {
+            assert!(!flag);
+        }
+        cache.insert_demand(BlockId(2));
+        if let Some(flag) = e.lvc_already_cached(&cache) {
+            assert!(flag);
+        }
+    }
+}

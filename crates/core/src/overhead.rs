@@ -1,0 +1,60 @@
+//! Prefetching overhead: Equation 14 of the paper.
+//!
+//! Probabilistic hints mean some prefetched blocks are never referenced;
+//! issuing those requests still costs `T_driver` of CPU time. For a
+//! candidate `b` one access deeper than `x`, the conditional probability
+//! that `x` is reached but `b` is not is `1 − p_b/p_x`, so the expected
+//! wasted initiation time is
+//!
+//! ```text
+//! T_oh = (1 − p_b/p_x) · T_driver
+//! ```
+//!
+//! This term is what keeps the scheme from prefetching unboundedly once
+//! stall time has been fully hidden — it is subtracted from the benefit
+//! before the cost comparison (Section 7, step 3).
+
+use crate::params::SystemParams;
+
+/// `T_oh` (Eq. 14): expected wasted initiation overhead for prefetching
+/// block `b` (path probability `p_b`) whose path parent has probability
+/// `p_x`.
+#[inline]
+pub fn t_oh(p_b: f64, p_x: f64, params: &SystemParams) -> f64 {
+    debug_assert!(p_x > 0.0, "parent probability must be positive");
+    debug_assert!(p_b <= p_x + 1e-9, "child path cannot exceed parent path");
+    (1.0 - p_b / p_x).max(0.0) * params.t_driver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> SystemParams {
+        SystemParams::patterson()
+    }
+
+    #[test]
+    fn certain_followers_have_no_overhead() {
+        assert_eq!(t_oh(0.7, 0.7, &p()), 0.0);
+    }
+
+    #[test]
+    fn half_likely_follower_costs_half_a_driver() {
+        let oh = t_oh(0.35, 0.7, &p());
+        assert!((oh - 0.5 * 0.580).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_bounded_by_t_driver() {
+        for (pb, px) in [(0.001, 1.0), (0.5, 0.9), (0.1, 0.1)] {
+            let oh = t_oh(pb, px, &p());
+            assert!((0.0..=0.580 + 1e-12).contains(&oh));
+        }
+    }
+
+    #[test]
+    fn less_likely_children_cost_more() {
+        assert!(t_oh(0.1, 1.0, &p()) > t_oh(0.9, 1.0, &p()));
+    }
+}

@@ -1,0 +1,61 @@
+//! The `no-prefetch` baseline: demand fetching with LRU replacement only.
+
+use crate::policy::{PeriodActivity, PrefetchPolicy, RefContext, Victim};
+use prefetch_cache::BufferCache;
+
+/// Performs no prefetching; the demand cache is a plain LRU.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoPrefetch;
+
+impl PrefetchPolicy for NoPrefetch {
+    fn name(&self) -> &'static str {
+        "no-prefetch"
+    }
+
+    fn choose_demand_victim(&mut self, cache: &BufferCache) -> Victim {
+        debug_assert_eq!(cache.prefetch_len(), 0, "no-prefetch never populates the prefetch cache");
+        Victim::DemandLru
+    }
+
+    fn after_reference(
+        &mut self,
+        _ctx: &RefContext,
+        _cache: &mut BufferCache,
+        _act: &mut PeriodActivity,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RefKind;
+    use prefetch_trace::BlockId;
+
+    #[test]
+    fn never_prefetches() {
+        let mut p = NoPrefetch;
+        let mut cache = BufferCache::new(4);
+        cache.insert_demand(BlockId(1));
+        let ctx = RefContext {
+            block: BlockId(1),
+            kind: RefKind::Miss,
+            next_block: Some(BlockId(2)),
+            period: 0,
+        };
+        let mut act = PeriodActivity::default();
+        p.after_reference(&ctx, &mut cache, &mut act);
+        assert_eq!(act, PeriodActivity::default());
+        assert_eq!(cache.prefetch_len(), 0);
+        assert_eq!(p.name(), "no-prefetch");
+    }
+
+    #[test]
+    fn victim_is_demand_lru() {
+        let mut p = NoPrefetch;
+        let mut cache = BufferCache::new(2);
+        cache.insert_demand(BlockId(1));
+        cache.insert_demand(BlockId(2));
+        assert_eq!(p.choose_demand_victim(&cache), Victim::DemandLru);
+    }
+}

@@ -1,0 +1,154 @@
+//! The `tree` policy: the paper's cost-benefit predictive prefetching.
+
+use crate::engine::{CostBenefitEngine, EngineConfig};
+use crate::params::SystemParams;
+use crate::policy::{PeriodActivity, PrefetchPolicy, RefContext, RefKind, Victim};
+use prefetch_cache::BufferCache;
+
+/// Prefetch-tree candidates judged by the Section 7 cost-benefit analysis;
+/// replacement victims priced by Eq. 11 vs Eq. 13.
+pub struct TreePolicy {
+    engine: CostBenefitEngine,
+    name: &'static str,
+}
+
+impl TreePolicy {
+    /// Build with the given system constants and engine configuration.
+    pub fn new(params: SystemParams, cfg: EngineConfig) -> Self {
+        let name = if cfg.reanchor_after_reset { "tree-reanchor" } else { "tree" };
+        TreePolicy { engine: CostBenefitEngine::new(params, cfg), name }
+    }
+
+    /// Paper defaults.
+    pub fn patterson() -> Self {
+        Self::new(SystemParams::patterson(), EngineConfig::default())
+    }
+
+    /// The re-anchoring extension (see
+    /// [`EngineConfig::reanchor_after_reset`]): paper-default constants
+    /// plus order-1 re-anchoring after LZ resets.
+    pub fn reanchor() -> Self {
+        let cfg = EngineConfig { reanchor_after_reset: true, ..EngineConfig::default() };
+        Self::new(SystemParams::patterson(), cfg)
+    }
+
+    /// Read access to the engine (tree statistics, model state).
+    pub fn engine(&self) -> &CostBenefitEngine {
+        &self.engine
+    }
+}
+
+impl PrefetchPolicy for TreePolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn choose_demand_victim(&mut self, cache: &BufferCache) -> Victim {
+        self.engine.demand_victim(cache)
+    }
+
+    fn after_reference(
+        &mut self,
+        ctx: &RefContext,
+        cache: &mut BufferCache,
+        act: &mut PeriodActivity,
+    ) {
+        if ctx.kind == RefKind::PrefetchHit {
+            self.engine.model_mut().observe_prefetch_hit();
+        }
+        // Figure 16 statistic: observed on the pre-access cursor.
+        act.lvc_already_cached = self.engine.lvc_already_cached(cache);
+        let outcome = self.engine.record_reference(ctx.block);
+        act.predictable = outcome.predictable;
+        act.lvc_repeat = outcome.lvc_repeat;
+        self.engine.prefetch_round(ctx.block, cache, act);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefetch_trace::BlockId;
+
+    fn drive(policy: &mut TreePolicy, cache: &mut BufferCache, block: u64) -> PeriodActivity {
+        use prefetch_cache::buffer_cache::RefOutcome;
+        let b = BlockId(block);
+        let kind = match cache.reference(b) {
+            RefOutcome::DemandHit => RefKind::DemandHit,
+            RefOutcome::PrefetchHit(_) => RefKind::PrefetchHit,
+            RefOutcome::Miss => {
+                if cache.is_full() {
+                    let v = policy.choose_demand_victim(cache);
+                    crate::policy::apply_victim(v, cache);
+                }
+                cache.insert_demand(b);
+                RefKind::Miss
+            }
+        };
+        let ctx = RefContext {
+            block: b,
+            kind,
+            next_block: None,
+            period: policy.engine.period(),
+        };
+        let mut act = PeriodActivity::default();
+        policy.after_reference(&ctx, cache, &mut act);
+        act
+    }
+
+    #[test]
+    fn learns_a_cycle_and_turns_misses_into_prefetch_hits() {
+        let mut p = TreePolicy::patterson();
+        let mut cache = BufferCache::new(8);
+        let cycle = [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+        // The cycle (12 blocks) exceeds the cache (8), so pure LRU never
+        // hits. With tree prefetching, later laps should see prefetch hits.
+        let mut hits_by_lap = Vec::new();
+        for _ in 0..60 {
+            let mut lap_hits = 0;
+            for &b in &cycle {
+                let before = cache.whereis(BlockId(b));
+                let _ = drive(&mut p, &mut cache, b);
+                if before == Some(prefetch_cache::Partition::Prefetch) {
+                    lap_hits += 1;
+                }
+            }
+            hits_by_lap.push(lap_hits);
+        }
+        let late: usize = hits_by_lap[40..].iter().sum();
+        assert!(late > 0, "tree policy never produced a prefetch hit: {hits_by_lap:?}");
+    }
+
+    #[test]
+    fn reports_predictability_flags() {
+        let mut p = TreePolicy::patterson();
+        let mut cache = BufferCache::new(16);
+        for _ in 0..5 {
+            for b in [1u64, 2, 3] {
+                drive(&mut p, &mut cache, b);
+            }
+        }
+        // After training, accessing 1 then 2 should be flagged predictable.
+        drive(&mut p, &mut cache, 1);
+        let act = drive(&mut p, &mut cache, 2);
+        assert!(act.predictable);
+        assert_eq!(p.name(), "tree");
+    }
+
+    #[test]
+    fn prefetch_traffic_dies_out_on_an_unlearnable_stream() {
+        // On an all-unique stream the root's children dilute: once
+        // p = 1/n drops below the point where B − T_oh ≤ 0, the
+        // cost-benefit stopping rule must shut prefetching off entirely.
+        let mut p = TreePolicy::patterson();
+        let mut cache = BufferCache::new(8);
+        let mut late_prefetches = 0;
+        for b in 0..500u64 {
+            let act = drive(&mut p, &mut cache, b);
+            if b >= 100 {
+                late_prefetches += act.prefetches_issued;
+            }
+        }
+        assert_eq!(late_prefetches, 0, "cost-benefit failed to stop useless prefetching");
+    }
+}

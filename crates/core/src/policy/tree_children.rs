@@ -1,0 +1,172 @@
+//! The `tree-children` parametric baseline (Section 9.7): "After accessing
+//! a block in the prefetch tree, a fixed number of child nodes with the
+//! highest probability of future access are prefetched" — the scheme of
+//! Kroeger & Long (USENIX Winter'96), **without** cost-benefit analysis.
+//!
+//! Replacement follows the same documented convention as
+//! [`crate::policy::TreeThreshold`].
+
+use crate::policy::{PeriodActivity, PrefetchPolicy, RefContext, Victim};
+use prefetch_cache::{BufferCache, PrefetchMeta};
+use prefetch_tree::PrefetchTree;
+
+/// Top-k-children tree prefetching without cost-benefit analysis.
+pub struct TreeChildren {
+    tree: PrefetchTree,
+    k: usize,
+    cap_fraction: f64,
+    period: u64,
+}
+
+impl TreeChildren {
+    /// Build with the number of children to prefetch per access (the paper
+    /// found optima between 3 and 10).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TreeChildren { tree: PrefetchTree::new(), k, cap_fraction: 0.10, period: 0 }
+    }
+
+    /// The configured k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Read access to the tree.
+    pub fn tree(&self) -> &PrefetchTree {
+        &self.tree
+    }
+
+    fn make_room(&self, cache: &mut BufferCache, act: &mut PeriodActivity) {
+        let cap = ((cache.capacity() as f64 * self.cap_fraction) as usize).max(1);
+        if cache.prefetch_len() >= cap {
+            cache.evict_prefetch_lru();
+            act.prefetch_evictions += 1;
+        } else if cache.is_full() {
+            if cache.demand_len() > 0 {
+                cache.evict_demand_lru();
+                act.demand_evictions_for_prefetch += 1;
+            } else {
+                cache.evict_prefetch_lru();
+                act.prefetch_evictions += 1;
+            }
+        }
+    }
+}
+
+impl PrefetchPolicy for TreeChildren {
+    fn name(&self) -> &'static str {
+        "tree-children"
+    }
+
+    fn choose_demand_victim(&mut self, cache: &BufferCache) -> Victim {
+        if cache.demand_len() > 0 {
+            Victim::DemandLru
+        } else {
+            Victim::Prefetch(cache.prefetch_iter_lru().next().expect("cache full").0)
+        }
+    }
+
+    fn after_reference(
+        &mut self,
+        ctx: &RefContext,
+        cache: &mut BufferCache,
+        act: &mut PeriodActivity,
+    ) {
+        let outcome = self.tree.record_access(ctx.block);
+        act.predictable = outcome.predictable;
+        act.lvc_repeat = outcome.lvc_repeat;
+
+        let cursor = self.tree.cursor();
+        // Children are stored sorted by descending weight, so the k most
+        // probable children are simply the first k — no scan, no sort.
+        let mut children = Vec::new();
+        self.tree.child_candidates_topk(cursor, 1.0, 0, self.k, &mut children);
+        for cand in children {
+            act.candidates_considered += 1;
+            if cache.contains(cand.block) {
+                act.candidates_already_cached += 1;
+                continue;
+            }
+            self.make_room(cache, act);
+            cache.insert_prefetch(
+                cand.block,
+                PrefetchMeta {
+                    probability: cand.probability,
+                    distance: 1,
+                    issued_at: self.period,
+                    sequential: false,
+                },
+            );
+            act.prefetched_blocks.push(cand.block);
+            act.prefetches_issued += 1;
+            act.prefetch_probability_sum += cand.probability;
+        }
+        self.period += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RefKind;
+    use prefetch_trace::BlockId;
+
+    fn access(p: &mut TreeChildren, cache: &mut BufferCache, b: u64) -> PeriodActivity {
+        let ctx = RefContext {
+            block: BlockId(b),
+            kind: RefKind::DemandHit,
+            next_block: None,
+            period: 0,
+        };
+        let mut act = PeriodActivity::default();
+        p.after_reference(&ctx, cache, &mut act);
+        act
+    }
+
+    #[test]
+    fn prefetches_top_k_children() {
+        let mut p = TreeChildren::new(2);
+        let mut cache = BufferCache::new(100);
+        // After 1: block 2 follows 5×, block 3 follows 3×, block 4 once.
+        for _ in 0..5 {
+            access(&mut p, &mut cache, 1);
+            access(&mut p, &mut cache, 2);
+        }
+        for _ in 0..3 {
+            access(&mut p, &mut cache, 1);
+            access(&mut p, &mut cache, 3);
+        }
+        access(&mut p, &mut cache, 1);
+        access(&mut p, &mut cache, 4);
+        while cache.prefetch_len() > 0 {
+            cache.evict_prefetch_lru();
+        }
+        let act = access(&mut p, &mut cache, 1);
+        assert!(cache.contains(BlockId(2)));
+        assert!(cache.contains(BlockId(3)));
+        assert!(!cache.contains(BlockId(4)), "k=2 must skip the third child");
+        assert_eq!(act.prefetches_issued, 2);
+    }
+
+    #[test]
+    fn fewer_children_than_k_is_fine() {
+        let mut p = TreeChildren::new(5);
+        let mut cache = BufferCache::new(100);
+        // Parse (1)(2)(1 2): node(1) then has exactly one child, 2.
+        access(&mut p, &mut cache, 1);
+        access(&mut p, &mut cache, 2);
+        access(&mut p, &mut cache, 1);
+        access(&mut p, &mut cache, 2);
+        let act = access(&mut p, &mut cache, 1);
+        assert_eq!(act.prefetches_issued + act.candidates_already_cached, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        TreeChildren::new(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The `tree-next-limit` policy: cost-benefit tree prefetching combined
+//! with capped one-block-lookahead — the paper's best overall performer.
+
+use crate::engine::{CostBenefitEngine, EngineConfig};
+use crate::params::SystemParams;
+use crate::policy::{NextLimit, PeriodActivity, PrefetchPolicy, RefContext, RefKind, Victim};
+use prefetch_cache::BufferCache;
+
+/// "This scheme always prefetches the block after a demand fetch, while
+/// limiting 10% of the cache for these blocks. In addition, it maintains a
+/// prefetch tree and prefetches additional blocks according to our cost
+/// benefit analysis." (Section 9)
+pub struct TreeNextLimit {
+    engine: CostBenefitEngine,
+    next: NextLimit,
+}
+
+impl TreeNextLimit {
+    /// Build with the given constants, engine configuration and the
+    /// standard 10% sequential cap.
+    pub fn new(params: SystemParams, cfg: EngineConfig) -> Self {
+        TreeNextLimit { engine: CostBenefitEngine::new(params, cfg), next: NextLimit::new() }
+    }
+
+    /// Paper defaults.
+    pub fn patterson() -> Self {
+        Self::new(SystemParams::patterson(), EngineConfig::default())
+    }
+
+    /// Read access to the engine.
+    pub fn engine(&self) -> &CostBenefitEngine {
+        &self.engine
+    }
+}
+
+impl PrefetchPolicy for TreeNextLimit {
+    fn name(&self) -> &'static str {
+        "tree-next-limit"
+    }
+
+    fn choose_demand_victim(&mut self, cache: &BufferCache) -> Victim {
+        self.engine.demand_victim(cache)
+    }
+
+    fn after_reference(
+        &mut self,
+        ctx: &RefContext,
+        cache: &mut BufferCache,
+        act: &mut PeriodActivity,
+    ) {
+        if ctx.kind == RefKind::PrefetchHit {
+            self.engine.model_mut().observe_prefetch_hit();
+        }
+        // One-block lookahead on demand fetches (sequential component).
+        if ctx.kind == RefKind::Miss {
+            self.next.prefetch_next(ctx.block, cache, ctx.period, act);
+        }
+        // Tree component.
+        act.lvc_already_cached = self.engine.lvc_already_cached(cache);
+        let outcome = self.engine.record_reference(ctx.block);
+        act.predictable = outcome.predictable;
+        act.lvc_repeat = outcome.lvc_repeat;
+        self.engine.prefetch_round(ctx.block, cache, act);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefetch_trace::BlockId;
+
+    #[test]
+    fn combines_sequential_and_tree_prefetching() {
+        let mut p = TreeNextLimit::patterson();
+        let mut cache = BufferCache::new(40);
+        // A miss on block 100 must trigger one-block lookahead of 101.
+        cache.insert_demand(BlockId(100));
+        let ctx = RefContext {
+            block: BlockId(100),
+            kind: RefKind::Miss,
+            next_block: None,
+            period: 0,
+        };
+        let mut act = PeriodActivity::default();
+        p.after_reference(&ctx, &mut cache, &mut act);
+        assert!(cache.contains(BlockId(101)), "lookahead block missing");
+        assert!(cache.prefetch_meta(BlockId(101)).unwrap().sequential);
+
+        // Train a non-sequential pattern 100 → 7 and verify the tree part
+        // also fires.
+        for _ in 0..30 {
+            for b in [100u64, 7] {
+                let kind = if cache.contains(BlockId(b)) {
+                    cache.reference(BlockId(b));
+                    RefKind::DemandHit
+                } else {
+                    cache.insert_demand(BlockId(b));
+                    RefKind::Miss
+                };
+                let ctx = RefContext { block: BlockId(b), kind, next_block: None, period: 0 };
+                let mut a = PeriodActivity::default();
+                p.after_reference(&ctx, &mut cache, &mut a);
+            }
+        }
+        // Evict 7 and access 100: the tree should prefetch 7 again.
+        if cache.contains(BlockId(7)) {
+            cache.evict_prefetch(BlockId(7));
+        }
+        // (7 may be in the demand cache; flush it via direct eviction.)
+        while cache.demand_iter().any(|b| b == BlockId(7)) {
+            let lru = cache.demand_lru().unwrap();
+            cache.evict_demand_lru();
+            if lru == BlockId(7) {
+                break;
+            }
+            cache.insert_demand(lru); // rotate non-victims back in
+        }
+        cache.reference(BlockId(100));
+        let ctx = RefContext {
+            block: BlockId(100),
+            kind: RefKind::DemandHit,
+            next_block: None,
+            period: 100,
+        };
+        let mut act = PeriodActivity::default();
+        p.after_reference(&ctx, &mut cache, &mut act);
+        assert!(
+            cache.contains(BlockId(7)) || act.candidates_already_cached > 0,
+            "tree component did not pursue the learned successor"
+        );
+        assert_eq!(p.name(), "tree-next-limit");
+    }
+}

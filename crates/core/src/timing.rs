@@ -1,0 +1,115 @@
+//! The stall/overlap timing model: Equations 2-6 of the paper.
+//!
+//! A prefetch issued `d` access periods before the block is needed overlaps
+//! its disk access with the computation performed during those periods.
+//! Each period the CPU computes (`T_cpu`), reads the current block from the
+//! cache (`T_hit`), and issues on average `s` further prefetches
+//! (`s·T_driver`), so total overlap is
+//! `T_compute(d) = d·(T_cpu + T_hit + s·T_driver)` (Eq. 3). Concurrent I/O
+//! soaks up the remainder across `d` outstanding accesses, leaving an
+//! average per-block stall of
+//! `T_stall(d) = max(T_disk/d − (T_hit + T_cpu + s·T_driver), 0)` (Eq. 6),
+//! and a per-block saving of `ΔT_pf(d) = T_disk − T_stall(d)` (Eq. 2).
+//! `d = 0` denotes a demand fetch: full stall, zero saving.
+
+use crate::params::SystemParams;
+
+/// `T_compute(d)` (Eq. 3): computation overlapped during `d` access
+/// periods, given the current average prefetch rate `s`.
+#[inline]
+pub fn t_compute(d: u32, params: &SystemParams, s: f64) -> f64 {
+    d as f64 * (params.t_cpu + params.t_hit + s * params.t_driver)
+}
+
+/// `T_stall(d)` (Eq. 5/6): average CPU stall per block prefetched at
+/// distance `d`. `T_stall(0) = T_disk` (a demand fetch).
+#[inline]
+pub fn t_stall(d: u32, params: &SystemParams, s: f64) -> f64 {
+    if d == 0 {
+        return params.t_disk;
+    }
+    (params.t_disk / d as f64 - (params.t_hit + params.t_cpu + s * params.t_driver)).max(0.0)
+}
+
+/// `ΔT_pf(d)` (Eq. 2): time saved by prefetching at distance `d` instead of
+/// demand fetching. Zero at `d = 0`.
+#[inline]
+pub fn delta_t_pf(d: u32, params: &SystemParams, s: f64) -> f64 {
+    if d == 0 {
+        return 0.0;
+    }
+    params.t_disk - t_stall(d, params, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> SystemParams {
+        SystemParams::patterson()
+    }
+
+    #[test]
+    fn demand_fetch_boundary() {
+        // d=0: stall the whole access, save nothing (paper: T_stall(0) =
+        // T_disk, ΔT_pf(b,0) = 0).
+        assert_eq!(t_stall(0, &p(), 1.0), 15.0);
+        assert_eq!(delta_t_pf(0, &p(), 1.0), 0.0);
+    }
+
+    #[test]
+    fn stall_with_patterson_constants_is_zero_at_depth_one() {
+        // T_disk/1 − (0.243 + 50 + s·0.58) < 0 for any s ≥ 0 because
+        // T_cpu = 50 already exceeds T_disk = 15: one period of computation
+        // hides the whole access.
+        assert_eq!(t_stall(1, &p(), 0.0), 0.0);
+        assert_eq!(delta_t_pf(1, &p(), 0.0), 15.0);
+    }
+
+    #[test]
+    fn stall_positive_when_cpu_is_fast() {
+        // With tiny T_cpu the prefetch cannot be fully hidden at d=1.
+        let fast = SystemParams { t_cpu: 2.0, ..SystemParams::patterson() };
+        let st = t_stall(1, &fast, 0.0);
+        // 15/1 − (0.243 + 2.0 + 0) = 12.757
+        assert!((st - 12.757).abs() < 1e-12);
+        assert!((delta_t_pf(1, &fast, 0.0) - (15.0 - 12.757)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_prefetches_stall_less() {
+        let fast = SystemParams { t_cpu: 1.0, ..SystemParams::patterson() };
+        let mut prev = f64::INFINITY;
+        for d in 1..20 {
+            let st = t_stall(d, &fast, 0.5);
+            assert!(st <= prev + 1e-12, "stall increased at depth {d}");
+            assert!(st >= 0.0);
+            prev = st;
+        }
+    }
+
+    #[test]
+    fn more_concurrent_prefetching_reduces_stall() {
+        let fast = SystemParams { t_cpu: 2.0, ..SystemParams::patterson() };
+        assert!(t_stall(2, &fast, 4.0) <= t_stall(2, &fast, 0.0));
+    }
+
+    #[test]
+    fn t_compute_matches_equation_3() {
+        let s = 2.0;
+        let got = t_compute(3, &p(), s);
+        let expect = 3.0 * (50.0 + 0.243 + 2.0 * 0.580);
+        assert!((got - expect).abs() < 1e-12);
+        assert_eq!(t_compute(0, &p(), s), 0.0);
+    }
+
+    #[test]
+    fn saving_bounded_by_t_disk() {
+        for d in 0..50 {
+            for s in [0.0, 0.5, 2.0, 10.0] {
+                let dt = delta_t_pf(d, &p(), s);
+                assert!((0.0..=15.0 + 1e-12).contains(&dt), "ΔT_pf({d}) = {dt}");
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The disk array: placement, queueing, service.
+
+use crate::stats::DiskStats;
+use prefetch_trace::BlockId;
+use serde::{Deserialize, Serialize};
+
+/// How blocks map to disks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Striping {
+    /// RAID-0 style: `disk = (block / stripe_unit) % num_disks`. Adjacent
+    /// blocks within a stripe unit share a disk; consecutive units rotate.
+    RoundRobin {
+        /// Blocks per stripe unit (≥ 1).
+        stripe_unit: u64,
+    },
+    /// A hash of the block id picks the disk: no locality, uniform load.
+    Hashed,
+}
+
+impl Striping {
+    /// The disk serving `block` in an array of `num_disks`.
+    #[inline]
+    pub fn disk_for(&self, block: BlockId, num_disks: usize) -> usize {
+        match *self {
+            Striping::RoundRobin { stripe_unit } => {
+                ((block.0 / stripe_unit.max(1)) % num_disks as u64) as usize
+            }
+            Striping::Hashed => {
+                // Fibonacci hashing — cheap and well-mixing.
+                let h = block.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (h >> 32) as usize % num_disks
+            }
+        }
+    }
+}
+
+/// Configuration of a [`DiskArray`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiskArrayConfig {
+    /// Number of independent disks (≥ 1).
+    pub num_disks: usize,
+    /// Constant per-access service time in ms (the paper's `T_disk`).
+    pub service_ms: f64,
+    /// Block placement.
+    pub striping: Striping,
+}
+
+impl DiskArrayConfig {
+    /// An array with the paper's 15 ms service time and 64-block stripe
+    /// units.
+    pub fn with_disks(num_disks: usize) -> Self {
+        DiskArrayConfig {
+            num_disks,
+            service_ms: 15.0,
+            striping: Striping::RoundRobin { stripe_unit: 64 },
+        }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero disks or a non-positive service time.
+    pub fn validate(&self) {
+        assert!(self.num_disks >= 1, "need at least one disk");
+        assert!(
+            self.service_ms.is_finite() && self.service_ms > 0.0,
+            "service time must be positive"
+        );
+        if let Striping::RoundRobin { stripe_unit } = self.striping {
+            assert!(stripe_unit >= 1, "stripe unit must be at least one block");
+        }
+    }
+}
+
+/// A disk array with per-disk FIFO service.
+///
+/// Time is the caller's virtual clock (ms). Each submission occupies its
+/// disk for `service_ms` starting when the disk frees up; the returned
+/// completion time reflects queueing behind earlier requests.
+#[derive(Clone, Debug)]
+pub struct DiskArray {
+    config: DiskArrayConfig,
+    /// Per-disk time at which the disk becomes idle.
+    free_at: Vec<f64>,
+    stats: DiskStats,
+}
+
+impl DiskArray {
+    /// An idle array.
+    pub fn new(config: DiskArrayConfig) -> Self {
+        config.validate();
+        DiskArray {
+            free_at: vec![0.0; config.num_disks],
+            stats: DiskStats::new(config.num_disks),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DiskArrayConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Submit a read of `block` at virtual time `now_ms`; returns the
+    /// completion time. FIFO per disk: the request starts when the disk is
+    /// free, never before `now_ms`.
+    pub fn submit(&mut self, block: BlockId, now_ms: f64) -> f64 {
+        debug_assert!(now_ms.is_finite() && now_ms >= 0.0);
+        let d = self.config.striping.disk_for(block, self.config.num_disks);
+        let start = self.free_at[d].max(now_ms);
+        let completion = start + self.config.service_ms;
+        self.free_at[d] = completion;
+        self.stats.record(d, now_ms, start, completion);
+        completion
+    }
+
+    /// Would a read of `block` at `now_ms` have to queue?
+    pub fn is_busy(&self, block: BlockId, now_ms: f64) -> bool {
+        let d = self.config.striping.disk_for(block, self.config.num_disks);
+        self.free_at[d] > now_ms
+    }
+
+    /// Earliest time any disk is idle (diagnostics).
+    pub fn earliest_idle(&self) -> f64 {
+        self.free_at.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> DiskArrayConfig {
+        DiskArrayConfig { num_disks: n, service_ms: 10.0, striping: Striping::Hashed }
+    }
+
+    #[test]
+    fn single_disk_serializes_requests() {
+        let mut a = DiskArray::new(cfg(1));
+        let c1 = a.submit(BlockId(1), 0.0);
+        let c2 = a.submit(BlockId(2), 0.0);
+        let c3 = a.submit(BlockId(3), 25.0);
+        assert_eq!(c1, 10.0);
+        assert_eq!(c2, 20.0); // queued behind c1
+        assert_eq!(c3, 35.0); // disk idle at 20, request arrives at 25
+    }
+
+    #[test]
+    fn independent_disks_overlap() {
+        let c = DiskArrayConfig {
+            num_disks: 2,
+            service_ms: 10.0,
+            striping: Striping::RoundRobin { stripe_unit: 1 },
+        };
+        let mut a = DiskArray::new(c);
+        // Blocks 0 and 1 land on different disks with stripe unit 1.
+        let c0 = a.submit(BlockId(0), 0.0);
+        let c1 = a.submit(BlockId(1), 0.0);
+        assert_eq!(c0, 10.0);
+        assert_eq!(c1, 10.0);
+        // Same disk as block 0 → queues.
+        let c2 = a.submit(BlockId(2), 0.0);
+        assert_eq!(c2, 20.0);
+    }
+
+    #[test]
+    fn round_robin_striping_layout() {
+        let s = Striping::RoundRobin { stripe_unit: 4 };
+        // Blocks 0..3 on disk 0, 4..7 on disk 1, 8..11 on disk 2, wrap.
+        assert_eq!(s.disk_for(BlockId(0), 3), 0);
+        assert_eq!(s.disk_for(BlockId(3), 3), 0);
+        assert_eq!(s.disk_for(BlockId(4), 3), 1);
+        assert_eq!(s.disk_for(BlockId(11), 3), 2);
+        assert_eq!(s.disk_for(BlockId(12), 3), 0);
+    }
+
+    #[test]
+    fn hashed_striping_spreads_load() {
+        let s = Striping::Hashed;
+        let mut counts = vec![0usize; 8];
+        for b in 0..8000u64 {
+            counts[s.disk_for(BlockId(b), 8)] += 1;
+        }
+        for (d, &c) in counts.iter().enumerate() {
+            assert!(
+                (800..1200).contains(&c),
+                "disk {d} got {c} of 8000 — poor spread"
+            );
+        }
+    }
+
+    #[test]
+    fn completions_are_monotone_per_disk() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut a = DiskArray::new(cfg(4));
+        let mut now = 0.0f64;
+        let mut last_completion = vec![0.0f64; 4];
+        for _ in 0..5000 {
+            now += rng.gen_range(0.0..5.0);
+            let b = BlockId(rng.gen_range(0..1000));
+            let d = a.config().striping.disk_for(b, 4);
+            let c = a.submit(b, now);
+            assert!(c >= now + 10.0 - 1e-9, "service time violated");
+            assert!(c >= last_completion[d], "per-disk FIFO violated");
+            last_completion[d] = c;
+        }
+    }
+
+    #[test]
+    fn busy_query_matches_submission_state() {
+        let mut a = DiskArray::new(cfg(1));
+        assert!(!a.is_busy(BlockId(5), 0.0));
+        a.submit(BlockId(5), 0.0);
+        assert!(a.is_busy(BlockId(6), 5.0)); // single disk: any block
+        assert!(!a.is_busy(BlockId(6), 10.0));
+        assert_eq!(a.earliest_idle(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_panics() {
+        DiskArray::new(DiskArrayConfig { num_disks: 0, service_ms: 1.0, striping: Striping::Hashed });
+    }
+}

@@ -1,0 +1,16 @@
+use prefetch_sim::{run_simulation, SimConfig, PolicySpec};
+use prefetch_trace::synth::TraceKind;
+
+fn main() {
+    for kind in [TraceKind::Cad, TraceKind::Snake, TraceKind::Sitar, TraceKind::Cello] {
+        let t = kind.generate(30_000, 1);
+        for cache in [256usize, 1024] {
+            let r = run_simulation(&t, &SimConfig::new(cache, PolicySpec::Tree));
+            let m = r.metrics;
+            println!("{:<6} cache={:<5} miss={:>5.1}% pf={:<6} pf_hits={:<6} considered={:<7} cached={:<7} pred={:>5.1}% pred_missed={:>5.1}%",
+                kind.name(), cache, 100.0*m.miss_rate(), m.prefetches_issued, m.prefetch_hits,
+                m.candidates_considered, m.candidates_already_cached,
+                100.0*m.prediction_accuracy(), 100.0*m.predictable_not_cached_frac());
+        }
+    }
+}

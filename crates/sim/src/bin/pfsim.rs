@@ -1,0 +1,159 @@
+//! `pfsim` — run any prefetching policy over any trace.
+//!
+//! ```text
+//! pfsim --trace cad --refs 100000 --policy tree-next-limit --cache 1024
+//! pfsim --trace-file mytrace.trc --policy tree --cache 4096 --t-cpu 20
+//! pfsim --trace snake --policy all --cache 1024 --disks 4
+//! ```
+//!
+//! `--trace` takes a synthetic workload name (cello|snake|cad|sitar);
+//! `--trace-file` loads a `.trc` (binary) or text trace from disk.
+
+use prefetch_sim::{run_simulation, PolicySpec, SimConfig};
+use prefetch_trace::synth::TraceKind;
+use prefetch_trace::Trace;
+use std::process::ExitCode;
+
+struct Args {
+    trace: TraceSource,
+    refs: usize,
+    seed: u64,
+    cache: usize,
+    policies: Vec<PolicySpec>,
+    t_cpu: Option<f64>,
+    disks: Option<usize>,
+}
+
+enum TraceSource {
+    Synthetic(TraceKind),
+    File(std::path::PathBuf),
+}
+
+fn parse_policy(s: &str) -> Result<Vec<PolicySpec>, String> {
+    Ok(match s {
+        "all" => vec![
+            PolicySpec::NoPrefetch,
+            PolicySpec::NextLimit,
+            PolicySpec::Tree,
+            PolicySpec::TreeNextLimit,
+            PolicySpec::TreeLvc,
+            PolicySpec::TreeThreshold(0.05),
+            PolicySpec::TreeChildren(3),
+            PolicySpec::PerfectSelector,
+            PolicySpec::TreeReanchor,
+        ],
+        "no-prefetch" => vec![PolicySpec::NoPrefetch],
+        "next-limit" => vec![PolicySpec::NextLimit],
+        "tree" => vec![PolicySpec::Tree],
+        "tree-next-limit" => vec![PolicySpec::TreeNextLimit],
+        "tree-lvc" => vec![PolicySpec::TreeLvc],
+        "tree-reanchor" => vec![PolicySpec::TreeReanchor],
+        "perfect-selector" => vec![PolicySpec::PerfectSelector],
+        other => {
+            if let Some(t) = other.strip_prefix("tree-threshold=") {
+                vec![PolicySpec::TreeThreshold(
+                    t.parse().map_err(|_| format!("bad threshold {t:?}"))?,
+                )]
+            } else if let Some(k) = other.strip_prefix("tree-children=") {
+                vec![PolicySpec::TreeChildren(
+                    k.parse().map_err(|_| format!("bad children count {k:?}"))?,
+                )]
+            } else {
+                return Err(format!(
+                    "unknown policy {other:?} (try: all, no-prefetch, next-limit, tree, \
+                     tree-next-limit, tree-lvc, tree-reanchor, perfect-selector, \
+                     tree-threshold=<p>, tree-children=<k>)"
+                ));
+            }
+        }
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut trace = None;
+    let mut refs = 100_000usize;
+    let mut seed = 42u64;
+    let mut cache = 1024usize;
+    let mut policies = parse_policy("all")?;
+    let mut t_cpu = None;
+    let mut disks = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut val = || argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--trace" => {
+                trace = Some(TraceSource::Synthetic(val()?.parse::<TraceKind>()?));
+            }
+            "--trace-file" => trace = Some(TraceSource::File(val()?.into())),
+            "--refs" => refs = val()?.parse().map_err(|e| format!("bad --refs: {e}"))?,
+            "--seed" => seed = val()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--cache" => cache = val()?.parse().map_err(|e| format!("bad --cache: {e}"))?,
+            "--policy" => policies = parse_policy(&val()?)?,
+            "--t-cpu" => t_cpu = Some(val()?.parse().map_err(|e| format!("bad --t-cpu: {e}"))?),
+            "--disks" => disks = Some(val()?.parse().map_err(|e| format!("bad --disks: {e}"))?),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    let trace = trace.ok_or_else(|| format!("--trace or --trace-file required\n{}", usage()))?;
+    Ok(Args { trace, refs, seed, cache, policies, t_cpu, disks })
+}
+
+fn usage() -> String {
+    "usage: pfsim --trace <cello|snake|cad|sitar> | --trace-file <path> \
+     [--refs N] [--seed S] [--cache BLOCKS] [--policy NAME|all] [--t-cpu MS] [--disks N]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let trace: Trace = match &args.trace {
+        TraceSource::Synthetic(kind) => kind.generate(args.refs, args.seed),
+        TraceSource::File(path) => match prefetch_trace::io::load(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot load {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    eprintln!(
+        "trace '{}': {} references; cache {} blocks",
+        trace.meta().name,
+        trace.len(),
+        args.cache
+    );
+
+    println!(
+        "{:<22} {:>9} {:>11} {:>11} {:>11} {:>11}",
+        "policy", "miss %", "pf issued", "pf hit %", "disk reads", "ms/ref"
+    );
+    for &spec in &args.policies {
+        let mut cfg = SimConfig::new(args.cache, spec);
+        if let Some(t) = args.t_cpu {
+            cfg = cfg.with_t_cpu(t);
+        }
+        if let Some(n) = args.disks {
+            cfg = cfg.with_disks(n);
+        }
+        let m = run_simulation(&trace, &cfg).metrics;
+        println!(
+            "{:<22} {:>8.2}% {:>11} {:>10.1}% {:>11} {:>11.3}",
+            spec.name(),
+            100.0 * m.miss_rate(),
+            m.prefetches_issued,
+            100.0 * m.prefetch_hit_rate(),
+            m.disk_reads(),
+            m.elapsed_ms / m.refs.max(1) as f64,
+        );
+    }
+    ExitCode::SUCCESS
+}

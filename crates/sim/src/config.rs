@@ -1,0 +1,182 @@
+//! Simulation configuration: which policy, which cache size, which system
+//! constants.
+
+use prefetch_core::policy::{
+    NextLimit, NoPrefetch, PerfectSelector, PrefetchPolicy, TreeChildren, TreeLvc, TreeNextLimit,
+    TreePolicy, TreeThreshold,
+};
+use prefetch_core::{EngineConfig, SystemParams};
+use serde::{Deserialize, Serialize};
+
+/// Which prefetching policy to simulate (paper Section 9 terminology).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Demand fetching only.
+    NoPrefetch,
+    /// One-block-lookahead, prefetch partition capped at 10%.
+    NextLimit,
+    /// Cost-benefit tree prefetching (the paper's contribution).
+    Tree,
+    /// `tree` + `next-limit` combined.
+    TreeNextLimit,
+    /// `tree` + last-visited-child prefetching (Section 9.6).
+    TreeLvc,
+    /// Parametric baseline: prefetch children above this probability
+    /// (Section 9.7, Curewitz et al.).
+    TreeThreshold(f64),
+    /// Parametric baseline: prefetch the top-k children (Section 9.7,
+    /// Kroeger & Long).
+    TreeChildren(usize),
+    /// Oracle selector (Section 9.5).
+    PerfectSelector,
+    /// Extension beyond the paper: `tree` with order-1 re-anchoring after
+    /// LZ resets (see `EngineConfig::reanchor_after_reset`), a step toward
+    /// closing the tree↔perfect-selector gap of Section 9.5.
+    TreeReanchor,
+}
+
+impl PolicySpec {
+    /// The four schemes of the paper's headline comparison (Figure 6).
+    pub const HEADLINE: [PolicySpec; 4] = [
+        PolicySpec::NoPrefetch,
+        PolicySpec::NextLimit,
+        PolicySpec::Tree,
+        PolicySpec::TreeNextLimit,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(&self) -> String {
+        match self {
+            PolicySpec::NoPrefetch => "no-prefetch".into(),
+            PolicySpec::NextLimit => "next-limit".into(),
+            PolicySpec::Tree => "tree".into(),
+            PolicySpec::TreeNextLimit => "tree-next-limit".into(),
+            PolicySpec::TreeLvc => "tree-lvc".into(),
+            PolicySpec::TreeThreshold(t) => format!("tree-threshold({t})"),
+            PolicySpec::TreeChildren(k) => format!("tree-children({k})"),
+            PolicySpec::PerfectSelector => "perfect-selector".into(),
+            PolicySpec::TreeReanchor => "tree-reanchor".into(),
+        }
+    }
+
+    /// Instantiate the policy.
+    pub fn build(&self, params: SystemParams, engine: EngineConfig) -> Box<dyn PrefetchPolicy> {
+        match *self {
+            PolicySpec::NoPrefetch => Box::new(NoPrefetch),
+            PolicySpec::NextLimit => Box::new(NextLimit::new()),
+            PolicySpec::Tree => Box::new(TreePolicy::new(params, engine)),
+            PolicySpec::TreeNextLimit => Box::new(TreeNextLimit::new(params, engine)),
+            PolicySpec::TreeLvc => Box::new(TreeLvc::new(params, engine)),
+            PolicySpec::TreeThreshold(t) => Box::new(TreeThreshold::new(t)),
+            PolicySpec::TreeChildren(k) => Box::new(TreeChildren::new(k)),
+            PolicySpec::PerfectSelector => Box::new(PerfectSelector::new()),
+            PolicySpec::TreeReanchor => {
+                let cfg = prefetch_core::EngineConfig { reanchor_after_reset: true, ..engine };
+                Box::new(TreePolicy::new(params, cfg))
+            }
+        }
+    }
+
+    /// Whether the policy consumes the one-reference lookahead (only the
+    /// oracle does; passing it to others is harmless but this lets tests
+    /// assert the flow).
+    pub fn uses_lookahead(&self) -> bool {
+        matches!(self, PolicySpec::PerfectSelector)
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Total buffers in the combined demand + prefetch cache.
+    pub cache_blocks: usize,
+    /// System timing constants.
+    pub params: SystemParams,
+    /// Cost-benefit engine tunables (tree policies only).
+    pub engine: EngineConfig,
+    /// The policy to run.
+    pub policy: PolicySpec,
+    /// Optional finite disk array. `None` reproduces the paper's
+    /// infinite-disk assumption (Section 6.3); `Some` prices stalls with
+    /// per-disk FIFO queueing — an extension (see the `disks` experiment).
+    pub disks: Option<prefetch_disk::DiskArrayConfig>,
+}
+
+impl SimConfig {
+    /// A configuration with paper-default constants.
+    pub fn new(cache_blocks: usize, policy: PolicySpec) -> Self {
+        SimConfig {
+            cache_blocks,
+            params: SystemParams::patterson(),
+            engine: EngineConfig::default(),
+            policy,
+            disks: None,
+        }
+    }
+
+    /// Price I/O with a finite disk array of `num_disks` disks (paper-
+    /// standard 15 ms service time, 64-block stripes).
+    pub fn with_disks(mut self, num_disks: usize) -> Self {
+        self.disks = Some(prefetch_disk::DiskArrayConfig::with_disks(num_disks));
+        self
+    }
+
+    /// Override `T_cpu` (Figures 11-12 sweep).
+    pub fn with_t_cpu(mut self, t_cpu: f64) -> Self {
+        self.params.t_cpu = t_cpu;
+        self
+    }
+
+    /// Limit the prefetch tree's node count (Figure 13).
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.engine.node_limit = limit;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_terms() {
+        assert_eq!(PolicySpec::NoPrefetch.name(), "no-prefetch");
+        assert_eq!(PolicySpec::TreeNextLimit.name(), "tree-next-limit");
+        assert_eq!(PolicySpec::TreeThreshold(0.05).name(), "tree-threshold(0.05)");
+        assert_eq!(PolicySpec::TreeChildren(3).name(), "tree-children(3)");
+    }
+
+    #[test]
+    fn build_produces_matching_policies() {
+        let p = SystemParams::patterson();
+        let e = EngineConfig::default();
+        for spec in [
+            PolicySpec::NoPrefetch,
+            PolicySpec::NextLimit,
+            PolicySpec::Tree,
+            PolicySpec::TreeNextLimit,
+            PolicySpec::TreeLvc,
+            PolicySpec::TreeThreshold(0.1),
+            PolicySpec::TreeChildren(4),
+            PolicySpec::PerfectSelector,
+        ] {
+            let policy = spec.build(p, e);
+            // Parameterized names carry the parameter only in the spec.
+            assert!(spec.name().starts_with(policy.name()));
+        }
+    }
+
+    #[test]
+    fn only_oracle_uses_lookahead() {
+        assert!(PolicySpec::PerfectSelector.uses_lookahead());
+        assert!(!PolicySpec::Tree.uses_lookahead());
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SimConfig::new(512, PolicySpec::Tree).with_t_cpu(320.0).with_node_limit(4096);
+        assert_eq!(c.cache_blocks, 512);
+        assert_eq!(c.params.t_cpu, 320.0);
+        assert_eq!(c.engine.node_limit, 4096);
+    }
+}

@@ -1,0 +1,122 @@
+//! Ablations of the design choices DESIGN.md §5 calls out, plus the
+//! evaluation of the re-anchoring extension. Not a paper artifact; run
+//! with `figures ablation`.
+//!
+//! Sweeps, all on the `tree` policy at a fixed cache size:
+//!
+//! * **reanchor** — order-1 re-anchoring after LZ resets (extension) vs
+//!   the paper's root-anchored behaviour;
+//! * **x** — the Eq. 11 re-prefetch lead (1, 2, 4);
+//! * **depth** — frontier depth cap (1 vs the default 8): with Patterson
+//!   constants depth-1 should already capture everything (ΔT saturates);
+//! * **decay** — stack-distance histogram decay (cumulative vs tracking).
+
+use crate::config::{PolicySpec, SimConfig};
+use crate::experiments::{ExperimentOpts, TraceSet};
+use crate::report::{pct, Report};
+use crate::sweep::run_cells;
+
+/// Cache size for the ablations.
+pub const ABLATION_CACHE: usize = 1024;
+
+/// One report: rows = traces, columns = variants' miss rates.
+pub fn ablation(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
+    let cache = ABLATION_CACHE.min(*opts.cache_sizes.last().unwrap_or(&ABLATION_CACHE));
+
+    let base = SimConfig::new(cache, PolicySpec::Tree);
+    let mut variants: Vec<(&'static str, SimConfig)> = vec![("tree", base)];
+    variants.push(("reanchor", SimConfig::new(cache, PolicySpec::TreeReanchor)));
+    for x in [2u32, 4] {
+        let mut cfg = base;
+        cfg.engine.model.x = x;
+        variants.push((if x == 2 { "x=2" } else { "x=4" }, cfg));
+    }
+    {
+        let mut cfg = base;
+        cfg.engine.max_depth = 1;
+        variants.push(("depth=1", cfg));
+    }
+    {
+        let mut cfg = base;
+        cfg.engine.stack_decay = 1.0;
+        variants.push(("no-decay", cfg));
+    }
+
+    let mut cells = Vec::new();
+    for ti in 0..traces.traces.len() {
+        for (_, cfg) in &variants {
+            cells.push((ti, *cfg));
+        }
+    }
+    let results = run_cells(&traces.traces, &cells);
+
+    let mut cols = vec!["trace".to_string()];
+    cols.extend(variants.iter().map(|(n, _)| format!("miss%_{n}")));
+    let mut r = Report {
+        id: "ablation".into(),
+        title: format!("Ablations of the cost-benefit engine (tree policy, {cache}-block cache)"),
+        columns: cols,
+        rows: Vec::new(),
+        notes: vec![
+            "reanchor is the order-1 extension; the others perturb DESIGN.md §5 choices. \
+             With Patterson constants depth=1 should match the default (ΔT_pf saturates at \
+             one access period of compute)."
+                .into(),
+        ],
+    };
+    for (ti, (kind, _)) in traces.iter().enumerate() {
+        let mut row = vec![kind.name().to_string()];
+        for (vi, _) in variants.iter().enumerate() {
+            let cell = &results[ti * variants.len() + vi];
+            debug_assert_eq!(cell.trace_index, ti);
+            row.push(pct(cell.result.metrics.miss_rate()));
+        }
+        r.rows.push(row);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_covers_all_variants_and_traces() {
+        let opts = ExperimentOpts::quick();
+        let ts = TraceSet::generate(&opts);
+        let r = ablation(&ts, &opts);
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.columns.len(), 7); // trace + 6 variants
+    }
+
+    #[test]
+    fn depth_one_matches_default_with_patterson_constants() {
+        // ΔT_pf saturates at depth 1 when T_cpu > T_disk, so deeper
+        // frontier exploration can never find positive net benefit — the
+        // two variants must behave identically.
+        let opts = ExperimentOpts { refs: 20_000, ..ExperimentOpts::quick() };
+        let ts = TraceSet::generate(&opts);
+        let r = ablation(&ts, &opts);
+        let depth1_col = r.columns.iter().position(|c| c == "miss%_depth=1").unwrap();
+        let tree_col = r.columns.iter().position(|c| c == "miss%_tree").unwrap();
+        for row in &r.rows {
+            let a: f64 = row[tree_col].parse().unwrap();
+            let b: f64 = row[depth1_col].parse().unwrap();
+            assert!((a - b).abs() < 0.5, "{}: tree {a} vs depth1 {b}", row[0]);
+        }
+    }
+
+    #[test]
+    fn reanchor_never_hurts_clearly() {
+        let opts = ExperimentOpts { refs: 20_000, ..ExperimentOpts::quick() };
+        let ts = TraceSet::generate(&opts);
+        let r = ablation(&ts, &opts);
+        let re_col = r.columns.iter().position(|c| c == "miss%_reanchor").unwrap();
+        let tree_col = r.columns.iter().position(|c| c == "miss%_tree").unwrap();
+        for row in &r.rows {
+            let tree: f64 = row[tree_col].parse().unwrap();
+            let re: f64 = row[re_col].parse().unwrap();
+            assert!(re <= tree + 2.0, "{}: reanchor {re} much worse than tree {tree}", row[0]);
+        }
+    }
+}

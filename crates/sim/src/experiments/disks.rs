@@ -1,0 +1,123 @@
+//! Extension experiment: finite disks.
+//!
+//! The paper prices prefetching as if disks were infinite (Section 6.3:
+//! "we assume an infinite number of available disks and no wait time"),
+//! while noting that prefetching increased snake's disk traffic by up to
+//! 180% (Figure 8 discussion). This experiment closes the loop: the same
+//! policies run against a finite striped array, and the *virtual elapsed
+//! time* — not the miss rate, which barely changes — shows where prefetch
+//! traffic congests the disks.
+//!
+//! Run with `figures disks`.
+
+use crate::config::{PolicySpec, SimConfig};
+use crate::experiments::{ExperimentOpts, TraceSet};
+use crate::report::{f3, Report};
+use crate::sweep::run_cells;
+use prefetch_trace::synth::TraceKind;
+
+/// Disk counts swept (`0` encodes the paper's infinite-disk model).
+pub const DISK_COUNTS: [usize; 5] = [1, 2, 4, 16, 0];
+
+/// Cache size for the sweep.
+pub const DISKS_CACHE: usize = 1024;
+
+/// `T_cpu` for the sweep: congestion only matters when the workload is
+/// I/O-bound; at the paper's 50 ms the system is compute-bound and even
+/// one disk keeps up.
+pub const DISKS_T_CPU: f64 = 5.0;
+
+/// One report per trace in `{snake, cad}`: rows = policies, columns =
+/// elapsed ms per reference for each disk count.
+pub fn disks(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
+    let kinds = [TraceKind::Snake, TraceKind::Cad];
+    let policies = PolicySpec::HEADLINE;
+    let cache = DISKS_CACHE.min(*opts.cache_sizes.last().unwrap_or(&DISKS_CACHE));
+
+    let mut cells = Vec::new();
+    for kind in kinds {
+        let ti = trace_index(kind);
+        for &p in &policies {
+            for &n in &DISK_COUNTS {
+                let mut cfg = SimConfig::new(cache, p).with_t_cpu(DISKS_T_CPU);
+                if n > 0 {
+                    cfg = cfg.with_disks(n);
+                }
+                cells.push((ti, cfg));
+            }
+        }
+    }
+    let results = run_cells(&traces.traces, &cells);
+
+    kinds
+        .iter()
+        .map(|&kind| {
+            let ti = trace_index(kind);
+            let mut cols = vec!["policy".to_string()];
+            cols.extend(DISK_COUNTS.iter().map(|&n| {
+                if n == 0 { "disks=inf".into() } else { format!("disks={n}") }
+            }));
+            let mut r = Report {
+                id: format!("disks-{}", kind.name()),
+                title: format!(
+                    "Extension ({}): elapsed ms/ref vs number of disks ({cache}-block \
+                     cache, T_cpu = {DISKS_T_CPU} ms)",
+                    kind.name()
+                ),
+                columns: cols,
+                rows: Vec::new(),
+                notes: vec![
+                    "Expected shape: with few disks, aggressive prefetching queues behind \
+                     demand fetches and the elapsed-time advantage shrinks or inverts; with \
+                     many disks the paper's infinite-disk numbers are recovered."
+                        .into(),
+                ],
+            };
+            for &p in &policies {
+                let mut row = vec![p.name()];
+                for &n in &DISK_COUNTS {
+                    let cell = results
+                        .iter()
+                        .find(|c| {
+                            c.trace_index == ti
+                                && c.result.config.policy == p
+                                && c.result.config.disks.map_or(0, |d| d.num_disks)
+                                    == n
+                        })
+                        .expect("cell exists");
+                    let m = &cell.result.metrics;
+                    row.push(f3(m.elapsed_ms / m.refs as f64));
+                }
+                r.rows.push(row);
+            }
+            r
+        })
+        .collect()
+}
+
+fn trace_index(kind: TraceKind) -> usize {
+    TraceKind::ALL.iter().position(|&k| k == kind).expect("known kind")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disks_experiment_shapes() {
+        let opts = ExperimentOpts::quick();
+        let ts = TraceSet::generate(&opts);
+        let rs = disks(&ts, &opts);
+        assert_eq!(rs.len(), 2);
+        for r in &rs {
+            assert_eq!(r.rows.len(), 4); // headline policies
+            assert_eq!(r.columns.len(), DISK_COUNTS.len() + 1);
+            // More disks never make elapsed time worse (monotone
+            // congestion relief) for no-prefetch.
+            let np = &r.rows[0];
+            let one: f64 = np[1].parse().unwrap();
+            let inf: f64 = np[DISK_COUNTS.len()].parse().unwrap();
+            assert!(inf <= one + 1e-9, "{}: infinite disks slower than one", r.id);
+        }
+    }
+}

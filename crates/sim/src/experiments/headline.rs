@@ -1,0 +1,92 @@
+//! Figure 6: the headline comparison — miss rate vs cache size for
+//! `no-prefetch`, `next-limit`, `tree` and `tree-next-limit` on all four
+//! traces.
+
+use crate::config::{PolicySpec, SimConfig};
+use crate::experiments::{ExperimentOpts, TraceSet};
+use crate::report::{pct, Report};
+use crate::sweep::run_cells;
+
+/// One report per trace, columns: cache size then the four policies'
+/// miss rates in percent.
+pub fn fig6(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
+    let policies = PolicySpec::HEADLINE;
+    let mut cells = Vec::new();
+    for ti in 0..traces.traces.len() {
+        for &cache in &opts.cache_sizes {
+            for &p in &policies {
+                cells.push((ti, SimConfig::new(cache, p)));
+            }
+        }
+    }
+    let results = run_cells(&traces.traces, &cells);
+
+    let mut reports = Vec::new();
+    for (ti, (kind, _)) in traces.iter().enumerate() {
+        let mut r = Report::new(
+            format!("fig6-{}", kind.name()),
+            format!("Figure 6 ({}): miss rate (%) vs cache size", kind.name()),
+            &["cache_blocks", "no-prefetch", "next-limit", "tree", "tree-next-limit"],
+        );
+        for &cache in &opts.cache_sizes {
+            let mut row = vec![cache.to_string()];
+            for &p in &policies {
+                let cell = results
+                    .iter()
+                    .find(|c| {
+                        c.trace_index == ti
+                            && c.result.config.cache_blocks == cache
+                            && c.result.config.policy == p
+                    })
+                    .expect("cell exists");
+                row.push(pct(cell.result.metrics.miss_rate()));
+            }
+            r.push_row(row);
+        }
+        r.note(
+            "Paper shape: tree-next-limit lowest overall; next-limit ≈ no-prefetch on CAD; \
+             tree ≈ no-prefetch on sitar; tree+next-limit reductions are roughly additive.",
+        );
+        reports.push(r);
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_produces_four_reports_with_full_grid() {
+        let opts = ExperimentOpts::quick();
+        let ts = TraceSet::generate(&opts);
+        let reports = fig6(&ts, &opts);
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert_eq!(r.rows.len(), opts.cache_sizes.len());
+            assert_eq!(r.columns.len(), 5);
+            // Miss rates are valid percentages.
+            for row in &r.rows {
+                for cell in &row[1..] {
+                    let v: f64 = cell.parse().unwrap();
+                    assert!((0.0..=100.0).contains(&v), "{cell}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefetching_never_hurts_much_on_quick_traces() {
+        // The paper's headline claim at small scale: tree-next-limit's miss
+        // rate is at most no-prefetch's plus a small tolerance.
+        let opts = ExperimentOpts::quick();
+        let ts = TraceSet::generate(&opts);
+        for r in fig6(&ts, &opts) {
+            for row in &r.rows {
+                let base: f64 = row[1].parse().unwrap();
+                let tnl: f64 = row[4].parse().unwrap();
+                assert!(tnl <= base + 8.0, "{}: {row:?}", r.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 13: memory usage of the prefetch tree (Section 9.3) — the `tree`
+//! policy's miss rate, relative to `no-prefetch`, as the tree's node count
+//! is limited by LRU substring eviction. The paper finds ~32 K nodes
+//! (≈1.25 MB at 40 bytes/node) suffices for the CAD trace.
+
+use crate::config::{PolicySpec, SimConfig};
+use crate::experiments::{ExperimentOpts, TraceSet};
+use crate::report::{f3, Report};
+use crate::sweep::run_cells;
+use prefetch_trace::synth::TraceKind;
+
+/// Node limits swept (the paper's x-axis, 1 K to 128 K nodes, plus
+/// unlimited as reference).
+pub const NODE_LIMITS: [usize; 8] = [1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072];
+
+/// Cache sizes for the curves (one column per cache size).
+pub const FIG13_CACHES: [usize; 3] = [256, 1024, 4096];
+
+/// Report: node limit (and its paper-bytes equivalent) vs
+/// `miss(tree, limited) / miss(no-prefetch)` per cache size, CAD trace.
+pub fn fig13(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
+    let ti = TraceKind::ALL.iter().position(|&k| k == TraceKind::Cad).unwrap();
+    let caches: Vec<usize> = FIG13_CACHES
+        .iter()
+        .copied()
+        .filter(|c| *c <= *opts.cache_sizes.last().unwrap_or(&usize::MAX))
+        .collect();
+
+    let mut cells = Vec::new();
+    for &cache in &caches {
+        cells.push((ti, SimConfig::new(cache, PolicySpec::NoPrefetch)));
+        for &limit in &NODE_LIMITS {
+            cells.push((ti, SimConfig::new(cache, PolicySpec::Tree).with_node_limit(limit)));
+        }
+        cells.push((ti, SimConfig::new(cache, PolicySpec::Tree))); // unlimited
+    }
+    let results = run_cells(&traces.traces, &cells);
+    let find = |cache: usize, policy: PolicySpec, limit: usize| {
+        results
+            .iter()
+            .find(|c| {
+                c.result.config.cache_blocks == cache
+                    && c.result.config.policy == policy
+                    && c.result.config.engine.node_limit == limit
+            })
+            .expect("cell exists")
+            .result
+            .metrics
+            .miss_rate()
+    };
+
+    let mut cols = vec!["node_limit".to_string(), "approx_memory_kb".to_string()];
+    cols.extend(caches.iter().map(|c| format!("cache_{c}")));
+    let mut r = Report {
+        id: "fig13".into(),
+        title: "Figure 13: tree miss rate relative to no-prefetch vs tree node limit (CAD)"
+            .into(),
+        columns: cols,
+        rows: Vec::new(),
+        notes: vec![
+            "Cells are miss(tree, node-limited) / miss(no-prefetch); 40 bytes per node as in \
+             the paper. Paper shape: flattens by ~32K nodes (~1.25 MB)."
+                .into(),
+        ],
+    };
+    for &limit in NODE_LIMITS.iter().chain([usize::MAX].iter()) {
+        let label = if limit == usize::MAX { "unlimited".to_string() } else { limit.to_string() };
+        let kb = if limit == usize::MAX {
+            "-".to_string()
+        } else {
+            format!("{}", limit * 40 / 1024)
+        };
+        let mut row = vec![label, kb];
+        for &cache in &caches {
+            let base = find(cache, PolicySpec::NoPrefetch, usize::MAX);
+            let tree = find(cache, PolicySpec::Tree, limit);
+            row.push(if base > 0.0 { f3(tree / base) } else { "-".into() });
+        }
+        r.rows.push(row);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_covers_all_limits() {
+        let opts = ExperimentOpts::quick();
+        let ts = TraceSet::generate(&opts);
+        let r = fig13(&ts, &opts);
+        assert_eq!(r.rows.len(), NODE_LIMITS.len() + 1);
+        assert_eq!(r.rows.last().unwrap()[0], "unlimited");
+        // Memory column: 32768 nodes × 40 B = 1280 KB, the paper's ~1.25 MB.
+        let row_32k = r.rows.iter().find(|row| row[0] == "32768").unwrap();
+        assert_eq!(row_32k[1], "1280");
+    }
+
+    #[test]
+    fn limited_tree_is_no_better_than_unlimited() {
+        let opts = ExperimentOpts::quick();
+        let ts = TraceSet::generate(&opts);
+        let r = fig13(&ts, &opts);
+        // Relative miss of the smallest limit >= relative miss of
+        // unlimited (within noise): less memory can't help.
+        let first: f64 = r.rows.first().unwrap()[2].parse().unwrap();
+        let unlimited: f64 = r.rows.last().unwrap()[2].parse().unwrap();
+        assert!(first >= unlimited - 0.1, "1K-node tree beat unlimited: {first} vs {unlimited}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # prefetch-sim
+//!
+//! Trace-driven simulator for the SC'99 cost-benefit prefetching study:
+//! the driver loop that feeds a trace through a partitioned
+//! [`prefetch_cache::BufferCache`] under a [`prefetch_core::policy`]
+//! policy, the metrics the paper reports, rayon-parallel parameter sweeps,
+//! and the experiment implementations that regenerate every table and
+//! figure of the paper's evaluation (Section 9).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use prefetch_sim::{PolicySpec, SimConfig, run_simulation};
+//! use prefetch_trace::synth::TraceKind;
+//!
+//! let trace = TraceKind::Cad.generate(20_000, 42);
+//! let cfg = SimConfig::new(1024, PolicySpec::TreeNextLimit);
+//! let result = run_simulation(&trace, &cfg);
+//! assert!(result.metrics.miss_rate() < 1.0);
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use config::{PolicySpec, SimConfig};
+pub use metrics::SimMetrics;
+pub use runner::{run_simulation, SimResult};
+pub use sweep::{run_cells, SweepCell};

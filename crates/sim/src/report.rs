@@ -1,0 +1,163 @@
+//! Report formatting: CSV series and aligned markdown tables, the output
+//! format of the `figures` harness.
+
+use std::fmt::Write as _;
+
+/// A rectangular report: named columns, rows of cells, with a title and
+/// free-form notes (e.g. the paper-expected shape).
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Identifier, e.g. `"fig6"`.
+    pub id: String,
+    /// Human title, e.g. `"Figure 6: miss rate vs cache size"`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells, one `Vec` per row, same length as `columns`.
+    pub rows: Vec<Vec<String>>,
+    /// Notes appended to the rendering (paper comparison, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// A report with the given id/title and columns.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in report {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as CSV (header + rows; notes as trailing `#` comments).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        out
+    }
+
+    /// Render as an aligned markdown table with the title as a heading.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let pad = |s: &str, w: usize| format!("{s:<w$}");
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.columns.iter().zip(&widths).map(|(c, &w)| pad(c, w)).collect::<Vec<_>>().join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            widths.iter().map(|&w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().zip(&widths).map(|(c, &w)| pad(c, w)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+}
+
+/// Format a rate as a percentage with two decimals (paper style).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+/// Format a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("figX", "demo", &["cache", "miss%"]);
+        r.push_row(vec!["64".into(), "50.00".into()]);
+        r.push_row(vec!["128".into(), "40.00".into()]);
+        r.note("shape: decreasing");
+        r
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("cache,miss%\n64,50.00\n128,40.00\n"));
+        assert!(csv.contains("# shape: decreasing"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut r = Report::new("x", "t", &["a"]);
+        r.push_row(vec!["hello, \"world\"".into()]);
+        assert!(r.to_csv().contains("\"hello, \"\"world\"\"\""));
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### figX — demo"));
+        assert!(md.contains("| cache | miss% |"));
+        assert!(md.contains("> shape: decreasing"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("x", "t", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.1234), "12.34");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,283 @@
+//! Compact binary trace format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic    : 4 bytes  b"PFTR"
+//! version  : u16      (currently 1)
+//! meta_len : u32      length of the JSON-encoded TraceMeta
+//! meta     : meta_len bytes (same JSON as the text format's #!meta line)
+//! count    : u64      number of records
+//! records  : count × record
+//! ```
+//!
+//! Each record is a varint-encoded *zig-zag delta* from the previous block
+//! id, followed by a flags byte only when pid/kind differ from the previous
+//! record. The common case (same pid, read, small seek distance) costs 1-3
+//! bytes. Encoding detail: the low bit of the varint payload marks whether a
+//! flags byte follows, so `delta` is shifted left once more.
+
+use crate::io::text::{read_text, write_text};
+use crate::io::TraceIoError;
+use crate::record::{AccessKind, TraceRecord};
+use crate::Trace;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{Read, Write};
+
+const MAGIC: [u8; 4] = *b"PFTR";
+const VERSION: u16 = 1;
+
+/// Serialize `trace` in the binary format.
+pub fn write_binary<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceIoError> {
+    let mut header = BytesMut::with_capacity(64);
+    header.put_slice(&MAGIC);
+    header.put_u16_le(VERSION);
+
+    // Reuse the text format's meta JSON by writing a one-trace text header.
+    let meta_json = {
+        let mut buf = Vec::new();
+        let empty = Trace::from_records(trace.meta().clone(), Vec::new());
+        write_text(&empty, &mut buf).expect("in-memory write cannot fail");
+        let line = std::str::from_utf8(&buf).expect("meta is utf8");
+        line.trim_start_matches("#!meta ").trim_end().to_string()
+    };
+    header.put_u32_le(meta_json.len() as u32);
+    header.put_slice(meta_json.as_bytes());
+    header.put_u64_le(trace.len() as u64);
+    w.write_all(&header)?;
+
+    let mut body = BytesMut::with_capacity(trace.len() * 3);
+    let mut prev_block: u64 = 0;
+    let mut prev_pid: u32 = 0;
+    let mut prev_kind = AccessKind::Read;
+    for r in trace.records() {
+        let delta = zigzag_encode(r.block.0.wrapping_sub(prev_block) as i64);
+        let needs_flags = r.pid != prev_pid || r.kind != prev_kind;
+        // The tag bit pushes the payload to 65 bits, so the varint layer
+        // works in u128.
+        put_varint(&mut body, ((delta as u128) << 1) | needs_flags as u128);
+        if needs_flags {
+            let kind_bit = matches!(r.kind, AccessKind::Write) as u8;
+            body.put_u8(kind_bit);
+            put_varint(&mut body, r.pid as u128);
+        }
+        prev_block = r.block.0;
+        prev_pid = r.pid;
+        prev_kind = r.kind;
+        if body.len() >= 1 << 20 {
+            w.write_all(&body)?;
+            body.clear();
+        }
+    }
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserialize a binary trace.
+pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+
+    if buf.remaining() < 4 + 2 + 4 {
+        return Err(TraceIoError::Truncated { expected: 0, got: 0 });
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(TraceIoError::BadMagic { found: magic });
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion { found: version });
+    }
+    let meta_len = buf.get_u32_le() as usize;
+    if buf.remaining() < meta_len + 8 {
+        return Err(TraceIoError::Truncated { expected: 0, got: 0 });
+    }
+    let meta_json = std::str::from_utf8(&buf[..meta_len])
+        .map_err(|e| TraceIoError::BadMeta(e.to_string()))?
+        .to_string();
+    buf.advance(meta_len);
+    let count = buf.get_u64_le();
+
+    // Parse the meta via the text reader for a single source of truth.
+    let meta_line = format!("#!meta {meta_json}\n");
+    let meta = read_text(&mut std::io::BufReader::new(meta_line.as_bytes()))?
+        .meta()
+        .clone();
+
+    let mut trace = Trace::new(meta);
+    trace.reserve(count as usize);
+    let mut prev_block: u64 = 0;
+    let mut prev_pid: u32 = 0;
+    let mut prev_kind = AccessKind::Read;
+    for i in 0..count {
+        let tagged = get_varint(&mut buf).map_err(|_| TraceIoError::Truncated {
+            expected: count,
+            got: i,
+        })?;
+        let has_flags = tagged & 1 == 1;
+        let delta =
+            zigzag_decode(u64::try_from(tagged >> 1).map_err(|_| TraceIoError::BadVarint)?);
+        let block = prev_block.wrapping_add(delta as u64);
+        if has_flags {
+            if buf.remaining() < 1 {
+                return Err(TraceIoError::Truncated { expected: count, got: i });
+            }
+            let kind_bit = buf.get_u8();
+            prev_kind = if kind_bit & 1 == 1 { AccessKind::Write } else { AccessKind::Read };
+            let pid = get_varint(&mut buf).map_err(|_| TraceIoError::Truncated {
+                expected: count,
+                got: i,
+            })?;
+            prev_pid = u32::try_from(pid).map_err(|_| TraceIoError::BadVarint)?;
+        }
+        trace.push(TraceRecord { block: block.into(), pid: prev_pid, kind: prev_kind });
+        prev_block = block;
+    }
+    Ok(trace)
+}
+
+#[inline]
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u128) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u128, TraceIoError> {
+    let mut v: u128 = 0;
+    // 70 bits of shift covers the 65-bit tagged payload with margin.
+    for shift in (0..77).step_by(7) {
+        if buf.remaining() == 0 {
+            return Err(TraceIoError::BadVarint);
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u128) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(TraceIoError::BadVarint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceMeta;
+
+    fn round_trip(t: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_binary(t, &mut buf).unwrap();
+        read_binary(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u128, 1, 127, 128, 16383, 16384, u64::MAX as u128, (u64::MAX as u128) << 1 | 1] {
+            let mut b = BytesMut::new();
+            put_varint(&mut b, v);
+            let mut s: &[u8] = &b;
+            assert_eq!(get_varint(&mut s).unwrap(), v);
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut s: &[u8] = &[0x80, 0x80];
+        assert!(get_varint(&mut s).is_err());
+    }
+
+    #[test]
+    fn round_trips_records_and_meta() {
+        let mut t = Trace::new(TraceMeta {
+            name: "cello".into(),
+            description: "timesharing".into(),
+            l1_cache_bytes: Some(30 << 20),
+            seed: Some(1),
+        });
+        t.extend([
+            TraceRecord::read(100u64),
+            TraceRecord::read(101u64),
+            TraceRecord::write(50u64).with_pid(4),
+            TraceRecord::read(u64::MAX),
+            TraceRecord::read(0u64).with_pid(4),
+        ]);
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::empty();
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn sequential_runs_compress_well() {
+        let t = Trace::from_blocks(1_000_000u64..1_010_000);
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        // 10_000 sequential records should take ~1 byte each plus header.
+        assert!(buf.len() < 11_000, "binary size {} too large", buf.len());
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&Trace::from_blocks([1u64]), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_binary(&mut &buf[..]), Err(TraceIoError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn detects_bad_version() {
+        let mut buf = Vec::new();
+        write_binary(&Trace::from_blocks([1u64]), &mut buf).unwrap();
+        buf[4] = 0xff;
+        assert!(matches!(read_binary(&mut &buf[..]), Err(TraceIoError::BadVersion { .. })));
+    }
+
+    #[test]
+    fn detects_truncated_body() {
+        let mut buf = Vec::new();
+        write_binary(&Trace::from_blocks([1u64, 100, 10000, 42]), &mut buf).unwrap();
+        for cut in 1..8 {
+            let shorter = &buf[..buf.len() - cut];
+            let res = read_binary(&mut &shorter[..]);
+            assert!(res.is_err(), "cut {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn detects_truncated_header() {
+        let mut buf = Vec::new();
+        write_binary(&Trace::from_blocks([1u64]), &mut buf).unwrap();
+        let res = read_binary(&mut &buf[..5]);
+        assert!(res.is_err());
+    }
+}

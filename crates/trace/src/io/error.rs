@@ -1,0 +1,86 @@
+//! Error type for trace I/O.
+
+use std::fmt;
+
+/// Errors produced when reading or writing traces.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The binary header magic did not match.
+    BadMagic { found: [u8; 4] },
+    /// Unsupported binary format version.
+    BadVersion { found: u16 },
+    /// The file ended before the declared number of records was read.
+    Truncated { expected: u64, got: u64 },
+    /// A varint was malformed (too long or truncated).
+    BadVarint,
+    /// A text line could not be parsed.
+    BadLine { line_no: usize, line: String },
+    /// The metadata JSON header was malformed.
+    BadMeta(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::BadMagic { found } => {
+                write!(f, "bad trace magic {found:?}, expected b\"PFTR\"")
+            }
+            TraceIoError::BadVersion { found } => {
+                write!(f, "unsupported trace format version {found}")
+            }
+            TraceIoError::Truncated { expected, got } => {
+                write!(f, "truncated trace: header declared {expected} records, found {got}")
+            }
+            TraceIoError::BadVarint => write!(f, "malformed varint in trace stream"),
+            TraceIoError::BadLine { line_no, line } => {
+                write!(f, "unparsable trace line {line_no}: {line:?}")
+            }
+            TraceIoError::BadMeta(m) => write!(f, "malformed trace metadata: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TraceIoError::Truncated { expected: 10, got: 3 };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("3"));
+
+        let e = TraceIoError::BadLine { line_no: 7, line: "xyz".into() };
+        assert!(e.to_string().contains("7"));
+
+        let e = TraceIoError::BadMagic { found: *b"ABCD" };
+        assert!(e.to_string().contains("PFTR"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = TraceIoError::from(inner);
+        assert!(e.source().is_some());
+        assert!(matches!(e, TraceIoError::Io(_)));
+    }
+}

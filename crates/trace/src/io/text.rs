@@ -1,0 +1,211 @@
+//! Text trace format.
+//!
+//! One record per line: `<block> [pid] [R|W]`. Missing fields default to
+//! `pid = 0`, `R`. Lines starting with `#` are comments; a leading
+//! `#!meta ` comment carries the JSON-encoded [`crate::TraceMeta`].
+
+use crate::io::TraceIoError;
+use crate::record::{AccessKind, TraceRecord};
+use crate::{Trace, TraceMeta};
+use std::io::{BufRead, Write};
+
+const META_PREFIX: &str = "#!meta ";
+
+/// Serialize `trace` as text.
+pub fn write_text<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceIoError> {
+    let meta_json = meta_to_json(trace.meta());
+    writeln!(w, "{META_PREFIX}{meta_json}")?;
+    for r in trace.records() {
+        let kind = match r.kind {
+            AccessKind::Read => 'R',
+            AccessKind::Write => 'W',
+        };
+        writeln!(w, "{} {} {}", r.block.0, r.pid, kind)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parse a text trace.
+pub fn read_text<R: BufRead>(r: &mut R) -> Result<Trace, TraceIoError> {
+    let mut trace = Trace::empty();
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(meta_json) = trimmed.strip_prefix(META_PREFIX) {
+            *trace.meta_mut() = meta_from_json(meta_json)?;
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        trace.push(parse_line(trimmed, line_no)?);
+    }
+    Ok(trace)
+}
+
+fn parse_line(s: &str, line_no: usize) -> Result<TraceRecord, TraceIoError> {
+    let bad = || TraceIoError::BadLine { line_no, line: s.to_string() };
+    let mut parts = s.split_whitespace();
+    let block: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let pid: u32 = match parts.next() {
+        Some(p) => p.parse().map_err(|_| bad())?,
+        None => 0,
+    };
+    let kind = match parts.next() {
+        Some("R") | Some("r") | None => AccessKind::Read,
+        Some("W") | Some("w") => AccessKind::Write,
+        Some(_) => return Err(bad()),
+    };
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(TraceRecord { block: block.into(), pid, kind })
+}
+
+// Minimal hand-rolled JSON for TraceMeta so the text format has no
+// dependency on a JSON crate in this library's public path. The format is a
+// flat object with string/number/null fields.
+fn meta_to_json(m: &TraceMeta) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let l1 = m.l1_cache_bytes.map_or("null".to_string(), |v| v.to_string());
+    let seed = m.seed.map_or("null".to_string(), |v| v.to_string());
+    format!(
+        "{{\"name\":\"{}\",\"description\":\"{}\",\"l1_cache_bytes\":{},\"seed\":{}}}",
+        esc(&m.name),
+        esc(&m.description),
+        l1,
+        seed
+    )
+}
+
+fn meta_from_json(s: &str) -> Result<TraceMeta, TraceIoError> {
+    let mut meta = TraceMeta::default();
+    let body = s
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| TraceIoError::BadMeta(s.to_string()))?;
+    // Split on commas that are not inside strings.
+    let mut fields = Vec::new();
+    let mut depth_in_string = false;
+    let mut start = 0usize;
+    let bytes = body.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => depth_in_string = !depth_in_string,
+            b',' if !depth_in_string => {
+                fields.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < body.len() {
+        fields.push(&body[start..]);
+    }
+    for field in fields {
+        let (k, v) = field
+            .split_once(':')
+            .ok_or_else(|| TraceIoError::BadMeta(field.to_string()))?;
+        let key = k.trim().trim_matches('"');
+        let val = v.trim();
+        let unesc = |s: &str| s.replace("\\\"", "\"").replace("\\\\", "\\");
+        // Strip exactly one quote from each end; trim_matches would eat
+        // escaped quotes at the value's edges.
+        fn unquote(s: &str) -> &str {
+            s.strip_prefix('"').and_then(|t| t.strip_suffix('"')).unwrap_or(s)
+        }
+        match key {
+            "name" => meta.name = unesc(unquote(val)),
+            "description" => meta.description = unesc(unquote(val)),
+            "l1_cache_bytes" => {
+                meta.l1_cache_bytes = if val == "null" {
+                    None
+                } else {
+                    Some(val.parse().map_err(|_| TraceIoError::BadMeta(val.to_string()))?)
+                }
+            }
+            "seed" => {
+                meta.seed = if val == "null" {
+                    None
+                } else {
+                    Some(val.parse().map_err(|_| TraceIoError::BadMeta(val.to_string()))?)
+                }
+            }
+            _ => {} // forward compatible: ignore unknown keys
+        }
+    }
+    Ok(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip(t: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_text(t, &mut buf).unwrap();
+        read_text(&mut BufReader::new(&buf[..])).unwrap()
+    }
+
+    #[test]
+    fn round_trips_records_and_meta() {
+        let mut t = Trace::from_blocks([10u64, 11, 12, 5]);
+        t.meta_mut().name = "snake".into();
+        t.meta_mut().description = "file \"server\"".into();
+        t.meta_mut().l1_cache_bytes = Some(5 * 1024 * 1024);
+        t.meta_mut().seed = Some(99);
+        let back = round_trip(&t);
+        assert_eq!(&t, &back);
+    }
+
+    #[test]
+    fn parses_minimal_lines() {
+        let src = "#!meta {\"name\":\"\",\"description\":\"\",\"l1_cache_bytes\":null,\"seed\":null}\n# comment\n\n42\n43 7\n44 7 W\n";
+        let t = read_text(&mut BufReader::new(src.as_bytes())).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records()[0], TraceRecord::read(42u64));
+        assert_eq!(t.records()[1], TraceRecord::read(43u64).with_pid(7));
+        assert_eq!(t.records()[2].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn works_without_meta_line() {
+        let t = read_text(&mut BufReader::new("1\n2\n".as_bytes())).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.meta().name, "");
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        for bad in ["abc", "1 2 X", "1 2 R extra", "-5"] {
+            let res = read_text(&mut BufReader::new(bad.as_bytes()));
+            assert!(res.is_err(), "line {bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_meta() {
+        let res = read_text(&mut BufReader::new("#!meta not-json\n1\n".as_bytes()));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        let t = read_text(&mut BufReader::new("".as_bytes())).unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Multi-process interleaving of workload streams.
+
+use crate::synth::{Workload, ZipfSampler};
+use crate::TraceRecord;
+use rand::rngs::SmallRng;
+
+/// Interleaves several workload streams, picking the next stream with a
+/// weighted random choice and stamping each record with the stream's pid.
+/// Models concurrent processes sharing the disk on a timesharing system or
+/// clients sharing a file server.
+///
+/// Real multiprogrammed I/O is *bursty*: a scheduled process issues a run
+/// of requests before the next process gets the disk. [`Interleave`] models
+/// this with a mean burst length (default 1 = fully fine-grained): after
+/// choosing a stream it stays with it for a geometrically-distributed
+/// number of records.
+pub struct Interleave {
+    streams: Vec<(Box<dyn Workload + Send>, u32)>,
+    chooser: ZipfSampler,
+    /// probability of switching streams after each record (1/mean_burst)
+    switch_prob: f64,
+    current: usize,
+    started: bool,
+}
+
+impl Interleave {
+    /// Build from `(workload, weight, pid)` triples with fine-grained
+    /// (burst length 1) interleaving.
+    ///
+    /// # Panics
+    /// Panics if `streams` is empty or all weights are zero.
+    pub fn new(streams: Vec<(Box<dyn Workload + Send>, f64, u32)>) -> Self {
+        assert!(!streams.is_empty(), "need at least one stream");
+        let weights: Vec<f64> = streams.iter().map(|(_, w, _)| *w).collect();
+        let chooser = ZipfSampler::from_weights(&weights);
+        Interleave {
+            streams: streams.into_iter().map(|(w, _, pid)| (w, pid)).collect(),
+            chooser,
+            switch_prob: 1.0,
+            current: 0,
+            started: false,
+        }
+    }
+
+    /// Use geometric bursts with the given mean length (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `mean_burst < 1`.
+    pub fn with_burst(mut self, mean_burst: f64) -> Self {
+        assert!(mean_burst >= 1.0, "mean burst length must be >= 1");
+        self.switch_prob = 1.0 / mean_burst;
+        self
+    }
+}
+
+impl Workload for Interleave {
+    fn next_record(&mut self, rng: &mut SmallRng) -> TraceRecord {
+        use rand::Rng;
+        if !self.started || rng.gen::<f64>() < self.switch_prob {
+            self.current = self.chooser.sample(rng);
+            self.started = true;
+        }
+        let (stream, pid) = &mut self.streams[self.current];
+        stream.next_record(rng).with_pid(*pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SequentialRuns, UniformRandom};
+    use crate::TraceMeta;
+
+    #[test]
+    fn interleave_stamps_pids_with_given_weights() {
+        let streams: Vec<(Box<dyn Workload + Send>, f64, u32)> = vec![
+            (Box::new(SequentialRuns::new(0, 1000, 4, 8)), 3.0, 1),
+            (Box::new(UniformRandom::new(100_000, 1000)), 1.0, 2),
+        ];
+        let t = generate(Interleave::new(streams), 40_000, 6, TraceMeta::default());
+        let p1 = t.records().iter().filter(|r| r.pid == 1).count();
+        let p2 = t.records().iter().filter(|r| r.pid == 2).count();
+        assert_eq!(p1 + p2, 40_000);
+        let ratio = p1 as f64 / p2 as f64;
+        assert!((2.5..3.5).contains(&ratio), "weight ratio off: {ratio}");
+    }
+
+    #[test]
+    fn single_stream_passthrough() {
+        let streams: Vec<(Box<dyn Workload + Send>, f64, u32)> =
+            vec![(Box::new(UniformRandom::new(0, 10)), 1.0, 9)];
+        let t = generate(Interleave::new(streams), 100, 1, TraceMeta::default());
+        assert!(t.records().iter().all(|r| r.pid == 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn empty_streams_panics() {
+        Interleave::new(Vec::new());
+    }
+
+    #[test]
+    fn bursty_interleave_keeps_runs_together() {
+        let streams: Vec<(Box<dyn Workload + Send>, f64, u32)> = vec![
+            (Box::new(SequentialRuns::new(0, 100_000, 1000, 1000)), 1.0, 1),
+            (Box::new(SequentialRuns::new(1_000_000, 100_000, 1000, 1000)), 1.0, 2),
+        ];
+        let t = generate(
+            Interleave::new(streams).with_burst(32.0),
+            20_000,
+            8,
+            TraceMeta::default(),
+        );
+        // Mean pid-run length should be near the burst mean.
+        let recs = t.records();
+        let mut runs = 0usize;
+        for w in recs.windows(2) {
+            if w[0].pid != w[1].pid {
+                runs += 1;
+            }
+        }
+        // A "switch" re-picks uniformly between the two equal-weight
+        // streams, so half the switches stay put: expected observed run
+        // length is burst_mean / 0.5 = 64.
+        let mean_run = recs.len() as f64 / (runs + 1) as f64;
+        assert!((40.0..100.0).contains(&mean_run), "mean run {mean_run}");
+        // Bursts preserve trace-level sequentiality.
+        let blocks: Vec<_> = t.blocks().collect();
+        let seq = blocks.windows(2).filter(|w| w[0].is_successor(w[1])).count();
+        assert!(seq as f64 / blocks.len() as f64 > 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean burst")]
+    fn burst_below_one_panics() {
+        let streams: Vec<(Box<dyn Workload + Send>, f64, u32)> =
+            vec![(Box::new(UniformRandom::new(0, 10)), 1.0, 1)];
+        Interleave::new(streams).with_burst(0.5);
+    }
+}

@@ -1,0 +1,225 @@
+//! First-level-cache filtering.
+//!
+//! The cello and snake traces were captured at the *disk* level of systems
+//! with 30 MB and 5 MB file buffer caches: every reference that hit in that
+//! first-level cache is invisible in the trace (the paper calls this out as
+//! a limitation of Table 1). [`L1Filter`] reproduces the capture setup: it
+//! pulls references from an inner workload, simulates an LRU cache of the
+//! configured size, and emits only the *misses*.
+
+use crate::synth::Workload;
+use crate::{BlockId, TraceRecord};
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+
+/// A minimal O(1) LRU membership set used for first-level-cache filtering.
+///
+/// This is intentionally independent of the `prefetch-cache` crate (which
+/// depends on this crate); it tracks only membership and recency, not
+/// buffer contents.
+#[derive(Debug)]
+pub struct LruSet {
+    capacity: usize,
+    // index into `nodes` per resident block
+    map: HashMap<u64, usize>,
+    // doubly-linked list over a slab: (block, prev, next)
+    nodes: Vec<(u64, usize, usize)>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruSet {
+    /// An empty LRU set holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruSet capacity must be positive");
+        LruSet {
+            capacity,
+            map: HashMap::with_capacity(capacity + 1),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `block` is resident (does not touch recency).
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.map.contains_key(&block.0)
+    }
+
+    /// Reference `block`: returns `true` on a hit (moves it to the front),
+    /// `false` on a miss (inserts it, evicting the LRU block if full).
+    pub fn access(&mut self, block: BlockId) -> bool {
+        if let Some(&idx) = self.map.get(&block.0) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return true;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            let evicted = self.nodes[lru].0;
+            self.unlink(lru);
+            self.map.remove(&evicted);
+            self.free.push(lru);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = (block.0, NIL, NIL);
+                i
+            }
+            None => {
+                self.nodes.push((block.0, NIL, NIL));
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(block.0, idx);
+        self.push_front(idx);
+        false
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (_, prev, next) = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].2 = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].1 = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].1 = NIL;
+        self.nodes[idx].2 = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].1 = NIL;
+        self.nodes[idx].2 = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].1 = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// Emits only the inner workload's L1-cache misses.
+pub struct L1Filter<W> {
+    inner: W,
+    cache: LruSet,
+}
+
+impl<W: Workload> L1Filter<W> {
+    /// Filter `inner` through an LRU cache of `capacity_blocks` blocks.
+    pub fn new(inner: W, capacity_blocks: usize) -> Self {
+        L1Filter { inner, cache: LruSet::new(capacity_blocks) }
+    }
+}
+
+impl<W: Workload> Workload for L1Filter<W> {
+    fn next_record(&mut self, rng: &mut SmallRng) -> TraceRecord {
+        loop {
+            let r = self.inner.next_record(rng);
+            if !self.cache.access(r.block) {
+                return r;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SequentialRuns, UniformRandom};
+    use crate::TraceMeta;
+
+    #[test]
+    fn lru_set_hits_and_misses() {
+        let mut l = LruSet::new(2);
+        assert!(!l.access(BlockId(1))); // miss, insert
+        assert!(!l.access(BlockId(2))); // miss, insert
+        assert!(l.access(BlockId(1))); // hit, order now [1,2]
+        assert!(!l.access(BlockId(3))); // miss, evicts 2
+        assert!(!l.access(BlockId(2))); // 2 was evicted
+        assert!(l.access(BlockId(3))); // 3 resident
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn lru_set_capacity_one() {
+        let mut l = LruSet::new(1);
+        assert!(!l.access(BlockId(5)));
+        assert!(l.access(BlockId(5)));
+        assert!(!l.access(BlockId(6)));
+        assert!(!l.access(BlockId(5)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn lru_set_matches_reference_model() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut lru = LruSet::new(8);
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        for _ in 0..20_000 {
+            let b = rng.gen_range(0..32u64);
+            let expect_hit = model.contains(&b);
+            let hit = lru.access(BlockId(b));
+            assert_eq!(hit, expect_hit);
+            model.retain(|&x| x != b);
+            model.insert(0, b);
+            model.truncate(8);
+            assert_eq!(lru.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn filter_emits_only_misses() {
+        // A tiny looping workload over 4 blocks entirely fits an L1 of 8:
+        // after the first pass everything hits, so pulling more records
+        // from the filter would loop forever. Use a workload bigger than
+        // the cache instead and verify no immediate re-reference slips
+        // through.
+        let w = UniformRandom::new(0, 1000);
+        let filtered = L1Filter::new(w, 100);
+        let t = generate(filtered, 5000, 3, TraceMeta::default());
+        assert_eq!(t.len(), 5000);
+        // No emitted block may be among the 100 most recently emitted
+        // *distinct* blocks... approximately: directly repeated blocks are
+        // impossible.
+        let blocks: Vec<_> = t.blocks().collect();
+        assert!(blocks.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn filter_preserves_long_sequential_runs() {
+        // Sequential runs longer than the L1 pass through as misses in
+        // order — the reason cello still benefits from next-limit.
+        let w = SequentialRuns::new(0, 1_000_000, 64, 64);
+        let filtered = L1Filter::new(w, 16);
+        let t = generate(filtered, 10_000, 9, TraceMeta::default());
+        let blocks: Vec<_> = t.blocks().collect();
+        let seq = blocks.windows(2).filter(|w| w[0].is_successor(w[1])).count();
+        assert!(seq as f64 / blocks.len() as f64 > 0.9);
+    }
+}

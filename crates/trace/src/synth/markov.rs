@@ -1,0 +1,162 @@
+//! First-order Markov pattern workload.
+//!
+//! A random walk over a sparse transition graph whose states map to
+//! scattered block ids. Each state has a small out-degree with skewed
+//! transition weights, so the walk exhibits repeated-but-branching request
+//! patterns — the character of file-server traffic (snake) where clients
+//! re-issue similar request chains with variation.
+
+use crate::synth::{Workload, ZipfSampler};
+use crate::{BlockId, TraceRecord};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A first-order Markov chain over scattered blocks.
+#[derive(Clone, Debug)]
+pub struct MarkovPatterns {
+    /// block id per state
+    blocks: Vec<u64>,
+    /// per state: (successor states, transition sampler)
+    transitions: Vec<(Vec<u32>, ZipfSampler)>,
+    /// probability of teleporting to a uniform random state, keeping the
+    /// chain irreducible and injecting novelty
+    restart_rate: f64,
+    state: usize,
+}
+
+impl MarkovPatterns {
+    /// Build a random chain.
+    ///
+    /// * `states` — number of states;
+    /// * `out_degree` — successors per state;
+    /// * `skew` — Zipf exponent over a state's successors (higher = more
+    ///   deterministic walk, i.e. higher predictability);
+    /// * `restart_rate` — teleport probability per step;
+    /// * block ids are drawn scattered from
+    ///   `region_start..region_start+region_blocks`.
+    ///
+    /// # Panics
+    /// Panics on empty dimensions or `restart_rate` outside `[0,1)`.
+    pub fn random(
+        rng: &mut SmallRng,
+        states: usize,
+        out_degree: usize,
+        skew: f64,
+        restart_rate: f64,
+        region_start: u64,
+        region_blocks: u64,
+    ) -> Self {
+        assert!(states > 0 && out_degree > 0, "need positive states and out_degree");
+        assert!((0.0..1.0).contains(&restart_rate), "restart_rate must be in [0,1)");
+        assert!(region_blocks >= states as u64, "region must fit all states");
+        // Scattered distinct block ids: sample without replacement via a
+        // partial Fisher-Yates over the region offsets.
+        let mut offsets: Vec<u64> = Vec::with_capacity(states);
+        let mut seen = std::collections::HashSet::with_capacity(states);
+        while offsets.len() < states {
+            let o = rng.gen_range(0..region_blocks);
+            if seen.insert(o) {
+                offsets.push(o);
+            }
+        }
+        let blocks: Vec<u64> = offsets.iter().map(|o| region_start + o).collect();
+        let sampler = ZipfSampler::new(out_degree, skew);
+        let transitions = (0..states)
+            .map(|_| {
+                let succs: Vec<u32> =
+                    (0..out_degree).map(|_| rng.gen_range(0..states as u32)).collect();
+                (succs, sampler.clone())
+            })
+            .collect();
+        MarkovPatterns { blocks, transitions, restart_rate, state: 0 }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl Workload for MarkovPatterns {
+    fn next_record(&mut self, rng: &mut SmallRng) -> TraceRecord {
+        let block = BlockId(self.blocks[self.state]);
+        self.state = if rng.gen::<f64>() < self.restart_rate {
+            rng.gen_range(0..self.blocks.len())
+        } else {
+            let (succs, sampler) = &self.transitions[self.state];
+            succs[sampler.sample(rng)] as usize
+        };
+        TraceRecord::read(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::generate;
+    use crate::TraceMeta;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_visits_only_state_blocks() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = MarkovPatterns::random(&mut rng, 50, 3, 1.0, 0.05, 10_000, 100_000);
+        let all: std::collections::HashSet<u64> = m.blocks.iter().copied().collect();
+        assert_eq!(all.len(), 50, "states must map to distinct blocks");
+        let t = generate(m, 5000, 2, TraceMeta::default());
+        assert!(t.blocks().all(|b| all.contains(&b.0)));
+    }
+
+    #[test]
+    fn high_skew_walks_are_repetitive() {
+        // With strong skew each state almost always picks its top
+        // successor, so bigram repetition is high.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = MarkovPatterns::random(&mut rng, 200, 4, 3.0, 0.01, 0, 1_000_000);
+        let t = generate(m, 30_000, 4, TraceMeta::default());
+        let blocks: Vec<u64> = t.blocks().map(|b| b.0).collect();
+        let mut follows: std::collections::HashMap<u64, std::collections::HashMap<u64, usize>> =
+            Default::default();
+        for w in blocks.windows(2) {
+            *follows.entry(w[0]).or_default().entry(w[1]).or_insert(0) += 1;
+        }
+        // For each predecessor, the most common successor should dominate.
+        let mut dominated = 0usize;
+        let mut total = 0usize;
+        for (_, succ) in follows {
+            let sum: usize = succ.values().sum();
+            let max = succ.values().copied().max().unwrap_or(0);
+            if sum >= 20 {
+                total += 1;
+                if max as f64 / sum as f64 > 0.6 {
+                    dominated += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            dominated as f64 / total as f64 > 0.7,
+            "skewed walk not repetitive: {dominated}/{total}"
+        );
+    }
+
+    #[test]
+    fn restart_rate_injects_novel_transitions() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = MarkovPatterns::random(&mut rng, 100, 2, 2.0, 0.5, 0, 10_000);
+        let t = generate(m, 20_000, 6, TraceMeta::default());
+        // With 50% teleport the number of distinct bigrams should be much
+        // larger than states*out_degree.
+        let blocks: Vec<u64> = t.blocks().map(|b| b.0).collect();
+        let bigrams: std::collections::HashSet<(u64, u64)> =
+            blocks.windows(2).map(|w| (w[0], w[1])).collect();
+        assert!(bigrams.len() > 100 * 2 * 2, "only {} bigrams", bigrams.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "restart_rate")]
+    fn bad_restart_rate_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        MarkovPatterns::random(&mut rng, 10, 2, 1.0, 1.0, 0, 100);
+    }
+}

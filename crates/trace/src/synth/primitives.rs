@@ -1,0 +1,185 @@
+//! Primitive workloads: sequential runs, uniform random, and Zipf random.
+
+use crate::record::{BlockId, TraceRecord};
+use crate::synth::{Workload, ZipfSampler};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Sequential runs: pick a random start block in `region`, read
+/// `run_len_min..=run_len_max` consecutive blocks, then start a new run.
+/// Models file reads and large scans.
+#[derive(Clone, Debug)]
+pub struct SequentialRuns {
+    region_start: u64,
+    region_blocks: u64,
+    run_len_min: u32,
+    run_len_max: u32,
+    current: u64,
+    remaining: u32,
+}
+
+impl SequentialRuns {
+    /// A sequential-run workload over `region_start .. region_start + region_blocks`.
+    ///
+    /// # Panics
+    /// Panics if the region is empty or `run_len_min` is zero or exceeds
+    /// `run_len_max`.
+    pub fn new(region_start: u64, region_blocks: u64, run_len_min: u32, run_len_max: u32) -> Self {
+        assert!(region_blocks > 0, "region must be non-empty");
+        assert!(
+            run_len_min > 0 && run_len_min <= run_len_max,
+            "need 0 < run_len_min <= run_len_max"
+        );
+        SequentialRuns {
+            region_start,
+            region_blocks,
+            run_len_min,
+            run_len_max,
+            current: 0,
+            remaining: 0,
+        }
+    }
+}
+
+impl Workload for SequentialRuns {
+    fn next_record(&mut self, rng: &mut SmallRng) -> TraceRecord {
+        if self.remaining == 0 {
+            self.current = self.region_start + rng.gen_range(0..self.region_blocks);
+            self.remaining = rng.gen_range(self.run_len_min..=self.run_len_max);
+        }
+        let block = BlockId(self.current);
+        self.current = self.current.wrapping_add(1);
+        self.remaining -= 1;
+        TraceRecord::read(block)
+    }
+}
+
+/// Uniform random references over a block region. Models cache-hostile
+/// scattered traffic (e.g. paging, database index probes).
+#[derive(Clone, Debug)]
+pub struct UniformRandom {
+    region_start: u64,
+    region_blocks: u64,
+}
+
+impl UniformRandom {
+    /// Uniform references over `region_start .. region_start + region_blocks`.
+    ///
+    /// # Panics
+    /// Panics if the region is empty.
+    pub fn new(region_start: u64, region_blocks: u64) -> Self {
+        assert!(region_blocks > 0, "region must be non-empty");
+        UniformRandom { region_start, region_blocks }
+    }
+}
+
+impl Workload for UniformRandom {
+    fn next_record(&mut self, rng: &mut SmallRng) -> TraceRecord {
+        TraceRecord::read(BlockId(self.region_start + rng.gen_range(0..self.region_blocks)))
+    }
+}
+
+/// Zipf-skewed references over a set of hot blocks, with the mapping from
+/// rank to block id scattered (shuffled) so popularity does not imply
+/// adjacency. Models metadata and hot-file traffic.
+#[derive(Clone, Debug)]
+pub struct ZipfRandom {
+    blocks: Vec<u64>,
+    sampler: ZipfSampler,
+}
+
+impl ZipfRandom {
+    /// Zipf references over `n` blocks starting at `region_start` with
+    /// exponent `theta`; rank→block mapping is shuffled with `shuffle_rng`.
+    pub fn new(region_start: u64, n: usize, theta: f64, shuffle_rng: &mut SmallRng) -> Self {
+        let mut blocks: Vec<u64> = (region_start..region_start + n as u64).collect();
+        // Fisher-Yates so the hottest ranks land on scattered block ids.
+        for i in (1..blocks.len()).rev() {
+            let j = shuffle_rng.gen_range(0..=i);
+            blocks.swap(i, j);
+        }
+        ZipfRandom { blocks, sampler: ZipfSampler::new(n, theta) }
+    }
+}
+
+impl Workload for ZipfRandom {
+    fn next_record(&mut self, rng: &mut SmallRng) -> TraceRecord {
+        let rank = self.sampler.sample(rng);
+        TraceRecord::read(BlockId(self.blocks[rank]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::generate;
+    use crate::TraceMeta;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_runs_are_sequential() {
+        let w = SequentialRuns::new(1000, 10_000, 8, 8);
+        let t = generate(w, 800, 3, TraceMeta::default());
+        // Count adjacent successor pairs: 7 out of every 8 transitions
+        // within a run are sequential.
+        let blocks: Vec<_> = t.blocks().collect();
+        let seq = blocks.windows(2).filter(|w| w[0].is_successor(w[1])).count();
+        assert!(seq as f64 / (blocks.len() - 1) as f64 > 0.8, "seq fraction too low: {seq}");
+        // All blocks inside the region (runs may run past the end by run_len).
+        assert!(t.blocks().all(|b| b.0 >= 1000 && b.0 < 1000 + 10_000 + 8));
+    }
+
+    #[test]
+    fn sequential_run_lengths_in_bounds() {
+        let w = SequentialRuns::new(0, 1_000_000, 4, 16);
+        let t = generate(w, 5000, 11, TraceMeta::default());
+        let blocks: Vec<_> = t.blocks().collect();
+        let mut run = 1;
+        let mut max_run = 1;
+        for w in blocks.windows(2) {
+            if w[0].is_successor(w[1]) {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        // A run can be at most 16 (two runs colliding end-to-start is
+        // astronomically unlikely over a 1M-block region).
+        assert!(max_run <= 16, "run of length {max_run}");
+    }
+
+    #[test]
+    fn uniform_random_stays_in_region() {
+        let w = UniformRandom::new(500, 100);
+        let t = generate(w, 1000, 4, TraceMeta::default());
+        assert!(t.blocks().all(|b| b.0 >= 500 && b.0 < 600));
+        // Should touch a good fraction of the region.
+        let unique: std::collections::HashSet<_> = t.blocks().collect();
+        assert!(unique.len() > 80);
+    }
+
+    #[test]
+    fn zipf_random_is_skewed_and_scattered() {
+        let mut srng = SmallRng::seed_from_u64(2);
+        let w = ZipfRandom::new(0, 1000, 1.0, &mut srng);
+        let t = generate(w, 20_000, 5, TraceMeta::default());
+        let mut counts = std::collections::HashMap::new();
+        for b in t.blocks() {
+            *counts.entry(b).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        // Top block should dominate the mean strongly under Zipf(1.0).
+        assert!(max as f64 > 20.0 * (20_000.0 / 1000.0));
+        // Scattered: almost no sequential adjacency.
+        let blocks: Vec<_> = t.blocks().collect();
+        let seq = blocks.windows(2).filter(|w| w[0].is_successor(w[1])).count();
+        assert!((seq as f64) < 0.02 * blocks.len() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_region_panics() {
+        UniformRandom::new(0, 0);
+    }
+}

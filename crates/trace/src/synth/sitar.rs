@@ -1,0 +1,205 @@
+//! Synthetic **sitar**: file block traces of normal daily student usage
+//! (Griffioen & Appleton).
+//!
+//! Construction: a population of files laid out contiguously on disk. A
+//! session picks either a *hot* file (Zipf over a working set — editors,
+//! shells, mail reread the same files) or, with some probability, a fresh
+//! never-read file (new documents, man pages, builds), and reads it
+//! sequentially from the start, occasionally stopping early.
+//!
+//! Defining properties this reproduces (paper Sections 9.1, 9.4):
+//! * very high sequentiality → `next-limit` and `tree-next-limit` cut the
+//!   miss rate dramatically (paper: up to 73%);
+//! * high prediction accuracy (paper: 71.4%) **but** the predictable blocks
+//!   are mostly already cached (hot files), so plain `tree` performs about
+//!   like `no-prefetch` — the misses that remain are compulsory first reads
+//!   the tree has never seen;
+//! * high last-visited-child rate (paper: 73.6%).
+
+use crate::synth::Workload;
+use crate::{BlockId, Trace, TraceMeta, TraceRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthetic sitar trace.
+#[derive(Clone, Debug)]
+pub struct SitarConfig {
+    /// Number of references to emit.
+    pub refs: usize,
+    /// Number of hot (repeatedly read) files.
+    pub hot_files: usize,
+    /// Min/max file length in blocks.
+    pub file_blocks: (u32, u32),
+    /// Probability that a session opens a brand-new file instead of a hot
+    /// one. Drives the compulsory-miss stream that only one-block-lookahead
+    /// can absorb.
+    pub fresh_file_rate: f64,
+    /// Zipf exponent over hot-file popularity.
+    pub popularity_skew: f64,
+    /// Probability per block of abandoning the current file read early.
+    pub early_stop_rate: f64,
+    /// Probability that a finished session immediately re-reads the same
+    /// file (editor/compiler loops). These re-reads are what makes the
+    /// paper's sitar highly *predictable yet already cached*: the tree can
+    /// predict them, but the blocks are still resident, so the plain
+    /// `tree` policy gains almost nothing (Sections 9.1 and 9.4).
+    pub reread_rate: f64,
+}
+
+impl Default for SitarConfig {
+    fn default() -> Self {
+        SitarConfig {
+            refs: 400_000,
+            hot_files: 300,
+            file_blocks: (4, 48),
+            fresh_file_rate: 0.50,
+            popularity_skew: 0.8,
+            early_stop_rate: 0.02,
+            reread_rate: 0.80,
+        }
+    }
+}
+
+struct SitarWorkload {
+    cfg: SitarConfig,
+    /// (start block, length) of each hot file
+    hot: Vec<(u64, u32)>,
+    chooser: crate::synth::ZipfSampler,
+    /// next unallocated block for fresh files
+    next_fresh_start: u64,
+    /// current read position and remaining blocks
+    current: u64,
+    remaining: u32,
+    /// start/length of the file being read, for same-file re-reads
+    session_file: Option<(u64, u32)>,
+    pid: u32,
+}
+
+impl SitarWorkload {
+    fn new(cfg: SitarConfig, setup_rng: &mut SmallRng) -> Self {
+        assert!(cfg.hot_files > 0, "need at least one hot file");
+        assert!(
+            cfg.file_blocks.0 > 0 && cfg.file_blocks.0 <= cfg.file_blocks.1,
+            "bad file_blocks range"
+        );
+        // Lay hot files out contiguously with one-block gaps so files are
+        // internally sequential but not accidentally joined.
+        let mut hot = Vec::with_capacity(cfg.hot_files);
+        let mut next = 0u64;
+        for _ in 0..cfg.hot_files {
+            let len = setup_rng.gen_range(cfg.file_blocks.0..=cfg.file_blocks.1);
+            hot.push((next, len));
+            next += len as u64 + 1;
+        }
+        let chooser = crate::synth::ZipfSampler::new(cfg.hot_files, cfg.popularity_skew);
+        SitarWorkload {
+            hot,
+            chooser,
+            // Fresh files start far above the hot region.
+            next_fresh_start: next + 1_000_000,
+            current: 0,
+            remaining: 0,
+            session_file: None,
+            cfg,
+            pid: 1,
+        }
+    }
+
+    fn open_next_file(&mut self, rng: &mut SmallRng) {
+        // Same-file re-read (editor/compile loop): highly predictable AND
+        // cache-resident -- the combination behind sitar's Table 2 /
+        // Figure 14 numbers.
+        if let Some((start, len)) = self.session_file {
+            if rng.gen::<f64>() < self.cfg.reread_rate {
+                self.current = start;
+                self.remaining = len;
+                self.pid = 1;
+                return;
+            }
+        }
+        if rng.gen::<f64>() < self.cfg.fresh_file_rate {
+            let len = rng.gen_range(self.cfg.file_blocks.0..=self.cfg.file_blocks.1);
+            self.current = self.next_fresh_start;
+            self.remaining = len;
+            self.session_file = Some((self.next_fresh_start, len));
+            self.next_fresh_start += len as u64 + 1;
+            self.pid = 2; // fresh reads attributed to a different "user task"
+        } else {
+            let (start, len) = self.hot[self.chooser.sample(rng)];
+            self.current = start;
+            self.remaining = len;
+            self.session_file = Some((start, len));
+            self.pid = 1;
+        }
+    }
+}
+
+impl Workload for SitarWorkload {
+    fn next_record(&mut self, rng: &mut SmallRng) -> TraceRecord {
+        if self.remaining == 0 || rng.gen::<f64>() < self.cfg.early_stop_rate {
+            self.open_next_file(rng);
+        }
+        let block = BlockId(self.current);
+        self.current += 1;
+        self.remaining -= 1;
+        TraceRecord::read(block).with_pid(self.pid)
+    }
+}
+
+/// Generate the synthetic sitar trace.
+pub fn generate_sitar(cfg: &SitarConfig, seed: u64) -> Trace {
+    let mut setup_rng = SmallRng::seed_from_u64(seed ^ 0x517A2);
+    let workload = SitarWorkload::new(cfg.clone(), &mut setup_rng);
+    crate::synth::generate(
+        workload,
+        cfg.refs,
+        seed,
+        TraceMeta {
+            name: "sitar".into(),
+            description: "Synthetic: file block traces of normal daily usage of students".into(),
+            l1_cache_bytes: None,
+            seed: None,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn sitar_is_highly_sequential() {
+        let t = generate_sitar(&SitarConfig { refs: 50_000, ..Default::default() }, 1);
+        let s = TraceStats::compute(&t);
+        assert!(
+            s.sequential_fraction > 0.75,
+            "sitar must be highly sequential, got {}",
+            s.sequential_fraction
+        );
+    }
+
+    #[test]
+    fn sitar_mixes_hot_rereads_and_fresh_files() {
+        let t = generate_sitar(&SitarConfig { refs: 50_000, ..Default::default() }, 2);
+        let hot_refs = t.records().iter().filter(|r| r.pid == 1).count();
+        let fresh_refs = t.records().iter().filter(|r| r.pid == 2).count();
+        assert!(hot_refs > 0 && fresh_refs > 0);
+        // Fresh files are never re-read: each fresh block appears exactly once.
+        let mut fresh_seen = std::collections::HashSet::new();
+        for r in t.records().iter().filter(|r| r.pid == 2) {
+            assert!(fresh_seen.insert(r.block), "fresh block {:?} re-read", r.block);
+        }
+    }
+
+    #[test]
+    fn sitar_hot_files_reread() {
+        let t = generate_sitar(&SitarConfig { refs: 50_000, ..Default::default() }, 3);
+        let mut counts = std::collections::HashMap::new();
+        for r in t.records().iter().filter(|r| r.pid == 1) {
+            *counts.entry(r.block).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 10, "hot files should be re-read many times, max={max}");
+    }
+}

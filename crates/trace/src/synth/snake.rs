@@ -1,0 +1,157 @@
+//! Synthetic **snake**: disk-block trace from a file server, captured below
+//! a 5 MB file buffer cache (Ruemmler & Wilkes).
+//!
+//! Construction: client request chains modelled as skewed first-order
+//! Markov walks (clients re-issue similar request sequences with branching)
+//! plus sequential whole-file reads, filtered through a 5 MB (1280-block)
+//! L1 LRU. The small L1 leaves much more repeated structure in the miss
+//! stream than cello's 30 MB cache.
+//!
+//! Defining properties this reproduces (paper Sections 9.1, 9.4):
+//! * moderate prediction accuracy (paper: 61.5%);
+//! * both `tree` and `next-limit` reduce misses; `tree-next-limit` is
+//!   additive and best.
+
+use crate::synth::{
+    generate, Interleave, L1Filter, LoopReplay, SequentialRuns, UniformRandom, Workload,
+    BLOCK_BYTES,
+};
+use crate::{Trace, TraceMeta};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for the synthetic snake trace.
+#[derive(Clone, Debug)]
+pub struct SnakeConfig {
+    /// Number of (post-L1) references to emit.
+    pub refs: usize,
+    /// First-level cache size in bytes (paper: 5 MB).
+    pub l1_bytes: u64,
+    /// Total block space of the served file systems.
+    pub disk_blocks: u64,
+    /// Maximum length of a client's replayed request chain, in blocks.
+    /// Chains between 200 blocks and this length are generated; keep it
+    /// above the L1 block count so replays reach the disk-level trace.
+    pub max_chain_len: usize,
+    /// Number of request-replaying clients.
+    pub clients: u32,
+}
+
+impl Default for SnakeConfig {
+    fn default() -> Self {
+        SnakeConfig {
+            refs: 400_000,
+            l1_bytes: 5 << 20,
+            disk_blocks: 1_000_000,
+            max_chain_len: 1_200,
+            clients: 3,
+        }
+    }
+}
+
+/// Generate the synthetic snake trace.
+pub fn generate_snake(cfg: &SnakeConfig, seed: u64) -> Trace {
+    let mut setup_rng = SmallRng::seed_from_u64(seed ^ 0x57ABE);
+    let mut streams: Vec<(Box<dyn Workload + Send>, f64, u32)> = Vec::new();
+
+    // Clients replaying request chains: the same multi-file request
+    // sequences are served in the same order, run after run (think: the
+    // same applications started every morning, the same build or mail
+    // pipelines). Each chain is far larger than the 5 MB L1, so the L1
+    // evicts it between replays and the repeated order reaches the
+    // disk-level trace — this is what makes snake ~60% predictable.
+    let region = cfg.disk_blocks / (cfg.clients as u64 + 2);
+    for c in 0..cfg.clients {
+        let lib = LoopReplay::random_library(
+            &mut setup_rng,
+            8,
+            400,
+            cfg.max_chain_len.max(500),
+            c as u64 * region,
+            region,
+        );
+        streams.push((
+            Box::new(LoopReplay::new(lib, 0.8, 0.01, c as u64 * region, region)),
+            1.0,
+            c + 1,
+        ));
+    }
+    // Sequential whole-file reads (backup-like and large-file traffic).
+    streams.push((
+        Box::new(SequentialRuns::new(cfg.clients as u64 * region, region, 8, 128)),
+        2.2,
+        50,
+    ));
+    // Scattered one-off requests.
+    streams.push((
+        Box::new(UniformRandom::new((cfg.clients as u64 + 1) * region, region)),
+        0.25,
+        51,
+    ));
+
+    let l1_blocks = (cfg.l1_bytes / BLOCK_BYTES).max(1) as usize;
+    // Server request streams are bursty per client.
+    let workload = L1Filter::new(Interleave::new(streams).with_burst(32.0), l1_blocks);
+    generate(
+        workload,
+        cfg.refs,
+        seed,
+        TraceMeta {
+            name: "snake".into(),
+            description: "Synthetic: disk block traces from a file server (post-5MB L1)".into(),
+            l1_cache_bytes: Some(cfg.l1_bytes),
+            seed: None,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn snake_has_repeated_structure_and_sequential_runs() {
+        let t = generate_snake(&SnakeConfig { refs: 60_000, ..Default::default() }, 1);
+        let s = TraceStats::compute(&t);
+        // Sequential file reads survive.
+        assert!(
+            s.sequential_fraction > 0.15,
+            "sequential fraction: {}",
+            s.sequential_fraction
+        );
+        // Repeated request chains: blocks are re-referenced below the disk
+        // (unique fraction clearly below 1).
+        assert!(
+            (s.unique_blocks as f64) < 0.8 * s.refs as f64,
+            "no reuse: {} unique of {}",
+            s.unique_blocks,
+            s.refs
+        );
+        assert_eq!(t.meta().l1_cache_bytes, Some(5 << 20));
+    }
+
+    #[test]
+    fn snake_bigram_repetition_exceeds_cello() {
+        // The paper's Table 2 ordering (snake 61.5% predictable vs cello
+        // 35.8%) emerges once the request chains have replayed a few
+        // times, which needs trace length comparable to the chain library.
+        use crate::synth::{generate_cello, CelloConfig};
+        let snake = generate_snake(&SnakeConfig { refs: 150_000, ..Default::default() }, 3);
+        let cello = generate_cello(&CelloConfig { refs: 150_000, ..Default::default() }, 3);
+        let rep = |t: &crate::Trace| {
+            let blocks: Vec<u64> = t.blocks().map(|b| b.0).collect();
+            let mut seen = std::collections::HashSet::new();
+            let mut repeated = 0usize;
+            for w in blocks.windows(2) {
+                if !seen.insert((w[0], w[1])) {
+                    repeated += 1;
+                }
+            }
+            repeated as f64 / (blocks.len() - 1) as f64
+        };
+        let rs = rep(&snake);
+        let rc = rep(&cello);
+        assert!(rs > rc, "snake bigram repetition {rs:.3} <= cello {rc:.3}");
+    }
+}

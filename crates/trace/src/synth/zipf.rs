@@ -1,0 +1,188 @@
+//! Zipf-distributed sampling via Walker's alias method.
+//!
+//! Sampling is O(1) per draw after an O(n) setup, which matters because the
+//! trace generators draw hundreds of thousands of file/object ranks. Rank 0
+//! is the most popular item; rank `n-1` the least, with
+//! `P(rank = k) ∝ 1/(k+1)^theta`.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// O(1) sampler for a Zipf distribution over `0..n`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with exponent `theta > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `n > u32::MAX as usize`, or `theta` is not finite
+    /// and positive.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(n <= u32::MAX as usize, "ZipfSampler supports at most 2^32 ranks");
+        assert!(theta.is_finite() && theta > 0.0, "theta must be finite and positive");
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(theta)).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Build an alias table for arbitrary non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or all weights are zero/non-finite.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let total: f64 = weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0).sum();
+        assert!(total > 0.0, "weights must have positive finite mass");
+        let n = weights.len();
+        // Scaled probabilities; the alias construction partitions them into
+        // "small" (< 1) and "large" (>= 1) work lists.
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|w| if w.is_finite() && *w > 0.0 { w * n as f64 / total } else { 0.0 })
+            .collect();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        // Note: pop both lists only when both are non-empty; evaluating the
+        // pops inside a `while let` tuple would discard an element when one
+        // list runs dry.
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are all probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        ZipfSampler { prob, alias }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true; kept for API hygiene).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one rank in `0..len()`.
+    #[inline]
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = ZipfSampler::new(17, 0.9);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_zipf() {
+        let n = 10;
+        let theta = 1.0;
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0usize; n];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let norm: f64 = (0..n).map(|k| 1.0 / (k + 1) as f64).sum();
+        for (k, &c) in counts.iter().enumerate() {
+            let expected = (1.0 / (k + 1) as f64) / norm;
+            let observed = c as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: observed {observed:.4} expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = ZipfSampler::new(100, 0.8);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut zero = 0;
+        let mut ninetynine = 0;
+        for _ in 0..50_000 {
+            match z.sample(&mut rng) {
+                0 => zero += 1,
+                99 => ninetynine += 1,
+                _ => {}
+            }
+        }
+        assert!(zero > ninetynine * 5, "zipf skew missing: {zero} vs {ninetynine}");
+    }
+
+    #[test]
+    fn from_weights_respects_zero_weights() {
+        let z = ZipfSampler::from_weights(&[0.0, 1.0, 0.0, 3.0]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[3] > counts[1] * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite mass")]
+    fn all_zero_weights_panics() {
+        ZipfSampler::from_weights(&[0.0, 0.0]);
+    }
+}

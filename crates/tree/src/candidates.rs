@@ -1,0 +1,256 @@
+//! Prefetch-candidate enumeration.
+//!
+//! A candidate is a descendant of the parse cursor, carrying the path
+//! probability `p_b` (product of edge probabilities from the cursor), its
+//! parent's path probability `p_x`, and the distance `d_b` (edges from the
+//! cursor) — the three inputs the paper's benefit equation (Eq. 1) and
+//! overhead equation (Eq. 14) need.
+//!
+//! Enumeration is *incremental*: `prefetch-core` maintains a best-first
+//! frontier and calls [`PrefetchTree::child_candidates`] to expand a
+//! candidate's children only when the candidate itself has been settled
+//! (prefetched, or found already cached). This realizes the paper's
+//! "prefetch along multiple paths simultaneously" without materializing
+//! whole subtrees.
+
+use crate::node::NodeId;
+use crate::tree::PrefetchTree;
+use prefetch_trace::BlockId;
+
+/// A prefetch candidate below the parse cursor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    /// Tree node of the candidate block.
+    pub node: NodeId,
+    /// The candidate block.
+    pub block: BlockId,
+    /// Path probability `p_b` from the anchor (cursor) to this node.
+    pub probability: f64,
+    /// Path probability `p_x` of this node's parent (1.0 for direct
+    /// children of the anchor).
+    pub parent_probability: f64,
+    /// Distance `d_b`: edges from the anchor.
+    pub depth: u32,
+}
+
+impl PrefetchTree {
+    /// Candidates one edge below `node`.
+    ///
+    /// `base_probability` is the path probability of `node` itself
+    /// relative to the anchor (1.0 when `node` *is* the anchor), and
+    /// `base_depth` its distance from the anchor. Children with zero
+    /// probability (possible after weight-free structural nodes) are
+    /// skipped.
+    pub fn child_candidates(
+        &self,
+        node: NodeId,
+        base_probability: f64,
+        base_depth: u32,
+        out: &mut Vec<Candidate>,
+    ) {
+        let parent_weight = self.weight(node);
+        if parent_weight == 0 {
+            return;
+        }
+        for child in self.children(node) {
+            let p = base_probability * self.weight(child) as f64 / parent_weight as f64;
+            if p <= 0.0 {
+                continue;
+            }
+            out.push(Candidate {
+                node: child,
+                block: self.block(child).expect("children are never the root"),
+                probability: p,
+                parent_probability: base_probability,
+                depth: base_depth + 1,
+            });
+        }
+    }
+
+    /// Candidates one edge below `node` whose path probability is at least
+    /// `min_probability`, cheapest-first prune: children are stored sorted
+    /// by descending weight, so enumeration stops at the first child below
+    /// the cutoff. This keeps per-period work proportional to the number
+    /// of *useful* candidates even below a root with tens of thousands of
+    /// children.
+    pub fn child_candidates_pruned(
+        &self,
+        node: NodeId,
+        base_probability: f64,
+        base_depth: u32,
+        min_probability: f64,
+        out: &mut Vec<Candidate>,
+    ) {
+        let parent_weight = self.weight(node);
+        if parent_weight == 0 {
+            return;
+        }
+        for child in self.children(node) {
+            let p = base_probability * self.weight(child) as f64 / parent_weight as f64;
+            if p < min_probability || p <= 0.0 {
+                break; // children are weight-sorted: the rest are smaller
+            }
+            out.push(Candidate {
+                node: child,
+                block: self.block(child).expect("children are never the root"),
+                probability: p,
+                parent_probability: base_probability,
+                depth: base_depth + 1,
+            });
+        }
+    }
+
+    /// The `k` most probable candidates one edge below `node` — simply the
+    /// first `k` children, because children are stored sorted by weight.
+    /// Used by the `tree-children` baseline (Kroeger & Long).
+    pub fn child_candidates_topk(
+        &self,
+        node: NodeId,
+        base_probability: f64,
+        base_depth: u32,
+        k: usize,
+        out: &mut Vec<Candidate>,
+    ) {
+        let parent_weight = self.weight(node);
+        if parent_weight == 0 {
+            return;
+        }
+        for child in self.children(node).take(k) {
+            let p = base_probability * self.weight(child) as f64 / parent_weight as f64;
+            if p <= 0.0 {
+                break;
+            }
+            out.push(Candidate {
+                node: child,
+                block: self.block(child).expect("children are never the root"),
+                probability: p,
+                parent_probability: base_probability,
+                depth: base_depth + 1,
+            });
+        }
+    }
+
+    /// All candidates within `max_depth` edges of `anchor`, best-first by
+    /// probability. Convenience for analysis and the parametric baselines
+    /// (`tree-threshold`, `tree-children`); the cost-benefit policy uses
+    /// the incremental frontier instead.
+    pub fn candidates_below(
+        &self,
+        anchor: NodeId,
+        max_depth: u32,
+        max_candidates: usize,
+    ) -> Vec<Candidate> {
+        let mut frontier: Vec<Candidate> = Vec::new();
+        self.child_candidates(anchor, 1.0, 0, &mut frontier);
+        let mut result: Vec<Candidate> = Vec::new();
+        while let Some((i, _)) = frontier
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.probability.total_cmp(&b.1.probability))
+        {
+            let c = frontier.swap_remove(i);
+            if result.len() >= max_candidates {
+                break;
+            }
+            if c.depth < max_depth {
+                self.child_candidates(c.node, c.probability, c.depth, &mut frontier);
+            }
+            result.push(c);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_tree() -> PrefetchTree {
+        let mut t = PrefetchTree::new();
+        for b in [1u64, 1, 3, 1, 2, 1, 2, 1, 1, 2, 2, 2] {
+            t.record_access(BlockId(b));
+        }
+        t
+    }
+
+    #[test]
+    fn direct_children_probabilities() {
+        let t = fig1_tree();
+        let mut out = Vec::new();
+        t.child_candidates(t.root(), 1.0, 0, &mut out);
+        out.sort_by(|a, b| a.block.0.cmp(&b.block.0));
+        assert_eq!(out.len(), 2);
+        // a: 5/6, b: 1/6, both at depth 1 with parent probability 1.
+        assert_eq!(out[0].block, BlockId(1));
+        assert!((out[0].probability - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(out[0].parent_probability, 1.0);
+        assert_eq!(out[0].depth, 1);
+        assert_eq!(out[1].block, BlockId(2));
+        assert!((out[1].probability - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_probabilities_multiply() {
+        // Paper Figure 1(a): p(c at distance 2 from root) = (5/6)·(1/5) = 1/6.
+        let t = fig1_tree();
+        let cands = t.candidates_below(t.root(), 2, 100);
+        let c = cands.iter().find(|c| c.block == BlockId(3) && c.depth == 2).expect("c at d=2");
+        assert!((c.probability - 1.0 / 6.0).abs() < 1e-12);
+        assert!((c.parent_probability - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidates_below_is_best_first_and_bounded() {
+        let t = fig1_tree();
+        let cands = t.candidates_below(t.root(), 3, 3);
+        assert_eq!(cands.len(), 3);
+        // Non-increasing probability order.
+        for w in cands.windows(2) {
+            assert!(w[0].probability >= w[1].probability - 1e-12);
+        }
+        // The most probable candidate is node a (5/6).
+        assert_eq!(cands[0].block, BlockId(1));
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let t = fig1_tree();
+        for c in t.candidates_below(t.root(), 1, 100) {
+            assert_eq!(c.depth, 1);
+        }
+        for c in t.candidates_below(t.root(), 2, 100) {
+            assert!(c.depth <= 2);
+        }
+    }
+
+    #[test]
+    fn empty_below_leaf() {
+        let t = fig1_tree();
+        let a = t.child_by_block(t.root(), BlockId(1)).unwrap();
+        let c = t.child_by_block(a, BlockId(3)).unwrap();
+        assert!(t.candidates_below(c, 4, 10).is_empty());
+        let mut out = Vec::new();
+        t.child_candidates(c, 1.0, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+        let mut t = PrefetchTree::new();
+        for _ in 0..20_000 {
+            t.record_access(BlockId(rng.gen_range(0..30)));
+        }
+        let cands = t.candidates_below(t.root(), 5, 500);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.probability > 0.0 && c.probability <= 1.0 + 1e-12);
+            assert!(c.probability <= c.parent_probability + 1e-12);
+            assert!(c.depth >= 1);
+        }
+        // Direct children of the anchor sum to ≤ 1.
+        let sum: f64 = cands.iter().filter(|c| c.depth == 1).map(|c| c.probability).sum();
+        assert!(sum <= 1.0 + 1e-9, "children sum {sum}");
+    }
+}

@@ -1,0 +1,739 @@
+//! The prefetch tree proper: LZ78 parsing, weights, probabilities, and LRU
+//! node limiting.
+
+use crate::node::{Node, NodeId, NIL};
+use crate::stats::TreeStats;
+use prefetch_trace::BlockId;
+use std::collections::HashMap;
+
+/// What happened when an access was recorded — the per-reference signals
+/// behind the paper's Tables 2 and 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The block was present as a child of the cursor before the access
+    /// (the paper's definition of a *predictable* request, Section 9.4).
+    pub predictable: bool,
+    /// If the cursor node had a last-visited child, whether this access
+    /// repeated it (`None` when the node had no previous visit —
+    /// Section 9.6 / Table 3 counts only nodes with history).
+    pub lvc_repeat: Option<bool>,
+    /// A new node was created (the access ended a substring).
+    pub created_node: bool,
+    /// The parse returned to the root after this access.
+    pub reset: bool,
+}
+
+/// The LZ prefetch tree.
+///
+/// See the crate docs for semantics. All operations are O(1) amortized
+/// except candidate enumeration (proportional to candidates returned) and
+/// node eviction (bounded leaf scan).
+#[derive(Clone, Debug)]
+pub struct PrefetchTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// (parent index, block) → child index
+    edges: HashMap<(u32, u64), u32>,
+    /// parse position
+    cursor: u32,
+    /// true before the first access of a substring (root weight is bumped
+    /// lazily so it equals the number of substrings *started*)
+    fresh_substring: bool,
+    /// maximum live node count (root exempt); `usize::MAX` = unlimited
+    node_limit: usize,
+    /// intrusive LRU list over non-root nodes: head = MRU, tail = LRU
+    lru_head: u32,
+    lru_tail: u32,
+    stats: TreeStats,
+}
+
+impl Default for PrefetchTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefetchTree {
+    /// An unlimited tree.
+    pub fn new() -> Self {
+        Self::with_node_limit(usize::MAX)
+    }
+
+    /// A tree that holds at most `node_limit` non-root nodes, evicting the
+    /// least-recently-visited leaves when full (the paper's Section 9.3
+    /// memory-limiting scheme).
+    ///
+    /// # Panics
+    /// Panics if `node_limit == 0`.
+    pub fn with_node_limit(node_limit: usize) -> Self {
+        assert!(node_limit > 0, "node limit must be positive");
+        let root = Node::new(BlockId(u64::MAX), NIL, NIL);
+        PrefetchTree {
+            nodes: vec![root],
+            free: Vec::new(),
+            edges: HashMap::new(),
+            cursor: 0,
+            fresh_substring: true,
+            node_limit,
+            lru_head: NIL,
+            lru_tail: NIL,
+            stats: TreeStats::default(),
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The current parse position. Prefetch candidates are enumerated below
+    /// this node.
+    pub fn cursor(&self) -> NodeId {
+        NodeId(self.cursor)
+    }
+
+    /// Number of live nodes, excluding the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len() - 1
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// Visit count of a node.
+    pub fn weight(&self, n: NodeId) -> u64 {
+        self.nodes[n.0 as usize].weight
+    }
+
+    /// The block a node represents (`None` for the root).
+    pub fn block(&self, n: NodeId) -> Option<BlockId> {
+        if n.0 == 0 {
+            None
+        } else {
+            Some(self.nodes[n.0 as usize].block)
+        }
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        let p = self.nodes[n.0 as usize].parent;
+        if p == NIL {
+            None
+        } else {
+            Some(NodeId(p))
+        }
+    }
+
+    /// Number of children of a node.
+    pub fn child_count(&self, n: NodeId) -> usize {
+        self.nodes[n.0 as usize].children.len()
+    }
+
+    /// Iterate a node's children.
+    pub fn children(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[n.0 as usize].children.iter().map(|&c| NodeId(c))
+    }
+
+    /// The child of `n` representing `block`, if present.
+    pub fn child_by_block(&self, n: NodeId, block: BlockId) -> Option<NodeId> {
+        self.edges.get(&(n.0, block.0)).map(|&c| NodeId(c))
+    }
+
+    /// The child taken on the most recent visit to `n`.
+    pub fn last_visited_child(&self, n: NodeId) -> Option<NodeId> {
+        let c = self.nodes[n.0 as usize].last_visited_child;
+        if c == NIL {
+            None
+        } else {
+            Some(NodeId(c))
+        }
+    }
+
+    /// Conditional probability `weight(child) / weight(parent)` that
+    /// `child` follows `parent` (paper Section 2). Returns 0 for a
+    /// zero-weight parent.
+    pub fn child_probability(&self, parent: NodeId, child: NodeId) -> f64 {
+        debug_assert_eq!(self.nodes[child.0 as usize].parent, parent.0);
+        let pw = self.nodes[parent.0 as usize].weight;
+        if pw == 0 {
+            0.0
+        } else {
+            self.nodes[child.0 as usize].weight as f64 / pw as f64
+        }
+    }
+
+    /// Approximate resident memory of the tree, counting
+    /// 40 bytes (`Node::PAPER_BYTES`) per node the way the paper's Figure 13
+    /// does.
+    pub fn approx_memory_bytes(&self) -> usize {
+        self.node_count() * Node::PAPER_BYTES
+    }
+
+    /// Record one access and advance the parse. Returns the per-access
+    /// outcome used by the simulator's statistics.
+    pub fn record_access(&mut self, block: BlockId) -> AccessOutcome {
+        self.stats.accesses += 1;
+        if self.fresh_substring {
+            // Root weight counts substrings started.
+            self.nodes[0].weight += 1;
+            self.fresh_substring = false;
+        }
+        let cur = self.cursor;
+        let existing = self.edges.get(&(cur, block.0)).copied();
+
+        // Table 2: was the request predictable from the current position?
+        let predictable = existing.is_some();
+        if predictable {
+            self.stats.predictable += 1;
+        }
+
+        // Table 3: does this visit repeat the node's last-visited child?
+        let lvc = self.nodes[cur as usize].last_visited_child;
+        let lvc_repeat = if lvc != NIL {
+            self.stats.lvc_opportunities += 1;
+            let repeat = self.nodes[lvc as usize].block == block
+                && existing == Some(lvc);
+            if repeat {
+                self.stats.lvc_repeats += 1;
+            }
+            Some(repeat)
+        } else {
+            None
+        };
+
+        match existing {
+            Some(child) => {
+                self.increment_child_weight(cur, child);
+                self.nodes[cur as usize].last_visited_child = child;
+                self.cursor = child;
+                self.touch_lru(child);
+                AccessOutcome { predictable, lvc_repeat, created_node: false, reset: false }
+            }
+            None => {
+                let child = self.create_child(cur, block);
+                self.nodes[child as usize].weight = 1;
+                self.nodes[cur as usize].last_visited_child = child;
+                self.touch_lru(child);
+                // Novel access ends the substring: back to the root.
+                self.cursor = 0;
+                self.fresh_substring = true;
+                self.stats.resets += 1;
+                self.maybe_evict();
+                AccessOutcome { predictable, lvc_repeat, created_node: true, reset: true }
+            }
+        }
+    }
+
+    /// Reset the parse to the root without recording an access (used by
+    /// tests and by policies that re-anchor after trace discontinuities).
+    pub fn reset_cursor(&mut self) {
+        self.cursor = 0;
+        self.fresh_substring = true;
+    }
+
+    /// A *prediction anchor* for the current position: the cursor itself,
+    /// except right after an LZ reset, where the parse stands at the root
+    /// and has forgotten the block just accessed. Re-anchoring at the
+    /// root's child for `last_block` (the order-1 context) recovers
+    /// predictions across substring boundaries — an extension beyond the
+    /// paper (its Section 9.5/9.6 shows a large gap between `tree` and
+    /// `perfect-selector` that boundary blindness contributes to).
+    pub fn prediction_anchor(&self, last_block: BlockId) -> NodeId {
+        if self.cursor != 0 {
+            return NodeId(self.cursor);
+        }
+        self.child_by_block(NodeId(0), last_block).unwrap_or(NodeId(0))
+    }
+
+    /// Increment a child's weight, keeping the parent's child list sorted
+    /// by descending weight (candidate enumeration prunes on this order).
+    /// The child swaps with the leftmost member of its old weight class:
+    /// O(log k) via binary search, O(1) data movement.
+    fn increment_child_weight(&mut self, parent: u32, child: u32) {
+        let pos = self.nodes[child as usize].pos_in_parent as usize;
+        let w = self.nodes[child as usize].weight;
+        // Leftmost index in 0..=pos whose weight equals w (the weight
+        // class is contiguous because the list is sorted descending).
+        let class_start = {
+            let kids = &self.nodes[parent as usize].children;
+            let mut lo = 0usize;
+            let mut hi = pos;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if self.nodes[kids[mid] as usize].weight > w {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        if class_start != pos {
+            let kids = &mut self.nodes[parent as usize].children;
+            kids.swap(class_start, pos);
+            let other = kids[pos];
+            self.nodes[other as usize].pos_in_parent = pos as u32;
+            self.nodes[child as usize].pos_in_parent = class_start as u32;
+        }
+        self.nodes[child as usize].weight = w + 1;
+    }
+
+    fn create_child(&mut self, parent: u32, block: BlockId) -> u32 {
+        let pos = self.nodes[parent as usize].children.len() as u32;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node::new(block, parent, pos);
+                i
+            }
+            None => {
+                assert!(self.nodes.len() < NIL as usize, "prefetch tree arena overflow");
+                self.nodes.push(Node::new(block, parent, pos));
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.nodes[parent as usize].children.push(idx);
+        self.edges.insert((parent, block.0), idx);
+        self.stats.nodes_created += 1;
+        idx
+    }
+
+    /// Move `n` to the MRU end of the node LRU list.
+    fn touch_lru(&mut self, n: u32) {
+        debug_assert_ne!(n, 0, "root is not in the LRU list");
+        // Unlink if present.
+        let (prev, next) = (self.nodes[n as usize].lru_prev, self.nodes[n as usize].lru_next);
+        if prev != NIL || next != NIL || self.lru_head == n {
+            if prev != NIL {
+                self.nodes[prev as usize].lru_next = next;
+            } else {
+                self.lru_head = next;
+            }
+            if next != NIL {
+                self.nodes[next as usize].lru_prev = prev;
+            } else {
+                self.lru_tail = prev;
+            }
+        }
+        // Push front.
+        self.nodes[n as usize].lru_prev = NIL;
+        self.nodes[n as usize].lru_next = self.lru_head;
+        if self.lru_head != NIL {
+            self.nodes[self.lru_head as usize].lru_prev = n;
+        }
+        self.lru_head = n;
+        if self.lru_tail == NIL {
+            self.lru_tail = n;
+        }
+    }
+
+    fn unlink_lru(&mut self, n: u32) {
+        let (prev, next) = (self.nodes[n as usize].lru_prev, self.nodes[n as usize].lru_next);
+        if prev != NIL {
+            self.nodes[prev as usize].lru_next = next;
+        } else if self.lru_head == n {
+            self.lru_head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].lru_prev = prev;
+        } else if self.lru_tail == n {
+            self.lru_tail = prev;
+        }
+        self.nodes[n as usize].lru_prev = NIL;
+        self.nodes[n as usize].lru_next = NIL;
+    }
+
+    /// Enforce the node limit by evicting least-recently-visited leaves
+    /// (the paper maintains substrings in an LRU list and discards the
+    /// least recently used, Section 9.3).
+    fn maybe_evict(&mut self) {
+        const MAX_SCAN: usize = 64;
+        while self.node_count() > self.node_limit {
+            // Walk from the LRU end looking for an evictable leaf. The
+            // cursor node is pinned (the parse stands on it).
+            let mut candidate = self.lru_tail;
+            let mut scanned = 0;
+            let victim = loop {
+                if candidate == NIL {
+                    break NIL;
+                }
+                if scanned >= MAX_SCAN {
+                    break NIL;
+                }
+                let node = &self.nodes[candidate as usize];
+                if node.is_leaf() && candidate != self.cursor {
+                    break candidate;
+                }
+                candidate = node.lru_prev;
+                scanned += 1;
+            };
+            if victim != NIL {
+                self.remove_leaf(victim);
+                continue;
+            }
+            // Fallback (rare: LRU tail region is all-internal): evict the
+            // tail node's entire subtree, sparing the cursor's path.
+            let tail = self.lru_tail;
+            if tail == NIL || tail == self.cursor || self.is_ancestor(tail, self.cursor) {
+                // Nothing safely evictable; give up this round rather than
+                // loop forever. (Can only happen with tiny limits.)
+                return;
+            }
+            self.remove_subtree(tail);
+        }
+    }
+
+    /// Whether `a` is an ancestor of `b` (or equal).
+    fn is_ancestor(&self, a: u32, b: u32) -> bool {
+        let mut n = b;
+        while n != NIL {
+            if n == a {
+                return true;
+            }
+            n = self.nodes[n as usize].parent;
+        }
+        false
+    }
+
+    fn remove_leaf(&mut self, n: u32) {
+        debug_assert!(self.nodes[n as usize].is_leaf());
+        debug_assert_ne!(n, 0);
+        let parent = self.nodes[n as usize].parent;
+        let pos = self.nodes[n as usize].pos_in_parent as usize;
+        let block = self.nodes[n as usize].block;
+        // Shifting removal keeps the children sorted by weight; the
+        // shifted suffix needs its positions refreshed. Eviction only
+        // happens under a node limit, which also bounds the fan-out.
+        let kids = &mut self.nodes[parent as usize].children;
+        debug_assert_eq!(kids[pos], n);
+        kids.remove(pos);
+        let shifted: Vec<u32> = self.nodes[parent as usize].children[pos..].to_vec();
+        for (off, moved) in shifted.into_iter().enumerate() {
+            self.nodes[moved as usize].pos_in_parent = (pos + off) as u32;
+        }
+        if self.nodes[parent as usize].last_visited_child == n {
+            self.nodes[parent as usize].last_visited_child = NIL;
+        }
+        self.edges.remove(&(parent, block.0));
+        self.unlink_lru(n);
+        self.free.push(n);
+        self.stats.nodes_evicted += 1;
+    }
+
+    fn remove_subtree(&mut self, n: u32) {
+        // Depth-first removal, leaves first.
+        let mut stack = vec![n];
+        let mut order = Vec::new();
+        while let Some(x) = stack.pop() {
+            order.push(x);
+            stack.extend(self.nodes[x as usize].children.iter().copied());
+        }
+        for &x in order.iter().rev() {
+            self.remove_leaf(x);
+        }
+    }
+
+    /// Snapshot support: set the root weight on a freshly created tree.
+    pub(crate) fn restore_root_weight(&mut self, weight: u64) {
+        debug_assert_eq!(self.node_count(), 0, "restore into a fresh tree only");
+        self.nodes[0].weight = weight;
+    }
+
+    /// Snapshot support: append a child with an explicit weight. Children
+    /// must be appended in non-increasing weight order (the serialized
+    /// order); violations are reported, not panicked, so corrupt
+    /// snapshots fail cleanly.
+    pub(crate) fn restore_child(
+        &mut self,
+        parent: NodeId,
+        block: BlockId,
+        weight: u64,
+    ) -> Result<NodeId, &'static str> {
+        if self.edges.contains_key(&(parent.0, block.0)) {
+            return Err("duplicate child block");
+        }
+        if let Some(&last) = self.nodes[parent.0 as usize].children.last() {
+            if self.nodes[last as usize].weight < weight {
+                return Err("children not in descending weight order");
+            }
+        }
+        let idx = self.create_child(parent.0, block);
+        self.nodes[idx as usize].weight = weight;
+        self.touch_lru(idx);
+        // Snapshot restoration is not live training.
+        self.stats.nodes_created -= 1;
+        Ok(NodeId(idx))
+    }
+
+    /// Snapshot support: debug-verify a freshly restored tree.
+    pub(crate) fn check_restored(&self) {
+        #[cfg(debug_assertions)]
+        self.check_invariants();
+    }
+
+    /// Validate internal invariants (test support; O(nodes)).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut live = 0usize;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if self.free.contains(&(i as u32)) {
+                continue;
+            }
+            live += 1;
+            // Children sum ≤ weight; sorted by descending weight; edges
+            // map agrees.
+            let mut child_sum = 0u64;
+            let mut prev_weight = u64::MAX;
+            for (pos, &c) in n.children.iter().enumerate() {
+                let child = &self.nodes[c as usize];
+                assert_eq!(child.parent, i as u32, "parent link broken at {c}");
+                assert_eq!(child.pos_in_parent as usize, pos, "pos_in_parent broken at {c}");
+                assert_eq!(
+                    self.edges.get(&(i as u32, child.block.0)),
+                    Some(&c),
+                    "edge map broken at {c}"
+                );
+                assert!(child.weight <= prev_weight, "children not weight-sorted at {i}");
+                prev_weight = child.weight;
+                child_sum += child.weight;
+            }
+            assert!(
+                child_sum <= n.weight,
+                "children weight {child_sum} exceeds node weight {} at {i}",
+                n.weight
+            );
+        }
+        assert_eq!(live, self.node_count() + 1, "live node accounting broken");
+        assert_eq!(self.edges.len(), self.node_count(), "edge count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1(a): accesses (a)(ac)(ab)(aba)(abb)(b) with
+    /// a=1, b=2, c=3.
+    const FIG1_ACCESSES: [u64; 12] = [1, 1, 3, 1, 2, 1, 2, 1, 1, 2, 2, 2];
+
+    fn fig1_tree() -> PrefetchTree {
+        let mut t = PrefetchTree::new();
+        for b in FIG1_ACCESSES {
+            t.record_access(BlockId(b));
+        }
+        t
+    }
+
+    #[test]
+    fn paper_figure_1a_weights() {
+        let t = fig1_tree();
+        let root = t.root();
+        let a = t.child_by_block(root, BlockId(1)).expect("node a");
+        let b_root = t.child_by_block(root, BlockId(2)).expect("node b under root");
+        let c = t.child_by_block(a, BlockId(3)).expect("node c under a");
+        let ab = t.child_by_block(a, BlockId(2)).expect("node b under a");
+        let aba = t.child_by_block(ab, BlockId(1)).expect("node a under ab");
+        let abb = t.child_by_block(ab, BlockId(2)).expect("node b under ab");
+        assert_eq!(t.weight(a), 5);
+        assert_eq!(t.weight(b_root), 1);
+        assert_eq!(t.weight(c), 1);
+        assert_eq!(t.weight(ab), 3);
+        assert_eq!(t.weight(aba), 1);
+        assert_eq!(t.weight(abb), 1);
+        // 6 substrings → root weight 6.
+        assert_eq!(t.weight(root), 6);
+        assert_eq!(t.node_count(), 6);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn paper_figure_1b_after_b_from_root() {
+        // Figure 1(b): one more access of b from the root increments b.
+        let mut t = fig1_tree();
+        let out = t.record_access(BlockId(2));
+        assert!(out.predictable, "b is now a child of root");
+        assert!(!out.created_node);
+        let b_root = t.child_by_block(t.root(), BlockId(2)).unwrap();
+        assert_eq!(t.weight(b_root), 2);
+        assert_eq!(t.weight(t.root()), 7);
+        assert_eq!(t.cursor(), b_root);
+    }
+
+    #[test]
+    fn probabilities_follow_weights() {
+        let t = fig1_tree();
+        let root = t.root();
+        let a = t.child_by_block(root, BlockId(1)).unwrap();
+        let ab = t.child_by_block(a, BlockId(2)).unwrap();
+        assert!((t.child_probability(root, a) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((t.child_probability(a, ab) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substring_parse_matches_paper() {
+        // Count resets: one per substring = 6.
+        let mut t = PrefetchTree::new();
+        let mut resets = 0;
+        for b in FIG1_ACCESSES {
+            if t.record_access(BlockId(b)).reset {
+                resets += 1;
+            }
+        }
+        assert_eq!(resets, 6);
+        assert_eq!(t.stats().resets, 6);
+        assert_eq!(t.stats().nodes_created, 6);
+    }
+
+    #[test]
+    fn predictability_counting() {
+        let mut t = PrefetchTree::new();
+        // First pass over a,b,a,b creates nodes; second pass is partly
+        // predictable.
+        let mut predictable = 0;
+        for b in [1u64, 2, 1, 2, 1, 2] {
+            if t.record_access(BlockId(b)).predictable {
+                predictable += 1;
+            }
+        }
+        // Parse: (1)(2)(1 2)(1 2…)
+        //  1: root has no child 1 → not predictable, create, reset
+        //  2: root has no child 2 → not predictable, create, reset
+        //  1: root has child 1 → predictable, cursor=a
+        //  2: a has no child 2 → not predictable, create, reset
+        //  1: predictable (root child), cursor=a
+        //  2: a now has child 2 → predictable, cursor=ab
+        assert_eq!(predictable, 3);
+        assert_eq!(t.stats().predictable, 3);
+        assert_eq!(t.stats().accesses, 6);
+    }
+
+    #[test]
+    fn lvc_tracking() {
+        let mut t = PrefetchTree::new();
+        // root visits: each substring start. Pattern: 1,1,1 → substrings
+        // (1)(1 1)(1 …
+        let o1 = t.record_access(BlockId(1)); // create 1; root lvc=1
+        assert_eq!(o1.lvc_repeat, None); // root had no lvc yet
+        let o2 = t.record_access(BlockId(1)); // root→1 again: lvc repeat
+        assert_eq!(o2.lvc_repeat, Some(true));
+        let o3 = t.record_access(BlockId(1)); // at node 1: no lvc yet
+        assert_eq!(o3.lvc_repeat, None);
+        let o4 = t.record_access(BlockId(2)); // at root (reset): lvc=1, access 2
+        assert_eq!(o4.lvc_repeat, Some(false));
+        assert_eq!(t.stats().lvc_opportunities, 2);
+        assert_eq!(t.stats().lvc_repeats, 1);
+    }
+
+    #[test]
+    fn node_limit_evicts_lru_leaves() {
+        let mut t = PrefetchTree::with_node_limit(8);
+        // Stream of unique blocks: every access creates a root child leaf.
+        for b in 0..100u64 {
+            t.record_access(BlockId(b));
+        }
+        assert!(t.node_count() <= 8, "count {}", t.node_count());
+        assert_eq!(t.stats().nodes_created, 100);
+        assert_eq!(t.stats().nodes_evicted, 92);
+        t.check_invariants();
+        // The survivors are the most recent blocks.
+        for b in 96..100u64 {
+            assert!(
+                t.child_by_block(t.root(), BlockId(b)).is_some(),
+                "recent block {b} evicted"
+            );
+        }
+        assert!(t.child_by_block(t.root(), BlockId(0)).is_none());
+    }
+
+    #[test]
+    fn limited_tree_keeps_hot_paths() {
+        let mut t = PrefetchTree::with_node_limit(64);
+        // A hot repeated pattern plus unique noise.
+        for i in 0..2000u64 {
+            t.record_access(BlockId(1));
+            t.record_access(BlockId(2));
+            t.record_access(BlockId(3));
+            t.record_access(BlockId(1_000_000 + i)); // unique noise
+        }
+        t.check_invariants();
+        // The hot pattern keeps *some* presence in the tree (which hot
+        // block anchors a substring drifts with the LZ parse, so we only
+        // require at least one hot root child), while the unique noise
+        // leaves are what gets evicted.
+        let root = t.root();
+        let hot_children = [1u64, 2, 3]
+            .iter()
+            .filter(|&&b| t.child_by_block(root, BlockId(b)).is_some())
+            .count();
+        assert!(hot_children >= 1, "all hot blocks evicted from root");
+        assert!(t.node_count() <= 64);
+    }
+
+    #[test]
+    fn eviction_never_removes_cursor() {
+        let mut t = PrefetchTree::with_node_limit(2);
+        for b in 0..50u64 {
+            t.record_access(BlockId(b % 5));
+            // After each access the cursor must be a live node: touching
+            // it must not panic and invariants must hold.
+            let _ = t.cursor();
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn weights_equal_visit_counts_on_random_stream() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut t = PrefetchTree::new();
+        for _ in 0..5000 {
+            t.record_access(BlockId(rng.gen_range(0..20)));
+        }
+        t.check_invariants();
+        // Root weight equals substrings *started*: one per completed
+        // substring (reset) plus one if the parse stands mid-substring
+        // (the cursor is below the root exactly then).
+        let mid_substring = (t.cursor() != t.root()) as u64;
+        assert_eq!(t.weight(t.root()), t.stats().resets + mid_substring);
+    }
+
+    #[test]
+    fn prediction_anchor_recovers_context_after_reset() {
+        let mut t = PrefetchTree::new();
+        // Parse (1)(2)(1 2): after the final access the parse reset to
+        // root (node "1 2" was just created)... actually (1 2) completes
+        // without a reset only if the edge exists. Build: 1,2,1,2 →
+        // substrings (1)(2)(1 2), cursor at root after the last creation.
+        for b in [1u64, 2, 1, 2] {
+            t.record_access(BlockId(b));
+        }
+        assert_eq!(t.cursor(), t.root(), "parse should stand at root");
+        // Root-anchored prediction forgets that we just accessed 2; the
+        // anchor recovers the order-1 context: root's child for block 2.
+        let anchor = t.prediction_anchor(BlockId(2));
+        assert_ne!(anchor, t.root());
+        assert_eq!(t.block(anchor), Some(BlockId(2)));
+        // Unknown block: falls back to the root.
+        assert_eq!(t.prediction_anchor(BlockId(99)), t.root());
+        // Mid-substring the anchor IS the cursor.
+        t.record_access(BlockId(1));
+        assert_ne!(t.cursor(), t.root());
+        assert_eq!(t.prediction_anchor(BlockId(1)), t.cursor());
+    }
+
+    #[test]
+    fn reset_cursor_restarts_parse() {
+        let mut t = fig1_tree();
+        t.record_access(BlockId(1));
+        assert_ne!(t.cursor(), t.root());
+        t.reset_cursor();
+        assert_eq!(t.cursor(), t.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_node_limit_panics() {
+        PrefetchTree::with_node_limit(0);
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's motivating case for *predictive* (non-sequential)
+//! prefetching: a CAD tool whose object references have no block
+//! adjacency. One-block-lookahead is useless here; the prefetch tree
+//! learns the traversals.
+//!
+//! This example walks through what the tree actually learns: it prints
+//! prediction accuracy as training progresses, the most probable paths
+//! under the current cursor, and the resulting cache behaviour.
+//!
+//! ```text
+//! cargo run --release --example cad_workload
+//! ```
+
+use predictive_prefetch::prelude::*;
+
+fn main() {
+    let refs = 150_000;
+    let trace = TraceKind::Cad.generate(refs, 7);
+    println!("CAD-like workload: {} object references\n", trace.len());
+
+    // 1. Train a bare prefetch tree and watch accuracy converge.
+    println!("tree training (prediction accuracy over time):");
+    let mut tree = PrefetchTree::new();
+    let checkpoints = [1_000usize, 5_000, 20_000, 50_000, 100_000, 150_000];
+    let mut predictable = 0u64;
+    let mut seen = 0u64;
+    let mut next_cp = 0;
+    for r in trace.records() {
+        if tree.record_access(r.block).predictable {
+            predictable += 1;
+        }
+        seen += 1;
+        if next_cp < checkpoints.len() && seen as usize == checkpoints[next_cp] {
+            println!(
+                "  after {:>7} refs: {:>5.1}% predictable, {:>7} tree nodes (~{} KB)",
+                seen,
+                100.0 * predictable as f64 / seen as f64,
+                tree.node_count(),
+                tree.approx_memory_bytes() / 1024,
+            );
+            next_cp += 1;
+        }
+    }
+
+    // 2. Show the highest-probability paths below the cursor.
+    println!("\nmost probable continuations from the current position:");
+    let cands = tree.candidates_below(tree.cursor(), 3, 8);
+    if cands.is_empty() {
+        println!("  (cursor at a leaf — parse just reset)");
+    }
+    for c in cands {
+        println!(
+            "  block {:>8}  p = {:<6.3} at distance {}",
+            c.block, c.probability, c.depth
+        );
+    }
+
+    // 3. Full simulation: next-limit does nothing here, the tree helps.
+    println!("\ncache simulation (1024 blocks):");
+    for spec in [PolicySpec::NoPrefetch, PolicySpec::NextLimit, PolicySpec::Tree] {
+        let m = run_simulation(&trace, &SimConfig::new(1024, spec)).metrics;
+        println!(
+            "  {:<12} miss rate {:>5.1}%   prefetch-cache hit rate {:>5.1}%",
+            spec.name(),
+            100.0 * m.miss_rate(),
+            100.0 * m.prefetch_hit_rate(),
+        );
+    }
+    println!(
+        "\nThe sequential prefetcher cannot help a workload with no block adjacency;\n\
+         the probability tree can (paper Section 9.1, Figure 6 CAD panel)."
+    );
+}

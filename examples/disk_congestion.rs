@@ -1,0 +1,58 @@
+//! Beyond the paper: what happens to prefetching when disks are finite?
+//!
+//! The paper's model assumes infinitely many disks (Section 6.3), while
+//! observing that its own tree prefetcher raised snake's disk traffic by
+//! up to 180% (Figure 8). This example re-runs the headline policies
+//! against striped arrays of 1-16 disks and shows where prefetch traffic
+//! starts to queue behind demand fetches.
+//!
+//! ```text
+//! cargo run --release --example disk_congestion [trace] [refs]
+//! ```
+
+use predictive_prefetch::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let kind: TraceKind = args
+        .next()
+        .map(|s| s.parse().expect("trace must be cello|snake|cad|sitar"))
+        .unwrap_or(TraceKind::Snake);
+    let refs: usize = args.next().map(|s| s.parse().expect("refs")).unwrap_or(100_000);
+
+    let trace = kind.generate(refs, 77);
+    println!("{kind} workload, {refs} refs, 1024-block cache, T_cpu = 5 ms (I/O-bound)\n");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "policy", "disks", "miss %", "ms/ref", "queue ms/io", "disk util"
+    );
+    for spec in PolicySpec::HEADLINE {
+        for disks in [1usize, 2, 4, 16, 0] {
+            // I/O-bound regime: small T_cpu makes congestion visible.
+            let mut cfg = SimConfig::new(1024, spec).with_t_cpu(5.0);
+            if disks > 0 {
+                cfg = cfg.with_disks(disks);
+            }
+            let m = run_simulation(&trace, &cfg).metrics;
+            let queue_per_io = if m.disk_reads() > 0 {
+                m.disk_queue_ms / m.disk_reads() as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:<18} {:>10} {:>11.2}% {:>12.3} {:>12.3} {:>11.1}%",
+                spec.name(),
+                if disks == 0 { "inf".into() } else { disks.to_string() },
+                100.0 * m.miss_rate(),
+                m.elapsed_ms / m.refs as f64,
+                queue_per_io,
+                100.0 * m.disk_mean_utilization,
+            );
+        }
+        println!();
+    }
+    println!(
+        "With one disk, the prefetchers' extra traffic queues behind demand fetches;\n\
+         by ~4-16 disks the infinite-disk (paper-model) times are recovered."
+    );
+}

@@ -1,0 +1,53 @@
+//! How much memory does the prefetch tree need? (Paper Section 9.3 /
+//! Figure 13.) Sweeps the LRU node limit and reports the miss rate of the
+//! `tree` policy relative to `no-prefetch` on the CAD workload.
+//!
+//! ```text
+//! cargo run --release --example memory_budget [refs] [cache_blocks]
+//! ```
+
+use predictive_prefetch::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let refs: usize = args.next().map(|s| s.parse().expect("refs")).unwrap_or(150_000);
+    let cache: usize = args.next().map(|s| s.parse().expect("cache blocks")).unwrap_or(1024);
+
+    let trace = TraceKind::Cad.generate(refs, 9);
+    let base = run_simulation(&trace, &SimConfig::new(cache, PolicySpec::NoPrefetch))
+        .metrics
+        .miss_rate();
+    println!(
+        "CAD workload, {refs} refs, {cache}-block cache; no-prefetch miss rate {:.2}%\n",
+        100.0 * base
+    );
+    println!(
+        "{:>10} {:>11} {:>10} {:>16}",
+        "node limit", "memory", "miss %", "relative to base"
+    );
+    for limit in [512usize, 1024, 2048, 4096, 8192, 16384, 32768, 65536, usize::MAX] {
+        let cfg = if limit == usize::MAX {
+            SimConfig::new(cache, PolicySpec::Tree)
+        } else {
+            SimConfig::new(cache, PolicySpec::Tree).with_node_limit(limit)
+        };
+        let miss = run_simulation(&trace, &cfg).metrics.miss_rate();
+        let label =
+            if limit == usize::MAX { "unlimited".into() } else { format!("{limit}") };
+        let mem = if limit == usize::MAX {
+            "-".into()
+        } else {
+            // The paper budgets 40 bytes per node (Section 9.3).
+            format!("{} KB", limit * 40 / 1024)
+        };
+        println!(
+            "{label:>10} {mem:>11} {:>9.2}% {:>15.3}",
+            100.0 * miss,
+            if base > 0.0 { miss / base } else { f64::NAN },
+        );
+    }
+    println!(
+        "\nPaper finding: ~32K nodes (~1.25 MB) already achieve the unlimited tree's \
+         performance."
+    );
+}

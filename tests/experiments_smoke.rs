@@ -1,0 +1,71 @@
+//! Smoke tests of the full experiment registry: every table and figure
+//! regenerates at quick scale and renders to both output formats.
+
+use predictive_prefetch::prelude::*;
+use prefetch_sim::experiments::ALL_IDS;
+
+#[test]
+fn every_experiment_id_runs_and_renders() {
+    let opts = ExperimentOpts { refs: 3_000, seed: 1, cache_sizes: vec![64, 256] };
+    let traces = TraceSet::generate(&opts);
+    for id in ALL_IDS {
+        let reports = run_experiment(id, &traces, &opts);
+        assert!(!reports.is_empty(), "{id} produced no reports");
+        for r in &reports {
+            assert!(r.id.starts_with(id), "{id} report has id {}", r.id);
+            assert!(!r.rows.is_empty(), "{}: no rows", r.id);
+            let csv = r.to_csv();
+            assert!(csv.lines().count() > r.rows.len(), "{}: csv missing header", r.id);
+            let md = r.to_markdown();
+            assert!(md.contains(&r.id), "{}: markdown missing id", r.id);
+        }
+    }
+}
+
+#[test]
+fn run_all_covers_every_artifact_in_order() {
+    let opts = ExperimentOpts { refs: 3_000, seed: 2, cache_sizes: vec![64, 256] };
+    let traces = TraceSet::generate(&opts);
+    let reports = run_all(&traces, &opts);
+    // Every id appears at least once (figures with per-trace reports
+    // appear multiple times).
+    for id in ALL_IDS {
+        assert!(
+            reports.iter().any(|r| r.id.starts_with(id)),
+            "run_all missing {id}"
+        );
+    }
+    // Paper order: table1 first; the extension reports (ablation, disks)
+    // come after every paper artifact.
+    assert_eq!(reports.first().unwrap().id, "table1");
+    let table4_pos = reports.iter().position(|r| r.id == "table4").unwrap();
+    for r in &reports[table4_pos + 1..] {
+        assert!(
+            r.id.starts_with("ablation") || r.id.starts_with("disks"),
+            "unexpected report after table4: {}",
+            r.id
+        );
+    }
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let opts = ExperimentOpts { refs: 2_000, seed: 3, cache_sizes: vec![64] };
+    let t1 = TraceSet::generate(&opts);
+    let t2 = TraceSet::generate(&opts);
+    let a = run_experiment("fig6", &t1, &opts);
+    let b = run_experiment("fig6", &t2, &opts);
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.rows, rb.rows, "{} not deterministic", ra.id);
+    }
+}
+
+#[test]
+fn fig13_memory_column_matches_paper_node_size() {
+    let opts = ExperimentOpts { refs: 2_000, seed: 4, cache_sizes: vec![64, 256] };
+    let traces = TraceSet::generate(&opts);
+    let r = &run_experiment("fig13", &traces, &opts)[0];
+    // 32768 nodes × 40 bytes = 1.25 MB, the paper's headline number.
+    let row = r.rows.iter().find(|row| row[0] == "32768").expect("32K row");
+    assert_eq!(row[1], "1280");
+}

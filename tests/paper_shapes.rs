@@ -1,0 +1,166 @@
+//! Integration tests asserting the paper's *qualitative* findings hold on
+//! the synthetic workloads at moderate scale. These are the headline
+//! claims of Section 9; EXPERIMENTS.md records the quantitative detail.
+
+use predictive_prefetch::prelude::*;
+
+const REFS: usize = 60_000;
+const SEED: u64 = 2024;
+
+fn miss(trace: &Trace, cache: usize, spec: PolicySpec) -> f64 {
+    run_simulation(trace, &SimConfig::new(cache, spec)).metrics.miss_rate()
+}
+
+#[test]
+fn cad_next_limit_is_useless_but_tree_helps() {
+    // Paper Figure 6 (CAD): "the next-limit scheme performs no better than
+    // the no-prefetch scheme ... our tree-based prefetching scheme proves
+    // very successful in predicting non-sequential accesses".
+    let trace = TraceKind::Cad.generate(REFS, SEED);
+    let base = miss(&trace, 1024, PolicySpec::NoPrefetch);
+    let nl = miss(&trace, 1024, PolicySpec::NextLimit);
+    let tree = miss(&trace, 1024, PolicySpec::Tree);
+    assert!(
+        (nl - base).abs() < 0.03,
+        "next-limit should match no-prefetch on CAD: {nl:.3} vs {base:.3}"
+    );
+    assert!(
+        tree < base - 0.02,
+        "tree should clearly beat no-prefetch on CAD: {tree:.3} vs {base:.3}"
+    );
+}
+
+#[test]
+fn sitar_next_limit_dominates_and_tree_alone_adds_little() {
+    // Paper Figure 6 (sitar): next-limit cuts misses dramatically; the
+    // basic tree algorithm performs about like no-prefetch.
+    let trace = TraceKind::Sitar.generate(REFS, SEED);
+    let base = miss(&trace, 4096, PolicySpec::NoPrefetch);
+    let nl = miss(&trace, 4096, PolicySpec::NextLimit);
+    let tree = miss(&trace, 4096, PolicySpec::Tree);
+    assert!(
+        nl < 0.65 * base,
+        "next-limit should cut sitar misses sharply: {nl:.3} vs {base:.3}"
+    );
+    assert!(
+        tree > base - 0.35 * base,
+        "tree alone should not rival next-limit on sitar: tree {tree:.3}, base {base:.3}"
+    );
+    assert!(nl < tree, "next-limit must beat plain tree on sitar");
+}
+
+#[test]
+fn tree_next_limit_is_best_or_tied_everywhere() {
+    // Paper: "With one exception, tree-next-limit has the lowest miss rate
+    // for all traces and cache sizes." We allow a small tolerance.
+    for kind in TraceKind::ALL {
+        let trace = kind.generate(REFS, SEED);
+        for cache in [256usize, 4096] {
+            let tnl = miss(&trace, cache, PolicySpec::TreeNextLimit);
+            for other in [PolicySpec::NoPrefetch, PolicySpec::NextLimit, PolicySpec::Tree] {
+                let m = miss(&trace, cache, other);
+                assert!(
+                    tnl <= m + 0.03,
+                    "{kind}/{cache}: tree-next-limit {tnl:.3} worse than {} {m:.3}",
+                    other.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reductions_are_roughly_additive_on_cello_and_snake() {
+    // Paper Section 9.1: the reduction of tree-next-limit vs no-prefetch is
+    // approximately the sum of the individual reductions.
+    for kind in [TraceKind::Cello, TraceKind::Snake] {
+        let trace = kind.generate(REFS, SEED);
+        let base = miss(&trace, 1024, PolicySpec::NoPrefetch);
+        let nl = base - miss(&trace, 1024, PolicySpec::NextLimit);
+        let tree = base - miss(&trace, 1024, PolicySpec::Tree);
+        let tnl = base - miss(&trace, 1024, PolicySpec::TreeNextLimit);
+        let sum = nl + tree;
+        assert!(
+            (tnl - sum).abs() < 0.45 * sum.max(0.05),
+            "{kind}: combined reduction {tnl:.3} far from additive {sum:.3}"
+        );
+    }
+}
+
+#[test]
+fn perfect_selector_shows_selection_headroom() {
+    // Paper Figure 15: perfect-selector reduces miss rates considerably
+    // below tree on every trace.
+    for kind in TraceKind::ALL {
+        let trace = kind.generate(REFS, SEED);
+        let tree = miss(&trace, 1024, PolicySpec::Tree);
+        let oracle = miss(&trace, 1024, PolicySpec::PerfectSelector);
+        assert!(
+            oracle <= tree + 0.01,
+            "{kind}: oracle {oracle:.3} should not lose to tree {tree:.3}"
+        );
+    }
+}
+
+#[test]
+fn tree_lvc_matches_tree() {
+    // Paper Section 9.6: "no noticeable difference in the miss rates of
+    // tree-lvc and tree" — because the last-visited children are almost
+    // always already cached.
+    for kind in [TraceKind::Cad, TraceKind::Sitar] {
+        let trace = kind.generate(REFS, SEED);
+        let tree = miss(&trace, 1024, PolicySpec::Tree);
+        let lvc = miss(&trace, 1024, PolicySpec::TreeLvc);
+        assert!(
+            (tree - lvc).abs() < 0.05,
+            "{kind}: tree-lvc {lvc:.3} differs from tree {tree:.3}"
+        );
+    }
+}
+
+#[test]
+fn cost_benefit_matches_best_parametric_baseline() {
+    // Paper Section 9.7 / Figure 17: tree ≈ the best hand-tuned
+    // tree-threshold / tree-children, without tuning.
+    for kind in [TraceKind::Cello, TraceKind::Snake] {
+        let trace = kind.generate(REFS, SEED);
+        let tree = miss(&trace, 1024, PolicySpec::Tree);
+        let best_param = [0.2, 0.05, 0.008]
+            .iter()
+            .map(|&t| miss(&trace, 1024, PolicySpec::TreeThreshold(t)))
+            .chain([1usize, 3, 10].iter().map(|&k| miss(&trace, 1024, PolicySpec::TreeChildren(k))))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            tree <= best_param + 0.06,
+            "{kind}: tree {tree:.3} far behind best parametric {best_param:.3}"
+        );
+    }
+}
+
+#[test]
+fn prediction_accuracy_ordering_matches_table2() {
+    // Table 2: sitar and CAD and snake clearly above cello.
+    let mut acc = std::collections::HashMap::new();
+    for kind in TraceKind::ALL {
+        let trace = kind.generate(REFS, SEED);
+        let stats = predictive_prefetch::tree::stats::analyze_blocks(trace.blocks(), usize::MAX);
+        acc.insert(kind.name(), stats.prediction_accuracy());
+    }
+    assert!(acc["cad"] > acc["cello"] + 0.1, "{acc:?}");
+    assert!(acc["sitar"] > acc["cello"] + 0.1, "{acc:?}");
+    assert!(acc["snake"] > acc["cello"], "{acc:?}");
+}
+
+#[test]
+fn lvc_ordering_matches_table3() {
+    // Table 3: CAD and sitar around 70%, cello lowest.
+    let mut lvc = std::collections::HashMap::new();
+    for kind in TraceKind::ALL {
+        let trace = kind.generate(REFS, SEED);
+        let stats = predictive_prefetch::tree::stats::analyze_blocks(trace.blocks(), usize::MAX);
+        lvc.insert(kind.name(), stats.lvc_repeat_rate());
+    }
+    assert!(lvc["cad"] > lvc["cello"], "{lvc:?}");
+    assert!(lvc["sitar"] > lvc["cello"], "{lvc:?}");
+    assert!(lvc["sitar"] > lvc["snake"], "{lvc:?}");
+}

@@ -1,0 +1,76 @@
+//! End-to-end trace pipeline: generate → save → load → simulate must be
+//! equivalent to simulating the in-memory trace, for both formats; and the
+//! failure-injection paths must error cleanly.
+
+use predictive_prefetch::prelude::*;
+use predictive_prefetch::trace::io;
+
+fn tmp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pf-pipeline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn simulate_from_disk_equals_simulate_in_memory() {
+    let dir = tmp_dir();
+    for (kind, ext) in [(TraceKind::Cad, "trc"), (TraceKind::Sitar, "txt")] {
+        let trace = kind.generate(5_000, 11);
+        let path = dir.join(format!("{}.{ext}", kind.name()));
+        io::save(&trace, &path).unwrap();
+        let loaded = io::load(&path).unwrap();
+        assert_eq!(loaded.meta().name, trace.meta().name);
+
+        let cfg = SimConfig::new(256, PolicySpec::TreeNextLimit);
+        let a = run_simulation(&trace, &cfg);
+        let b = run_simulation(&loaded, &cfg);
+        assert_eq!(a.metrics, b.metrics, "{kind}/{ext}");
+    }
+}
+
+#[test]
+fn corrupt_binary_traces_error_not_panic() {
+    let trace = TraceKind::Cad.generate(500, 1);
+    let mut buf = Vec::new();
+    io::write_binary(&trace, &mut buf).unwrap();
+
+    // Truncations at every length must fail or yield a valid prefix —
+    // never panic.
+    for cut in [1usize, 7, 13, buf.len() / 2, buf.len() - 1] {
+        let shorter = &buf[..buf.len().saturating_sub(cut)];
+        let _ = io::read_binary(&mut &shorter[..]);
+    }
+    // Bit flips in the header must be detected.
+    for i in 0..6 {
+        let mut corrupt = buf.clone();
+        corrupt[i] ^= 0xff;
+        assert!(
+            io::read_binary(&mut &corrupt[..]).is_err(),
+            "header byte {i} corruption accepted"
+        );
+    }
+}
+
+#[test]
+fn text_format_survives_hand_edits() {
+    // Users hand-edit text traces; comments and blank lines are fine,
+    // garbage is rejected with a line number.
+    let src = "# my experiment\n100\n101\n\n# gap\n102 4 W\n";
+    let t = io::read_text(&mut std::io::BufReader::new(src.as_bytes())).unwrap();
+    assert_eq!(t.len(), 3);
+
+    let bad = "100\noops\n";
+    let err = io::read_text(&mut std::io::BufReader::new(bad.as_bytes())).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+}
+
+#[test]
+fn stats_survive_round_trip() {
+    let dir = tmp_dir();
+    let trace = TraceKind::Snake.generate(8_000, 5);
+    let before = TraceStats::compute(&trace);
+    let path = dir.join("snake.trc");
+    io::save(&trace, &path).unwrap();
+    let after = TraceStats::compute(&io::load(&path).unwrap());
+    assert_eq!(before, after);
+}
