@@ -35,15 +35,12 @@ fn bench_buffer_cache(c: &mut Criterion) {
             let mut cache = BufferCache::new(1024);
             let mut misses = 0u64;
             for &blk in &blocks {
-                match cache.reference(blk) {
-                    prefetch_cache::buffer_cache::RefOutcome::Miss => {
-                        if cache.is_full() {
-                            cache.evict_demand_lru();
-                        }
-                        cache.insert_demand(blk);
-                        misses += 1;
+                if matches!(cache.reference(blk), prefetch_cache::buffer_cache::RefOutcome::Miss) {
+                    if cache.is_full() {
+                        cache.evict_demand_lru();
                     }
-                    _ => {}
+                    cache.insert_demand(blk);
+                    misses += 1;
                 }
             }
             black_box(misses)
@@ -56,9 +53,10 @@ fn bench_buffer_cache(c: &mut Criterion) {
                 let blk = BlockId(i % 512);
                 if !cache.contains(blk) {
                     if cache.is_full() {
-                        cache.evict_prefetch_lru().map(|_| ()).or_else(|| {
-                            cache.evict_demand_lru().map(|_| ())
-                        });
+                        cache
+                            .evict_prefetch_lru()
+                            .map(|_| ())
+                            .or_else(|| cache.evict_demand_lru().map(|_| ()));
                     }
                     cache.insert_prefetch(blk, PrefetchMeta::default());
                 }

@@ -19,14 +19,10 @@ fn bench_policies(c: &mut Criterion) {
             PolicySpec::Tree,
             PolicySpec::TreeNextLimit,
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(spec.name(), kind.name()),
-                &trace,
-                |b, t| {
-                    let cfg = SimConfig::new(1024, spec);
-                    b.iter(|| black_box(run_simulation(t, &cfg).metrics.miss_rate()))
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(spec.name(), kind.name()), &trace, |b, t| {
+                let cfg = SimConfig::new(1024, spec);
+                b.iter(|| black_box(run_simulation(t, &cfg).metrics.miss_rate()))
+            });
         }
     }
     g.finish();

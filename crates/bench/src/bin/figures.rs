@@ -55,7 +55,7 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    const EXTENSIONS: [&str; 2] = ["ablation", "disks"];
+    const EXTENSIONS: [&str; 3] = ["ablation", "disks", "resilience"];
     if id != "all" && !EXTENSIONS.contains(&id.as_str()) && !ALL_IDS.contains(&id.as_str()) {
         return Err(format!(
             "unknown experiment {id:?}; known: all, {}, {}",

@@ -190,6 +190,14 @@ impl BufferCache {
         Some(meta)
     }
 
+    /// Cancel a prefetch whose disk read failed: the reserved buffer is
+    /// released and the block is simply not resident. Mechanically an
+    /// [`Self::evict_prefetch`], named separately so fault-handling call
+    /// sites read as cancellations rather than replacement decisions.
+    pub fn cancel_prefetch(&mut self, block: BlockId) -> Option<PrefetchMeta> {
+        self.evict_prefetch(block)
+    }
+
     /// Evict the oldest (least recently inserted) prefetched block.
     pub fn evict_prefetch_lru(&mut self) -> Option<(BlockId, PrefetchMeta)> {
         let (b, meta) = self.prefetch.pop_lru()?;
@@ -307,6 +315,19 @@ mod tests {
         let (b, m) = c.evict_prefetch_lru().unwrap();
         assert_eq!(b, BlockId(1));
         assert_eq!(m.probability, 0.1);
+    }
+
+    #[test]
+    fn cancel_prefetch_releases_the_slot() {
+        let mut c = BufferCache::new(2);
+        c.insert_prefetch(BlockId(4), meta(0.7, 1));
+        assert!(c.is_full() || c.free_buffers() == 1);
+        let m = c.cancel_prefetch(BlockId(4)).expect("slot was reserved");
+        assert_eq!(m.probability, 0.7);
+        assert!(!c.contains(BlockId(4)));
+        assert_eq!(c.free_buffers(), 2);
+        // Cancelling a block with no slot is a no-op.
+        assert_eq!(c.cancel_prefetch(BlockId(4)), None);
     }
 
     #[test]

@@ -157,11 +157,8 @@ impl StackDistanceEstimator {
 
     /// Rebuild the timeline, remapping live slots to 0..live_count.
     fn compact(&mut self) {
-        let mut live_slots: Vec<(u32, u64)> = self
-            .last_access
-            .iter()
-            .map(|(&block, &slot)| (slot, block))
-            .collect();
+        let mut live_slots: Vec<(u32, u64)> =
+            self.last_access.iter().map(|(&block, &slot)| (slot, block)).collect();
         live_slots.sort_unstable();
         let needed = (live_slots.len() * 2).max(Self::INITIAL_TIMELINE);
         self.live = FenwickTree::new(needed);
@@ -213,10 +210,7 @@ mod tests {
         for n in [1, 2, 8, 64, 256, 1024, 4096] {
             let got = e.hit_rate(n);
             let expect = oracle.hit_rate(n);
-            assert!(
-                (got - expect).abs() < 1e-9,
-                "H({n}): got {got}, expected {expect}"
-            );
+            assert!((got - expect).abs() < 1e-9, "H({n}): got {got}, expected {expect}");
         }
         assert!((e.cold_fraction() - oracle.cold as f64 / oracle.total as f64).abs() < 1e-9);
     }
@@ -295,10 +289,7 @@ mod tests {
         }
         let integral: f64 = (1..=64).map(|n| e.marginal_hit_rate(n)).sum();
         let h = e.hit_rate(64);
-        assert!(
-            (integral - h).abs() < 0.15,
-            "sum of marginals {integral} vs H(64) {h}"
-        );
+        assert!((integral - h).abs() < 0.15, "sum of marginals {integral} vs H(64) {h}");
     }
 
     #[test]

@@ -22,9 +22,10 @@
 use crate::model::{CostBenefitModel, ModelConfig};
 use crate::params::SystemParams;
 use crate::policy::{PeriodActivity, Victim};
+use crate::resilience::Quarantine;
 use prefetch_cache::{BufferCache, PrefetchMeta, StackDistanceEstimator};
-use prefetch_tree::{AccessOutcome, Candidate, PrefetchTree};
 use prefetch_trace::BlockId;
+use prefetch_tree::{AccessOutcome, Candidate, PrefetchTree};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
@@ -101,6 +102,7 @@ pub struct CostBenefitEngine {
     cfg: EngineConfig,
     period: u64,
     scratch: Vec<Candidate>,
+    quarantine: Quarantine,
 }
 
 impl CostBenefitEngine {
@@ -118,6 +120,7 @@ impl CostBenefitEngine {
             cfg,
             period: 0,
             scratch: Vec::new(),
+            quarantine: Quarantine::default(),
         }
     }
 
@@ -139,6 +142,24 @@ impl CostBenefitEngine {
     /// Current access period.
     pub fn period(&self) -> u64 {
         self.period
+    }
+
+    /// The fault quarantine (read access for diagnostics).
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// A prefetch read of `block` failed on the disk array. Returns `true`
+    /// if the failure pushed the block into quarantine, after which
+    /// [`Self::prefetch_round`] stops re-issuing it until a successful
+    /// read clears it.
+    pub fn note_prefetch_fault(&mut self, block: BlockId) -> bool {
+        self.quarantine.record_failure(block)
+    }
+
+    /// A read of `block` succeeded; clears any quarantine record.
+    pub fn note_read_success(&mut self, block: BlockId) {
+        self.quarantine.record_success(block);
     }
 
     /// Record the reference in the H(n) estimator and the prefetch tree.
@@ -171,7 +192,7 @@ impl CostBenefitEngine {
             let elapsed = self.period.saturating_sub(meta.issued_at);
             let remaining = (meta.distance as u64).saturating_sub(elapsed) as u32;
             let c = self.model.prefetch_eject_cost(meta.probability, remaining);
-            if best_pr.map_or(true, |(_, bc)| c < bc) {
+            if best_pr.is_none_or(|(_, bc)| c < bc) {
                 best_pr = Some((b, c));
             }
         }
@@ -206,7 +227,7 @@ impl CostBenefitEngine {
             let elapsed = self.period.saturating_sub(meta.issued_at);
             let remaining = (meta.distance as u64).saturating_sub(elapsed) as u32;
             let c = self.model.prefetch_eject_cost(meta.probability, remaining);
-            if best_pr.map_or(true, |(_, bc)| c < bc) {
+            if best_pr.is_none_or(|(_, bc)| c < bc) {
                 best_pr = Some((b, c));
             }
         }
@@ -243,10 +264,7 @@ impl CostBenefitEngine {
         // Enumerate only children that could possibly have positive net
         // benefit (children are weight-sorted, so this is O(useful), not
         // O(fan-out) — the root can have tens of thousands of children).
-        let cutoff = self
-            .model
-            .min_useful_probability(1.0, 1)
-            .max(self.cfg.min_probability);
+        let cutoff = self.model.min_useful_probability(1.0, 1).max(self.cfg.min_probability);
         self.tree.child_candidates_pruned(anchor, 1.0, 0, cutoff, &mut self.scratch);
         for cand in self.scratch.drain(..) {
             let net = self.model.net_benefit(cand.probability, cand.depth, cand.parent_probability);
@@ -256,8 +274,7 @@ impl CostBenefitEngine {
         let mut issued: u32 = 0;
         let mut considered: u32 = 0;
         while let Some(entry) = frontier.pop() {
-            if issued >= self.cfg.max_per_period
-                || considered >= self.cfg.max_considered_per_period
+            if issued >= self.cfg.max_per_period || considered >= self.cfg.max_considered_per_period
             {
                 break;
             }
@@ -276,6 +293,14 @@ impl CostBenefitEngine {
             }
             considered += 1;
             act.candidates_considered += 1;
+
+            if self.quarantine.is_quarantined(cand.block) {
+                // The array keeps refusing this block; don't burn a slot
+                // (or T_oh) on it, and don't descend through it either —
+                // its subtree would be reached via the same failing read.
+                act.candidates_quarantined += 1;
+                continue;
+            }
 
             if cache.contains(cand.block) {
                 // Chosen for prefetch but already resident (Figure 7);
@@ -370,10 +395,7 @@ mod tests {
         // one should be prefetched (cache has free buffers: cost 0).
         assert!(act.prefetches_issued >= 1, "no prefetches issued: {act:?}");
         let prefetched: Vec<u64> = cache.prefetch_iter().map(|(b, _)| b.0).collect();
-        assert!(
-            prefetched.contains(&2) || prefetched.contains(&3),
-            "prefetched {prefetched:?}"
-        );
+        assert!(prefetched.contains(&2) || prefetched.contains(&3), "prefetched {prefetched:?}");
     }
 
     #[test]
@@ -552,6 +574,50 @@ mod tests {
             !run(build(false)),
             "root-anchored engine should be blind here (root children are diluted)"
         );
+    }
+
+    #[test]
+    fn quarantined_blocks_are_not_reissued() {
+        let mut e = trained_engine(&[1, 2, 3, 4], 50);
+        // Establish that block 2 would normally be prefetched after 1.
+        e.record_reference(BlockId(1));
+        let mut cache = BufferCache::new(16);
+        let mut act = PeriodActivity::default();
+        e.prefetch_round(BlockId(1), &mut cache, &mut act);
+        assert!(
+            cache.contains(BlockId(2)) || cache.contains(BlockId(3)),
+            "setup expects a successor of 1 to be prefetched"
+        );
+
+        // Fail its prefetch until quarantined, then re-run the round.
+        let victim = if cache.contains(BlockId(2)) { BlockId(2) } else { BlockId(3) };
+        cache.evict_prefetch(victim);
+        assert!(!e.note_prefetch_fault(victim));
+        assert!(e.note_prefetch_fault(victim), "default threshold is 2");
+        assert!(e.quarantine().is_quarantined(victim));
+
+        let mut cache = BufferCache::new(16);
+        let mut quarantined_skips = 0;
+        for _ in 0..4 {
+            // Cursor cycles the trained loop; victim stays quarantined.
+            for &b in &[1u64, 2, 3, 4] {
+                e.record_reference(BlockId(b));
+                let mut act = PeriodActivity::default();
+                e.prefetch_round(BlockId(b), &mut cache, &mut act);
+                quarantined_skips += act.candidates_quarantined;
+            }
+        }
+        assert!(!cache.contains(victim), "quarantined block was re-prefetched");
+        assert!(quarantined_skips >= 1, "quarantine skip was never counted");
+
+        // A successful read lifts the quarantine and prefetching resumes.
+        e.note_read_success(victim);
+        assert!(!e.quarantine().is_quarantined(victim));
+        let mut cache = BufferCache::new(16);
+        e.record_reference(BlockId(1));
+        let mut act = PeriodActivity::default();
+        e.prefetch_round(BlockId(1), &mut cache, &mut act);
+        assert!(act.prefetches_issued >= 1);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   (Figure 4);
 //! * [`engine`] — the Section 7 algorithm: benefit frontier + cheapest
 //!   victim + stopping rule;
-//! * [`policy`] — the eight policies evaluated in the paper.
+//! * [`policy`] — the eight policies evaluated in the paper;
+//! * [`resilience`] — graceful degradation under injected disk faults:
+//!   retry backoff pricing and a prefetch quarantine.
 //!
 //! ## Quick example
 //!
@@ -54,8 +56,10 @@ pub mod model;
 pub mod overhead;
 pub mod params;
 pub mod policy;
+pub mod resilience;
 pub mod timing;
 
 pub use engine::{CostBenefitEngine, EngineConfig};
 pub use model::{CostBenefitModel, ModelConfig};
 pub use params::SystemParams;
+pub use resilience::{Quarantine, RetryPolicy};

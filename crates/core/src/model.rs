@@ -192,10 +192,7 @@ mod tests {
     fn wrappers_agree_with_free_functions() {
         let m = CostBenefitModel::patterson();
         let p = SystemParams::patterson();
-        assert_eq!(
-            m.prefetch_eject_cost(0.4, 6),
-            cost::prefetch_eject_cost(0.4, 6, 1, &p, m.s())
-        );
+        assert_eq!(m.prefetch_eject_cost(0.4, 6), cost::prefetch_eject_cost(0.4, 6, 1, &p, m.s()));
         assert_eq!(m.demand_eject_cost(0.02), cost::demand_eject_cost(0.02, &p));
         assert_eq!(m.benefit(0.4, 2, 0.8), benefit::benefit(0.4, 2, 0.8, &p, m.s()));
     }

@@ -80,6 +80,10 @@ pub struct PeriodActivity {
     /// Candidates chosen for prefetch that were already resident
     /// (Figure 7).
     pub candidates_already_cached: u32,
+    /// Candidates skipped because they sit in the fault quarantine
+    /// (repeatedly failing disk reads). Zero whenever fault injection is
+    /// off.
+    pub candidates_quarantined: u32,
     /// Blocks ejected from the prefetch cache to make room.
     pub prefetch_evictions: u32,
     /// Demand buffers given up to prefetching.
@@ -124,6 +128,18 @@ pub trait PrefetchPolicy {
         cache: &mut BufferCache,
         act: &mut PeriodActivity,
     );
+
+    /// A prefetch this policy issued failed on the disk array (the
+    /// simulator has already released the buffer and charged `T_oh`).
+    /// Returns `true` if the failure quarantined the block. Default:
+    /// stateless policies ignore faults.
+    fn note_prefetch_fault(&mut self, _block: BlockId) -> bool {
+        false
+    }
+
+    /// A disk read of `block` succeeded; policies tracking fault history
+    /// may clear it. Default: no-op.
+    fn note_read_success(&mut self, _block: BlockId) {}
 }
 
 /// Apply a victim choice, freeing exactly one buffer. Returns whether the
@@ -150,10 +166,8 @@ pub fn default_victim(cache: &BufferCache) -> Victim {
     if cache.demand_len() > 0 {
         Victim::DemandLru
     } else {
-        let (b, _) = cache
-            .prefetch_iter_lru()
-            .next()
-            .expect("cache full but both partitions empty");
+        let (b, _) =
+            cache.prefetch_iter_lru().next().expect("cache full but both partitions empty");
         Victim::Prefetch(b)
     }
 }

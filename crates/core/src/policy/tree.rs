@@ -63,6 +63,14 @@ impl PrefetchPolicy for TreePolicy {
         act.lvc_repeat = outcome.lvc_repeat;
         self.engine.prefetch_round(ctx.block, cache, act);
     }
+
+    fn note_prefetch_fault(&mut self, block: prefetch_trace::BlockId) -> bool {
+        self.engine.note_prefetch_fault(block)
+    }
+
+    fn note_read_success(&mut self, block: prefetch_trace::BlockId) {
+        self.engine.note_read_success(block);
+    }
 }
 
 #[cfg(test)]
@@ -85,12 +93,7 @@ mod tests {
                 RefKind::Miss
             }
         };
-        let ctx = RefContext {
-            block: b,
-            kind,
-            next_block: None,
-            period: policy.engine.period(),
-        };
+        let ctx = RefContext { block: b, kind, next_block: None, period: policy.engine.period() };
         let mut act = PeriodActivity::default();
         policy.after_reference(&ctx, cache, &mut act);
         act

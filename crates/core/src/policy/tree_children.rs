@@ -115,12 +115,8 @@ mod tests {
     use prefetch_trace::BlockId;
 
     fn access(p: &mut TreeChildren, cache: &mut BufferCache, b: u64) -> PeriodActivity {
-        let ctx = RefContext {
-            block: BlockId(b),
-            kind: RefKind::DemandHit,
-            next_block: None,
-            period: 0,
-        };
+        let ctx =
+            RefContext { block: BlockId(b), kind: RefKind::DemandHit, next_block: None, period: 0 };
         let mut act = PeriodActivity::default();
         p.after_reference(&ctx, cache, &mut act);
         act

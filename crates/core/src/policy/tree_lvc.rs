@@ -92,6 +92,14 @@ impl PrefetchPolicy for TreeLvc {
         self.prefetch_lvc(cache, act);
         self.engine.prefetch_round(ctx.block, cache, act);
     }
+
+    fn note_prefetch_fault(&mut self, block: prefetch_trace::BlockId) -> bool {
+        self.engine.note_prefetch_fault(block)
+    }
+
+    fn note_read_success(&mut self, block: prefetch_trace::BlockId) {
+        self.engine.note_read_success(block);
+    }
 }
 
 #[cfg(test)]
@@ -127,10 +135,7 @@ mod tests {
         };
         let mut act = PeriodActivity::default();
         p.after_reference(&ctx, &mut cache, &mut act);
-        assert!(
-            cache.contains(BlockId(2)),
-            "last-visited child not resident after access"
-        );
+        assert!(cache.contains(BlockId(2)), "last-visited child not resident after access");
         assert_eq!(p.name(), "tree-lvc");
     }
 }

@@ -62,6 +62,14 @@ impl PrefetchPolicy for TreeNextLimit {
         act.lvc_repeat = outcome.lvc_repeat;
         self.engine.prefetch_round(ctx.block, cache, act);
     }
+
+    fn note_prefetch_fault(&mut self, block: prefetch_trace::BlockId) -> bool {
+        self.engine.note_prefetch_fault(block)
+    }
+
+    fn note_read_success(&mut self, block: prefetch_trace::BlockId) {
+        self.engine.note_read_success(block);
+    }
 }
 
 #[cfg(test)]
@@ -75,12 +83,8 @@ mod tests {
         let mut cache = BufferCache::new(40);
         // A miss on block 100 must trigger one-block lookahead of 101.
         cache.insert_demand(BlockId(100));
-        let ctx = RefContext {
-            block: BlockId(100),
-            kind: RefKind::Miss,
-            next_block: None,
-            period: 0,
-        };
+        let ctx =
+            RefContext { block: BlockId(100), kind: RefKind::Miss, next_block: None, period: 0 };
         let mut act = PeriodActivity::default();
         p.after_reference(&ctx, &mut cache, &mut act);
         assert!(cache.contains(BlockId(101)), "lookahead block missing");

@@ -29,10 +29,7 @@ impl TreeThreshold {
     /// # Panics
     /// Panics unless `0 < threshold < 1`.
     pub fn new(threshold: f64) -> Self {
-        assert!(
-            threshold > 0.0 && threshold < 1.0,
-            "threshold must be in (0,1), got {threshold}"
-        );
+        assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0,1), got {threshold}");
         TreeThreshold { tree: PrefetchTree::new(), threshold, cap_fraction: 0.10, period: 0 }
     }
 
@@ -127,12 +124,8 @@ mod tests {
     use prefetch_trace::BlockId;
 
     fn access(p: &mut TreeThreshold, cache: &mut BufferCache, b: u64) -> PeriodActivity {
-        let ctx = RefContext {
-            block: BlockId(b),
-            kind: RefKind::DemandHit,
-            next_block: None,
-            period: 0,
-        };
+        let ctx =
+            RefContext { block: BlockId(b), kind: RefKind::DemandHit, next_block: None, period: 0 };
         let mut act = PeriodActivity::default();
         p.after_reference(&ctx, cache, &mut act);
         act
@@ -163,7 +156,7 @@ mod tests {
     fn respects_partition_cap() {
         let mut p = TreeThreshold::new(0.001);
         let mut cache = BufferCache::new(20); // cap = 2
-        // Build a bushy root: many substrings of length 1.
+                                              // Build a bushy root: many substrings of length 1.
         for b in 0..50u64 {
             access(&mut p, &mut cache, b);
             access(&mut p, &mut cache, 1000 + b); // force resets

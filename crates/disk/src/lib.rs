@@ -15,14 +15,22 @@
 //! * **per-disk FIFO queues** ([`DiskArray`]): each access occupies its
 //!   disk for a constant service time `T_disk`; a busy disk delays the
 //!   request — prefetches and demand fetches compete;
-//! * **utilization and queueing statistics** ([`DiskStats`]).
+//! * **utilization and queueing statistics** ([`DiskStats`]);
+//! * **deterministic fault injection** ([`FaultPlan`], [`FaultInjector`]):
+//!   seeded per-disk streams of transient read errors, slow-disk episodes,
+//!   and bounded unavailability windows, surfaced from
+//!   [`DiskArray::submit`] as typed [`DiskFault`]s.
 //!
 //! `prefetch-sim` uses it (optionally) to price stalls under congestion,
-//! and the `disks` extension experiment sweeps the number of disks to show
-//! where aggressive prefetching turns counter-productive.
+//! the `disks` extension experiment sweeps the number of disks to show
+//! where aggressive prefetching turns counter-productive, and the
+//! `resilience` experiment sweeps fault rates to show how gracefully each
+//! policy degrades.
 
 pub mod array;
+pub mod fault;
 pub mod stats;
 
-pub use array::{DiskArray, DiskArrayConfig, Striping};
+pub use array::{Completion, DiskArray, DiskArrayConfig, Striping};
+pub use fault::{ConfigError, DiskFault, FaultDecision, FaultInjector, FaultPlan};
 pub use stats::DiskStats;

@@ -15,6 +15,12 @@ pub struct DiskStats {
     pub queued_requests: u64,
     /// Latest completion time seen (proxy for makespan).
     pub horizon_ms: f64,
+    /// Reads that occupied a disk but failed (fault injection).
+    pub transient_errors: u64,
+    /// Reads rejected instantly by an unavailable disk (fault injection).
+    pub unavailable_rejections: u64,
+    /// Reads served at a slow-episode-multiplied service time.
+    pub slowed_requests: u64,
 }
 
 impl DiskStats {
@@ -25,6 +31,9 @@ impl DiskStats {
             queue_ms: 0.0,
             queued_requests: 0,
             horizon_ms: 0.0,
+            transient_errors: 0,
+            unavailable_rejections: 0,
+            slowed_requests: 0,
         }
     }
 
@@ -42,6 +51,12 @@ impl DiskStats {
     /// Total requests across all disks.
     pub fn total_requests(&self) -> u64 {
         self.requests.iter().sum()
+    }
+
+    /// Total injected faults surfaced to callers (transient errors plus
+    /// unavailability rejections).
+    pub fn total_faults(&self) -> u64 {
+        self.transient_errors + self.unavailable_rejections
     }
 
     /// Mean queueing delay per request (ms).
@@ -95,12 +110,14 @@ mod tests {
             num_disks: 1,
             service_ms: 10.0,
             striping: Striping::Hashed,
-        });
-        a.submit(BlockId(1), 0.0); // no wait
-        a.submit(BlockId(2), 0.0); // waits 10
-        a.submit(BlockId(3), 30.0); // no wait (disk idle at 20)
+        })
+        .unwrap();
+        a.submit(BlockId(1), 0.0).unwrap(); // no wait
+        a.submit(BlockId(2), 0.0).unwrap(); // waits 10
+        a.submit(BlockId(3), 30.0).unwrap(); // no wait (disk idle at 20)
         let s = a.stats();
         assert_eq!(s.total_requests(), 3);
+        assert_eq!(s.total_faults(), 0);
         assert_eq!(s.queued_requests, 1);
         assert!((s.mean_queue_delay() - 10.0 / 3.0).abs() < 1e-12);
         assert!((s.queue_fraction() - 1.0 / 3.0).abs() < 1e-12);

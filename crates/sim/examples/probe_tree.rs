@@ -1,4 +1,4 @@
-use prefetch_sim::{run_simulation, SimConfig, PolicySpec};
+use prefetch_sim::{run_simulation, PolicySpec, SimConfig};
 use prefetch_trace::synth::TraceKind;
 
 fn main() {

@@ -1,11 +1,22 @@
-use prefetch_sim::{run_simulation, SimConfig, PolicySpec};
+use prefetch_sim::{run_simulation, PolicySpec, SimConfig};
 use prefetch_trace::synth::TraceKind;
 
 fn main() {
     let t = TraceKind::Cello.generate(100_000, 1);
-    for spec in [PolicySpec::TreeThreshold(0.001), PolicySpec::TreeChildren(10), PolicySpec::PerfectSelector, PolicySpec::TreeLvc, PolicySpec::TreeReanchor] {
+    for spec in [
+        PolicySpec::TreeThreshold(0.001),
+        PolicySpec::TreeChildren(10),
+        PolicySpec::PerfectSelector,
+        PolicySpec::TreeLvc,
+        PolicySpec::TreeReanchor,
+    ] {
         let t0 = std::time::Instant::now();
         let r = run_simulation(&t, &SimConfig::new(16384, spec));
-        println!("{:<22} {:>6.2}s miss={:.1}%", spec.name(), t0.elapsed().as_secs_f64(), 100.0*r.metrics.miss_rate());
+        println!(
+            "{:<22} {:>6.2}s miss={:.1}%",
+            spec.name(),
+            t0.elapsed().as_secs_f64(),
+            100.0 * r.metrics.miss_rate()
+        );
     }
 }

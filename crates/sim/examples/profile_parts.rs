@@ -1,23 +1,29 @@
 use prefetch_cache::StackDistanceEstimator;
-use prefetch_tree::PrefetchTree;
+use prefetch_sim::{run_simulation, PolicySpec, SimConfig};
 use prefetch_trace::synth::TraceKind;
-use prefetch_sim::{run_simulation, SimConfig, PolicySpec};
+use prefetch_tree::PrefetchTree;
 
 fn main() {
     let t = TraceKind::Cello.generate(30_000, 1);
     let t0 = std::time::Instant::now();
     let mut tree = PrefetchTree::new();
-    for b in t.blocks() { tree.record_access(b); }
+    for b in t.blocks() {
+        tree.record_access(b);
+    }
     println!("tree only: {:.2}s ({} nodes)", t0.elapsed().as_secs_f64(), tree.node_count());
 
     let t0 = std::time::Instant::now();
     let mut sd = StackDistanceEstimator::new(0.99999);
-    for b in t.blocks() { sd.record(b.0); }
+    for b in t.blocks() {
+        sd.record(b.0);
+    }
     println!("stack-distance only: {:.2}s", t0.elapsed().as_secs_f64());
 
     let t0 = std::time::Instant::now();
     let mut sd = StackDistanceEstimator::new(1.0);
-    for b in t.blocks() { sd.record(b.0); }
+    for b in t.blocks() {
+        sd.record(b.0);
+    }
     println!("stack-distance (no decay): {:.2}s", t0.elapsed().as_secs_f64());
 
     for mc in [4u32, 64, 256] {
@@ -25,6 +31,10 @@ fn main() {
         cfg.engine.max_considered_per_period = mc;
         let t0 = std::time::Instant::now();
         let r = run_simulation(&t, &cfg);
-        println!("tree sim, max_considered={mc}: {:.2}s pf={}", t0.elapsed().as_secs_f64(), r.metrics.prefetches_issued);
+        println!(
+            "tree sim, max_considered={mc}: {:.2}s pf={}",
+            t0.elapsed().as_secs_f64(),
+            r.metrics.prefetches_issued
+        );
     }
 }

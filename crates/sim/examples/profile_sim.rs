@@ -4,13 +4,25 @@ use prefetch_trace::synth::TraceKind;
 fn main() {
     for kind in [TraceKind::Cello, TraceKind::Cad] {
         let t = kind.generate(30_000, 1);
-        for spec in [PolicySpec::NoPrefetch, PolicySpec::NextLimit, PolicySpec::Tree, PolicySpec::TreeNextLimit] {
+        for spec in [
+            PolicySpec::NoPrefetch,
+            PolicySpec::NextLimit,
+            PolicySpec::Tree,
+            PolicySpec::TreeNextLimit,
+        ] {
             for cache in [256usize, 4096, 16384] {
                 let t0 = std::time::Instant::now();
                 let r = run_simulation(&t, &SimConfig::new(cache, spec));
-                println!("{} {:<16} cache={:<6} {:>6.2}s  miss={:.1}% pf={} pfcache_evic={}",
-                    kind.name(), spec.name(), cache, t0.elapsed().as_secs_f64(),
-                    100.0*r.metrics.miss_rate(), r.metrics.prefetches_issued, r.metrics.prefetch_evictions);
+                println!(
+                    "{} {:<16} cache={:<6} {:>6.2}s  miss={:.1}% pf={} pfcache_evic={}",
+                    kind.name(),
+                    spec.name(),
+                    cache,
+                    t0.elapsed().as_secs_f64(),
+                    100.0 * r.metrics.miss_rate(),
+                    r.metrics.prefetches_issued,
+                    r.metrics.prefetch_evictions
+                );
             }
         }
     }

@@ -1,17 +1,23 @@
-use prefetch_sim::{run_simulation, SimConfig, PolicySpec};
+use prefetch_sim::{run_simulation, PolicySpec, SimConfig};
 use prefetch_trace::synth::TraceKind;
 
 fn main() {
-    let refs_for = |k: TraceKind| match k { TraceKind::Cad => 150_000, _ => 300_000 };
+    let refs_for = |k: TraceKind| match k {
+        TraceKind::Cad => 150_000,
+        _ => 300_000,
+    };
     for kind in TraceKind::ALL {
         let t = kind.generate(refs_for(kind), 1999);
         println!("--- {} ({} refs) ---", kind.name(), t.len());
-        println!("{:<7} {:>12} {:>12} {:>8} {:>16}", "cache", "no-prefetch", "next-limit", "tree", "tree-next-limit");
+        println!(
+            "{:<7} {:>12} {:>12} {:>8} {:>16}",
+            "cache", "no-prefetch", "next-limit", "tree", "tree-next-limit"
+        );
         for cache in [64usize, 256, 1024, 4096, 16384] {
             let mut row = format!("{cache:<7}");
             for spec in PolicySpec::HEADLINE {
                 let m = run_simulation(&t, &SimConfig::new(cache, spec)).metrics;
-                row += &format!(" {:>11.2}%", 100.0*m.miss_rate());
+                row += &format!(" {:>11.2}%", 100.0 * m.miss_rate());
             }
             println!("{row}");
         }

@@ -4,6 +4,7 @@
 //! pfsim --trace cad --refs 100000 --policy tree-next-limit --cache 1024
 //! pfsim --trace-file mytrace.trc --policy tree --cache 4096 --t-cpu 20
 //! pfsim --trace snake --policy all --cache 1024 --disks 4
+//! pfsim --trace cad --policy tree --cache 1024 --disks 4 --fault-rate 0.05 --fault-seed 7
 //! ```
 //!
 //! `--trace` takes a synthetic workload name (cello|snake|cad|sitar);
@@ -22,6 +23,9 @@ struct Args {
     policies: Vec<PolicySpec>,
     t_cpu: Option<f64>,
     disks: Option<usize>,
+    fault_rate: Option<f64>,
+    fault_seed: u64,
+    lenient: bool,
 }
 
 enum TraceSource {
@@ -77,6 +81,9 @@ fn parse_args() -> Result<Args, String> {
     let mut policies = parse_policy("all")?;
     let mut t_cpu = None;
     let mut disks = None;
+    let mut fault_rate = None;
+    let mut fault_seed = 1u64;
+    let mut lenient = false;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -92,17 +99,25 @@ fn parse_args() -> Result<Args, String> {
             "--policy" => policies = parse_policy(&val()?)?,
             "--t-cpu" => t_cpu = Some(val()?.parse().map_err(|e| format!("bad --t-cpu: {e}"))?),
             "--disks" => disks = Some(val()?.parse().map_err(|e| format!("bad --disks: {e}"))?),
+            "--fault-rate" => {
+                fault_rate = Some(val()?.parse().map_err(|e| format!("bad --fault-rate: {e}"))?)
+            }
+            "--fault-seed" => {
+                fault_seed = val()?.parse().map_err(|e| format!("bad --fault-seed: {e}"))?
+            }
+            "--lenient" => lenient = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
     let trace = trace.ok_or_else(|| format!("--trace or --trace-file required\n{}", usage()))?;
-    Ok(Args { trace, refs, seed, cache, policies, t_cpu, disks })
+    Ok(Args { trace, refs, seed, cache, policies, t_cpu, disks, fault_rate, fault_seed, lenient })
 }
 
 fn usage() -> String {
-    "usage: pfsim --trace <cello|snake|cad|sitar> | --trace-file <path> \
-     [--refs N] [--seed S] [--cache BLOCKS] [--policy NAME|all] [--t-cpu MS] [--disks N]"
+    "usage: pfsim --trace <cello|snake|cad|sitar> | --trace-file <path> [--lenient] \
+     [--refs N] [--seed S] [--cache BLOCKS] [--policy NAME|all] [--t-cpu MS] [--disks N] \
+     [--fault-rate P] [--fault-seed S]"
         .to_string()
 }
 
@@ -117,6 +132,18 @@ fn main() -> ExitCode {
 
     let trace: Trace = match &args.trace {
         TraceSource::Synthetic(kind) => kind.generate(args.refs, args.seed),
+        TraceSource::File(path) if args.lenient => match prefetch_trace::io::load_lossy(path) {
+            Ok((t, skipped)) => {
+                if skipped > 0 {
+                    eprintln!("warning: skipped {skipped} malformed records in {path:?}");
+                }
+                t
+            }
+            Err(e) => {
+                eprintln!("cannot load {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         TraceSource::File(path) => match prefetch_trace::io::load(path) {
             Ok(t) => t,
             Err(e) => {
@@ -132,10 +159,26 @@ fn main() -> ExitCode {
         args.cache
     );
 
-    println!(
-        "{:<22} {:>9} {:>11} {:>11} {:>11} {:>11}",
-        "policy", "miss %", "pf issued", "pf hit %", "disk reads", "ms/ref"
-    );
+    let faults_on = args.fault_rate.is_some_and(|r| r > 0.0);
+    if faults_on {
+        println!(
+            "{:<22} {:>9} {:>11} {:>11} {:>11} {:>8} {:>8} {:>8} {:>11}",
+            "policy",
+            "miss %",
+            "pf issued",
+            "pf hit %",
+            "disk reads",
+            "faults",
+            "retries",
+            "quarant",
+            "ms/ref"
+        );
+    } else {
+        println!(
+            "{:<22} {:>9} {:>11} {:>11} {:>11} {:>11}",
+            "policy", "miss %", "pf issued", "pf hit %", "disk reads", "ms/ref"
+        );
+    }
     for &spec in &args.policies {
         let mut cfg = SimConfig::new(args.cache, spec);
         if let Some(t) = args.t_cpu {
@@ -144,16 +187,38 @@ fn main() -> ExitCode {
         if let Some(n) = args.disks {
             cfg = cfg.with_disks(n);
         }
+        if let Some(r) = args.fault_rate {
+            cfg = cfg.with_fault_rate(args.fault_seed, r);
+        }
+        if let Err(e) = cfg.validate() {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
         let m = run_simulation(&trace, &cfg).metrics;
-        println!(
-            "{:<22} {:>8.2}% {:>11} {:>10.1}% {:>11} {:>11.3}",
-            spec.name(),
-            100.0 * m.miss_rate(),
-            m.prefetches_issued,
-            100.0 * m.prefetch_hit_rate(),
-            m.disk_reads(),
-            m.elapsed_ms / m.refs.max(1) as f64,
-        );
+        if faults_on {
+            println!(
+                "{:<22} {:>8.2}% {:>11} {:>10.1}% {:>11} {:>8} {:>8} {:>8} {:>11.3}",
+                spec.name(),
+                100.0 * m.miss_rate(),
+                m.prefetches_issued,
+                100.0 * m.prefetch_hit_rate(),
+                m.disk_reads(),
+                m.total_faults(),
+                m.demand_retries,
+                m.blocks_quarantined,
+                m.elapsed_ms / m.refs.max(1) as f64,
+            );
+        } else {
+            println!(
+                "{:<22} {:>8.2}% {:>11} {:>10.1}% {:>11} {:>11.3}",
+                spec.name(),
+                100.0 * m.miss_rate(),
+                m.prefetches_issued,
+                100.0 * m.prefetch_hit_rate(),
+                m.disk_reads(),
+                m.elapsed_ms / m.refs.max(1) as f64,
+            );
+        }
     }
     ExitCode::SUCCESS
 }

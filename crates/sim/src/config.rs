@@ -5,7 +5,8 @@ use prefetch_core::policy::{
     NextLimit, NoPrefetch, PerfectSelector, PrefetchPolicy, TreeChildren, TreeLvc, TreeNextLimit,
     TreePolicy, TreeThreshold,
 };
-use prefetch_core::{EngineConfig, SystemParams};
+use prefetch_core::{EngineConfig, RetryPolicy, SystemParams};
+use prefetch_disk::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// Which prefetching policy to simulate (paper Section 9 terminology).
@@ -85,6 +86,48 @@ impl PolicySpec {
     }
 }
 
+/// Fault injection attached to a simulation run: the deterministic disk
+/// fault schedule plus the retry pricing applied on the demand path.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seeded per-disk fault schedule (see `prefetch_disk::FaultPlan`).
+    pub plan: FaultPlan,
+    /// Retry / backoff pricing for failed demand reads.
+    pub retry: RetryPolicy,
+}
+
+/// A [`SimConfig`] that cannot be simulated.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimConfigError {
+    /// The disk array configuration is invalid.
+    Disk(prefetch_disk::ConfigError),
+    /// The fault plan is invalid (rate out of range, bad duration, ...).
+    Fault(prefetch_disk::ConfigError),
+    /// The retry policy is invalid.
+    Retry(String),
+    /// Faults were requested but no disk array is configured; faults are
+    /// injected by the array, so there is nothing to inject them into.
+    FaultsWithoutDisks,
+    /// The cache must hold at least one block.
+    ZeroCacheBlocks,
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::Disk(e) => write!(f, "disk array: {e}"),
+            SimConfigError::Fault(e) => write!(f, "fault plan: {e}"),
+            SimConfigError::Retry(e) => write!(f, "retry policy: {e}"),
+            SimConfigError::FaultsWithoutDisks => {
+                write!(f, "fault injection requires a finite disk array (--disks N)")
+            }
+            SimConfigError::ZeroCacheBlocks => write!(f, "cache must hold at least one block"),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
 /// Full configuration of one simulation run.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -100,6 +143,9 @@ pub struct SimConfig {
     /// infinite-disk assumption (Section 6.3); `Some` prices stalls with
     /// per-disk FIFO queueing — an extension (see the `disks` experiment).
     pub disks: Option<prefetch_disk::DiskArrayConfig>,
+    /// Optional deterministic fault injection (requires `disks`). `None`
+    /// reproduces the fault-free model bit for bit.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -111,6 +157,7 @@ impl SimConfig {
             engine: EngineConfig::default(),
             policy,
             disks: None,
+            faults: None,
         }
     }
 
@@ -119,6 +166,45 @@ impl SimConfig {
     pub fn with_disks(mut self, num_disks: usize) -> Self {
         self.disks = Some(prefetch_disk::DiskArrayConfig::with_disks(num_disks));
         self
+    }
+
+    /// Inject faults with [`FaultPlan::uniform`] at `rate`, seeded by
+    /// `seed`, scaled to the configured disks' service time, with the
+    /// default retry policy. A rate of `0.0` yields an inactive plan that
+    /// reproduces the fault-free run bit for bit.
+    pub fn with_fault_rate(mut self, seed: u64, rate: f64) -> Self {
+        let service_ms = self.disks.map_or(15.0, |d| d.service_ms);
+        self.faults = Some(FaultConfig {
+            plan: FaultPlan::uniform(seed, rate, service_ms),
+            retry: RetryPolicy::default(),
+        });
+        self
+    }
+
+    /// Inject faults with a fully explicit [`FaultConfig`].
+    pub fn with_fault_config(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Check the configuration for errors before running. `run_simulation`
+    /// assumes a validated configuration; front ends (pfsim, experiments)
+    /// call this and turn errors into nonzero exits instead of panics.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.cache_blocks == 0 {
+            return Err(SimConfigError::ZeroCacheBlocks);
+        }
+        if let Some(d) = &self.disks {
+            d.validate().map_err(SimConfigError::Disk)?;
+        }
+        if let Some(f) = &self.faults {
+            f.plan.validate().map_err(SimConfigError::Fault)?;
+            f.retry.validate().map_err(SimConfigError::Retry)?;
+            if self.disks.is_none() && f.plan.is_active() {
+                return Err(SimConfigError::FaultsWithoutDisks);
+            }
+        }
+        Ok(())
     }
 
     /// Override `T_cpu` (Figures 11-12 sweep).
@@ -178,5 +264,41 @@ mod tests {
         assert_eq!(c.cache_blocks, 512);
         assert_eq!(c.params.t_cpu, 320.0);
         assert_eq!(c.engine.node_limit, 4096);
+    }
+
+    #[test]
+    fn fault_builder_scales_to_disk_service_time() {
+        let c = SimConfig::new(64, PolicySpec::Tree).with_disks(4).with_fault_rate(7, 0.05);
+        let f = c.faults.unwrap();
+        assert_eq!(f.plan.seed, 7);
+        assert!(f.plan.is_active());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn faults_without_disks_fail_validation() {
+        let c = SimConfig::new(64, PolicySpec::Tree).with_fault_rate(7, 0.05);
+        assert_eq!(c.validate().unwrap_err(), SimConfigError::FaultsWithoutDisks);
+        // An inactive plan is fine without disks — it cannot fire.
+        let c = SimConfig::new(64, PolicySpec::Tree).with_fault_rate(7, 0.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_produce_typed_errors() {
+        let c = SimConfig { cache_blocks: 0, ..SimConfig::new(64, PolicySpec::Tree) };
+        assert_eq!(c.validate().unwrap_err(), SimConfigError::ZeroCacheBlocks);
+
+        let c = SimConfig::new(64, PolicySpec::Tree).with_disks(0);
+        assert!(matches!(c.validate().unwrap_err(), SimConfigError::Disk(_)));
+
+        let mut c = SimConfig::new(64, PolicySpec::Tree).with_disks(2).with_fault_rate(1, 0.1);
+        c.faults.as_mut().unwrap().plan.transient_error_rate = 1.5;
+        assert!(matches!(c.validate().unwrap_err(), SimConfigError::Fault(_)));
+
+        let mut c = SimConfig::new(64, PolicySpec::Tree).with_disks(2).with_fault_rate(1, 0.1);
+        c.faults.as_mut().unwrap().retry.backoff_base_ms = -1.0;
+        assert!(matches!(c.validate().unwrap_err(), SimConfigError::Retry(_)));
+        assert!(!format!("{}", c.validate().unwrap_err()).is_empty());
     }
 }

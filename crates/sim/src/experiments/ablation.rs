@@ -57,12 +57,10 @@ pub fn ablation(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
         title: format!("Ablations of the cost-benefit engine (tree policy, {cache}-block cache)"),
         columns: cols,
         rows: Vec::new(),
-        notes: vec![
-            "reanchor is the order-1 extension; the others perturb DESIGN.md §5 choices. \
+        notes: vec!["reanchor is the order-1 extension; the others perturb DESIGN.md §5 choices. \
              With Patterson constants depth=1 should match the default (ΔT_pf saturates at \
              one access period of compute)."
-                .into(),
-        ],
+            .into()],
     };
     for (ti, (kind, _)) in traces.iter().enumerate() {
         let mut row = vec![kind.name().to_string()];

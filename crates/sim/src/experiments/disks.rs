@@ -55,7 +55,11 @@ pub fn disks(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             let ti = trace_index(kind);
             let mut cols = vec!["policy".to_string()];
             cols.extend(DISK_COUNTS.iter().map(|&n| {
-                if n == 0 { "disks=inf".into() } else { format!("disks={n}") }
+                if n == 0 {
+                    "disks=inf".into()
+                } else {
+                    format!("disks={n}")
+                }
             }));
             let mut r = Report {
                 id: format!("disks-{}", kind.name()),
@@ -81,8 +85,7 @@ pub fn disks(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
                         .find(|c| {
                             c.trace_index == ti
                                 && c.result.config.policy == p
-                                && c.result.config.disks.map_or(0, |d| d.num_disks)
-                                    == n
+                                && c.result.config.disks.map_or(0, |d| d.num_disks) == n
                         })
                         .expect("cell exists");
                     let m = &cell.result.metrics;

@@ -53,8 +53,7 @@ pub fn fig13(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
     cols.extend(caches.iter().map(|c| format!("cache_{c}")));
     let mut r = Report {
         id: "fig13".into(),
-        title: "Figure 13: tree miss rate relative to no-prefetch vs tree node limit (CAD)"
-            .into(),
+        title: "Figure 13: tree miss rate relative to no-prefetch vs tree node limit (CAD)".into(),
         columns: cols,
         rows: Vec::new(),
         notes: vec![
@@ -65,11 +64,8 @@ pub fn fig13(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
     };
     for &limit in NODE_LIMITS.iter().chain([usize::MAX].iter()) {
         let label = if limit == usize::MAX { "unlimited".to_string() } else { limit.to_string() };
-        let kb = if limit == usize::MAX {
-            "-".to_string()
-        } else {
-            format!("{}", limit * 40 / 1024)
-        };
+        let kb =
+            if limit == usize::MAX { "-".to_string() } else { format!("{}", limit * 40 / 1024) };
         let mut row = vec![label, kb];
         for &cache in &caches {
             let base = find(cache, PolicySpec::NoPrefetch, usize::MAX);

@@ -11,6 +11,7 @@ pub mod headline;
 pub mod memory;
 pub mod oracle;
 pub mod parametric;
+pub mod resilience;
 pub mod tables;
 pub mod tcpu;
 pub mod tree_behavior;
@@ -67,10 +68,8 @@ pub struct TraceSet {
 impl TraceSet {
     /// Generate the suite per `opts`.
     pub fn generate(opts: &ExperimentOpts) -> Self {
-        let traces = TraceKind::ALL
-            .iter()
-            .map(|&k| k.generate(opts.refs_for(k), opts.seed))
-            .collect();
+        let traces =
+            TraceKind::ALL.iter().map(|&k| k.generate(opts.refs_for(k), opts.seed)).collect();
         TraceSet { traces }
     }
 
@@ -88,8 +87,8 @@ impl TraceSet {
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: [&str; 16] = [
-    "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "table2", "table3", "table4",
+    "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "table2", "table3", "table4",
 ];
 
 /// Run one experiment by id.
@@ -116,6 +115,7 @@ pub fn run_experiment(id: &str, traces: &TraceSet, opts: &ExperimentOpts) -> Vec
         "fig17" => parametric::fig17(traces, opts),
         "ablation" => vec![ablation::ablation(traces, opts)],
         "disks" => disks::disks(traces, opts),
+        "resilience" => resilience::resilience(traces, opts),
         other => panic!("unknown experiment id {other:?}; known: {ALL_IDS:?}"),
     }
 }
@@ -135,6 +135,7 @@ pub fn run_all(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
     out.push(parametric::table4(traces, opts));
     out.push(ablation::ablation(traces, opts));
     out.extend(disks::disks(traces, opts));
+    out.extend(resilience::resilience(traces, opts));
     // Order reports by paper artifact order.
     let rank = |id: &str| ALL_IDS.iter().position(|&x| id.starts_with(x)).unwrap_or(usize::MAX);
     out.sort_by_key(|r| rank(&r.id));
@@ -163,10 +164,13 @@ mod tests {
     fn traceset_orders_by_table1() {
         let o = ExperimentOpts { refs: 500, ..ExperimentOpts::quick() };
         let ts = TraceSet::generate(&o);
-        let names: Vec<_> = ts.iter().map(|(k, t)| {
-            assert_eq!(k.name(), t.meta().name);
-            t.meta().name.clone()
-        }).collect();
+        let names: Vec<_> = ts
+            .iter()
+            .map(|(k, t)| {
+                assert_eq!(k.name(), t.meta().name);
+                t.meta().name.clone()
+            })
+            .collect();
         assert_eq!(names, ["cello", "snake", "cad", "sitar"]);
         assert_eq!(ts.get(TraceKind::Cad).meta().name, "cad");
     }

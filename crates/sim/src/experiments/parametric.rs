@@ -131,10 +131,10 @@ pub fn table4(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
         for c in results.iter().filter(|c| c.trace_index == ti) {
             let PolicySpec::TreeThreshold(t) = c.result.config.policy else { continue };
             let m = c.result.metrics.miss_rate();
-            if best.map_or(true, |(bm, _)| m < bm) {
+            if best.is_none_or(|(bm, _)| m < bm) {
                 best = Some((m, t));
             }
-            if worst.map_or(true, |(wm, _)| m > wm) {
+            if worst.is_none_or(|(wm, _)| m > wm) {
                 worst = Some((m, t));
             }
         }

@@ -1,0 +1,156 @@
+//! Extension experiment: graceful degradation under injected disk faults.
+//!
+//! The paper assumes disks never fail. This experiment asks what happens
+//! to the cost-benefit scheme when they do: a seeded [`FaultPlan`]
+//! (transient read errors, slow-disk episodes, unavailability windows) is
+//! swept over increasing fault rates while the headline policies run
+//! against a finite striped array. Two quantities are reported per trace:
+//!
+//! * **elapsed ms/ref** — whether prefetching still pays for itself when
+//!   reads fail and retries compete for disk time;
+//! * **wasted-prefetch fraction** — prefetches that never produced a hit,
+//!   including those killed by the injector; the quarantine keeps this
+//!   from diverging at high fault rates.
+//!
+//! Run with `figures resilience`.
+//!
+//! [`FaultPlan`]: prefetch_disk::FaultPlan
+
+use crate::config::{PolicySpec, SimConfig};
+use crate::experiments::{ExperimentOpts, TraceSet};
+use crate::report::{f3, Report};
+use crate::sweep::run_cells;
+use prefetch_trace::synth::TraceKind;
+
+/// Fault rates swept (probability of a transient error per submission;
+/// slow-disk and unavailability rates scale down from it — see
+/// `FaultPlan::uniform`). `0.0` is the fault-free baseline.
+pub const FAULT_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.1];
+
+/// Disks in the array.
+pub const RESILIENCE_DISKS: usize = 4;
+
+/// Cache size for the sweep.
+pub const RESILIENCE_CACHE: usize = 1024;
+
+/// `T_cpu` for the sweep: like the `disks` experiment, faults only bite
+/// when the workload is I/O-bound.
+pub const RESILIENCE_T_CPU: f64 = 5.0;
+
+/// Two reports per trace in `{snake, cad}`: elapsed ms/ref and the
+/// wasted-prefetch fraction, rows = policies, columns = fault rates.
+pub fn resilience(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
+    let kinds = [TraceKind::Snake, TraceKind::Cad];
+    let policies = PolicySpec::HEADLINE;
+    let cache = RESILIENCE_CACHE.min(*opts.cache_sizes.last().unwrap_or(&RESILIENCE_CACHE));
+
+    let mut cells = Vec::new();
+    for kind in kinds {
+        let ti = trace_index(kind);
+        for &p in &policies {
+            for &rate in &FAULT_RATES {
+                let cfg = SimConfig::new(cache, p)
+                    .with_t_cpu(RESILIENCE_T_CPU)
+                    .with_disks(RESILIENCE_DISKS)
+                    .with_fault_rate(opts.seed, rate);
+                cfg.validate().expect("resilience sweep config must be valid");
+                cells.push((ti, cfg));
+            }
+        }
+    }
+    let results = run_cells(&traces.traces, &cells);
+
+    let mut out = Vec::new();
+    for &kind in &kinds {
+        let ti = trace_index(kind);
+        let mut cols = vec!["policy".to_string()];
+        cols.extend(FAULT_RATES.iter().map(|r| format!("rate={r}")));
+
+        let mut elapsed = Report {
+            id: format!("resilience-{}", kind.name()),
+            title: format!(
+                "Extension ({}): elapsed ms/ref vs injected fault rate \
+                 ({RESILIENCE_DISKS} disks, {cache}-block cache, T_cpu = {RESILIENCE_T_CPU} ms)",
+                kind.name()
+            ),
+            columns: cols.clone(),
+            rows: Vec::new(),
+            notes: vec!["Expected shape: elapsed time grows with the fault rate for every policy \
+                 (retries and give-up penalties cost virtual time), but prefetching should \
+                 degrade gracefully rather than invert — quarantine stops the engine from \
+                 re-issuing doomed prefetches."
+                .into()],
+        };
+        let mut wasted = Report {
+            id: format!("resilience-wasted-{}", kind.name()),
+            title: format!(
+                "Extension ({}): wasted-prefetch fraction vs injected fault rate",
+                kind.name()
+            ),
+            columns: cols,
+            rows: Vec::new(),
+            notes: vec!["Wasted = issued prefetches that never produced a hit, including those \
+                 killed by the injector. no-prefetch rows are 0 by construction."
+                .into()],
+        };
+
+        for &p in &policies {
+            let mut elapsed_row = vec![p.name()];
+            let mut wasted_row = vec![p.name()];
+            for &rate in &FAULT_RATES {
+                let cell = results
+                    .iter()
+                    .find(|c| {
+                        c.trace_index == ti
+                            && c.result.config.policy == p
+                            && c.result.config.faults.map_or(0.0, |f| f.plan.transient_error_rate)
+                                == rate
+                    })
+                    .expect("cell exists");
+                let m = &cell.result.metrics;
+                elapsed_row.push(f3(m.elapsed_ms / m.refs as f64));
+                wasted_row.push(f3(m.wasted_prefetch_frac()));
+            }
+            elapsed.rows.push(elapsed_row);
+            wasted.rows.push(wasted_row);
+        }
+        out.push(elapsed);
+        out.push(wasted);
+    }
+    out
+}
+
+fn trace_index(kind: TraceKind) -> usize {
+    TraceKind::ALL.iter().position(|&k| k == kind).expect("known kind")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilience_experiment_shapes_and_degradation() {
+        let opts = ExperimentOpts::quick();
+        let ts = TraceSet::generate(&opts);
+        let rs = resilience(&ts, &opts);
+        assert_eq!(rs.len(), 4); // (elapsed, wasted) × (snake, cad)
+        for r in &rs {
+            assert_eq!(r.rows.len(), 4); // headline policies
+            assert_eq!(r.columns.len(), FAULT_RATES.len() + 1);
+        }
+        // Faults cost time: for every policy the highest fault rate is
+        // no faster than the fault-free baseline.
+        for r in rs.iter().filter(|r| !r.id.contains("wasted")) {
+            for row in &r.rows {
+                let base: f64 = row[1].parse().unwrap();
+                let worst: f64 = row[FAULT_RATES.len()].parse().unwrap();
+                assert!(
+                    worst >= base - 1e-9,
+                    "{}: policy {} got faster under faults ({base} -> {worst})",
+                    r.id,
+                    row[0]
+                );
+            }
+        }
+    }
+}

@@ -90,11 +90,8 @@ mod tests {
         let opts = ExperimentOpts { refs: 40_000, ..ExperimentOpts::quick() };
         let ts = TraceSet::generate(&opts);
         let t = table2(&ts);
-        let acc: std::collections::HashMap<String, f64> = t
-            .rows
-            .iter()
-            .map(|r| (r[0].clone(), r[1].parse().unwrap()))
-            .collect();
+        let acc: std::collections::HashMap<String, f64> =
+            t.rows.iter().map(|r| (r[0].clone(), r[1].parse().unwrap())).collect();
         assert!(acc["cad"] > acc["cello"], "{acc:?}");
         assert!(acc["sitar"] > acc["cello"], "{acc:?}");
     }

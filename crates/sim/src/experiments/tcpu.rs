@@ -36,19 +36,21 @@ pub fn reports(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
 
     let mut fig11 = Report {
         id: "fig11".into(),
-        title: format!("Figure 11: prefetches per access period (s) vs T_cpu (tree, {cache}-block cache)"),
+        title: format!(
+            "Figure 11: prefetches per access period (s) vs T_cpu (tree, {cache}-block cache)"
+        ),
         columns: cols.clone(),
         rows: Vec::new(),
-        notes: vec![
-            "Paper shape (CAD): s rises with T_cpu then plateaus. NOTE: with the printed \
+        notes: vec!["Paper shape (CAD): s rises with T_cpu then plateaus. NOTE: with the printed \
              Eq. 6 the plateau starts once T_cpu exceeds T_disk = 15 ms, below the paper's \
              smallest swept value — the sweep is extended to 1 ms to expose the rise."
-                .into(),
-        ],
+            .into()],
     };
     let mut fig12 = Report {
         id: "fig12".into(),
-        title: format!("Figure 12: prefetch-cache hit rate (%) vs T_cpu (tree, {cache}-block cache)"),
+        title: format!(
+            "Figure 12: prefetch-cache hit rate (%) vs T_cpu (tree, {cache}-block cache)"
+        ),
         columns: cols,
         rows: Vec::new(),
         notes: vec![

@@ -26,7 +26,7 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
-pub use config::{PolicySpec, SimConfig};
+pub use config::{FaultConfig, PolicySpec, SimConfig, SimConfigError};
 pub use metrics::SimMetrics;
 pub use runner::{run_simulation, SimResult};
 pub use sweep::{run_cells, SweepCell};

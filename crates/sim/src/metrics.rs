@@ -51,6 +51,28 @@ pub struct SimMetrics {
     pub disk_queued_requests: u64,
     /// With a finite disk array: mean disk utilization over the run.
     pub disk_mean_utilization: f64,
+    /// With fault injection: demand reads that hit an injected fault
+    /// (each retry attempt that faults counts once).
+    pub demand_faults: u64,
+    /// With fault injection: retries issued for faulted demand reads.
+    pub demand_retries: u64,
+    /// With fault injection: demand reads abandoned after exhausting the
+    /// retry budget (priced with the give-up penalty).
+    pub demand_read_failures: u64,
+    /// With fault injection: total exponential-backoff delay (ms) charged
+    /// to the virtual clock while retrying demand reads.
+    pub retry_backoff_ms: f64,
+    /// With fault injection: prefetch submissions that faulted. The slot
+    /// is released and `T_oh` stays charged — a priced mispredict.
+    pub prefetch_faults: u64,
+    /// With fault injection: prefetch faults that pushed their block over
+    /// the quarantine threshold.
+    pub blocks_quarantined: u64,
+    /// With fault injection: prefetch candidates skipped because their
+    /// block sits in quarantine.
+    pub candidates_quarantined: u64,
+    /// With fault injection: requests a slow-disk episode stretched.
+    pub disk_slowed_requests: u64,
 }
 
 impl SimMetrics {
@@ -148,6 +170,23 @@ impl SimMetrics {
         self.misses + self.prefetches_issued
     }
 
+    /// Total injected faults observed by the simulator (demand + prefetch
+    /// paths). Zero whenever fault injection is off.
+    pub fn total_faults(&self) -> u64 {
+        self.demand_faults + self.prefetch_faults
+    }
+
+    /// Fraction of issued prefetches that never produced a hit — the
+    /// wasted-prefetch fraction the resilience experiment reports (under
+    /// faults this includes prefetches killed by the injector).
+    pub fn wasted_prefetch_frac(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            (self.prefetches_issued - self.prefetch_hits) as f64 / self.prefetches_issued as f64
+        }
+    }
+
     /// Sanity-check the conservation laws every run must satisfy.
     ///
     /// # Panics
@@ -170,6 +209,14 @@ impl SimMetrics {
         assert!(self.disk_queue_ms >= 0.0);
         assert!(self.disk_queued_requests <= self.disk_reads());
         assert!((0.0..=1.0 + 1e-9).contains(&self.disk_mean_utilization));
+        assert!(self.demand_retries <= self.demand_faults, "retries without faults");
+        assert!(self.demand_read_failures <= self.misses, "more failures than demand reads");
+        assert!(self.retry_backoff_ms >= 0.0);
+        assert!(self.retry_backoff_ms <= self.stall_ms + 1e-6, "backoff outside stall time");
+        assert!(self.blocks_quarantined <= self.prefetch_faults, "quarantine without faults");
+        assert!(self.prefetch_faults <= self.prefetches_issued, "more faults than prefetches");
+        assert!(self.candidates_quarantined <= self.candidates_considered);
+        assert!((0.0..=1.0).contains(&self.wasted_prefetch_frac()));
     }
 }
 
@@ -212,6 +259,32 @@ mod tests {
         assert!((m.lvc_repeat_rate() - 0.6).abs() < 1e-12);
         assert!((m.lvc_cached_frac() - 0.8).abs() < 1e-12);
         assert_eq!(m.disk_reads(), 70);
+        assert!((m.wasted_prefetch_frac() - 0.5).abs() < 1e-12);
+        assert_eq!(m.total_faults(), 0);
+    }
+
+    #[test]
+    fn fault_counters_obey_invariants() {
+        let m = SimMetrics {
+            demand_faults: 10,
+            demand_retries: 8,
+            demand_read_failures: 2,
+            retry_backoff_ms: 40.0,
+            prefetch_faults: 5,
+            blocks_quarantined: 2,
+            candidates_quarantined: 7,
+            disk_slowed_requests: 3,
+            ..sample()
+        };
+        m.check_invariants();
+        assert_eq!(m.total_faults(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "quarantine without faults")]
+    fn quarantine_without_faults_is_a_bug() {
+        let m = SimMetrics { blocks_quarantined: 1, ..sample() };
+        m.check_invariants();
     }
 
     #[test]

@@ -21,11 +21,7 @@ pub struct Report {
 
 impl Report {
     /// A report with the given id/title and columns.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
         Report {
             id: id.into(),
             title: title.into(),
@@ -59,7 +55,8 @@ impl Report {
                 s.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
@@ -83,7 +80,12 @@ impl Report {
         let _ = writeln!(
             out,
             "| {} |",
-            self.columns.iter().zip(&widths).map(|(c, &w)| pad(c, w)).collect::<Vec<_>>().join(" | ")
+            self.columns
+                .iter()
+                .zip(&widths)
+                .map(|(c, &w)| pad(c, w))
+                .collect::<Vec<_>>()
+                .join(" | ")
         );
         let _ = writeln!(
             out,

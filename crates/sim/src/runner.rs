@@ -67,7 +67,17 @@ pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimResult {
     // Optional finite disk array (extension; `None` = the paper's
     // infinite-disk assumption). Prefetch completion times are tracked per
     // block so partially-overlapped prefetch hits stall correctly.
-    let mut disks = config.disks.map(prefetch_disk::DiskArray::new);
+    // Configuration errors surface through `SimConfig::validate`; reaching
+    // this expect means a front end skipped validation.
+    let mut disks = config.disks.map(|d| {
+        match config.faults {
+            Some(f) if f.plan.is_active() => prefetch_disk::DiskArray::with_faults(d, f.plan),
+            _ => prefetch_disk::DiskArray::new(d),
+        }
+        .expect("invalid SimConfig (run SimConfig::validate first)")
+    });
+    let retry = config.faults.map(|f| f.retry).unwrap_or_default();
+    let faults_active = disks.as_ref().is_some_and(|a| a.fault_plan().is_some());
     let mut prefetch_completion: std::collections::HashMap<u64, f64> =
         std::collections::HashMap::new();
 
@@ -113,9 +123,38 @@ pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimResult {
                 cache.insert_demand(rec.block);
                 // Full demand-fetch stall (Figure 3a); with a finite array
                 // the fetch may additionally queue behind earlier I/O.
+                // Under fault injection a failed read retries with
+                // exponential backoff in virtual time; when the budget runs
+                // out the read is priced with the give-up penalty instead
+                // of looping forever.
                 let stall = match &mut disks {
                     Some(array) => {
-                        let completion = array.submit(rec.block, now_ms + p.t_driver);
+                        let mut attempts = 0u32;
+                        let mut submit_at = now_ms + p.t_driver;
+                        let completion = loop {
+                            match array.submit(rec.block, submit_at) {
+                                Ok(c) => {
+                                    if faults_active {
+                                        policy.note_read_success(rec.block);
+                                    }
+                                    break c.completion_ms;
+                                }
+                                Err(fault) => {
+                                    attempts += 1;
+                                    metrics.demand_faults += 1;
+                                    if retry.should_retry(attempts) {
+                                        metrics.demand_retries += 1;
+                                        let backoff = retry.backoff_ms(attempts);
+                                        metrics.retry_backoff_ms += backoff;
+                                        submit_at = fault.retry_at_ms().max(submit_at) + backoff;
+                                    } else {
+                                        metrics.demand_read_failures += 1;
+                                        break fault.retry_at_ms().max(submit_at)
+                                            + retry.give_up_penalty_ms;
+                                    }
+                                }
+                            }
+                        };
                         completion - now_ms
                     }
                     None => p.t_driver + p.t_disk,
@@ -139,12 +178,28 @@ pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimResult {
         policy.after_reference(&ctx, &mut cache, &mut act);
         absorb(&mut metrics, &act, kind);
 
-        // Queue this period's prefetch I/O on the array.
+        // Queue this period's prefetch I/O on the array. A faulted
+        // prefetch is treated as a priced mispredict: the buffer is
+        // released immediately (no retries compete with demand traffic),
+        // the initiation overhead stays charged via `prefetches_issued`,
+        // and repeat offenders are quarantined by the policy so the
+        // Section 7 loop stops re-issuing them.
         if let Some(array) = &mut disks {
             for (j, &b) in act.prefetched_blocks.iter().enumerate() {
                 let issue = now_ms + (j + 1) as f64 * p.t_driver;
-                let completion = array.submit(b, issue);
-                prefetch_completion.insert(b.0, completion);
+                match array.submit(b, issue) {
+                    Ok(c) => {
+                        prefetch_completion.insert(b.0, c.completion_ms);
+                    }
+                    Err(_) => {
+                        metrics.prefetch_faults += 1;
+                        cache.cancel_prefetch(b);
+                        prefetch_completion.remove(&b.0);
+                        if policy.note_prefetch_fault(b) {
+                            metrics.blocks_quarantined += 1;
+                        }
+                    }
+                }
             }
         }
 
@@ -161,6 +216,7 @@ pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimResult {
         metrics.disk_queue_ms = s.queue_ms;
         metrics.disk_queued_requests = s.queued_requests;
         metrics.disk_mean_utilization = s.mean_utilization();
+        metrics.disk_slowed_requests = s.slowed_requests;
     }
     metrics.check_invariants();
     SimResult { config: *config, trace: trace.meta().name.clone(), metrics }
@@ -171,6 +227,7 @@ fn absorb(m: &mut SimMetrics, act: &PeriodActivity, kind: RefKind) {
     m.prefetch_probability_sum += act.prefetch_probability_sum;
     m.candidates_considered += act.candidates_considered as u64;
     m.candidates_already_cached += act.candidates_already_cached as u64;
+    m.candidates_quarantined += act.candidates_quarantined as u64;
     m.prefetch_evictions += act.prefetch_evictions as u64;
     m.demand_evictions_for_prefetch += act.demand_evictions_for_prefetch as u64;
     if act.predictable {
@@ -293,5 +350,86 @@ mod tests {
         let a = run_simulation(&trace, &cfg);
         let b = run_simulation(&trace, &cfg);
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn zero_fault_rate_reproduces_the_fault_free_run_bit_for_bit() {
+        let trace = TraceKind::Cad.generate(6000, 5);
+        for spec in [PolicySpec::NoPrefetch, PolicySpec::Tree, PolicySpec::TreeNextLimit] {
+            let plain = SimConfig::new(256, spec).with_disks(4);
+            let faulted = plain.with_fault_rate(99, 0.0);
+            faulted.validate().unwrap();
+            let a = run_simulation(&trace, &plain);
+            let b = run_simulation(&trace, &faulted);
+            assert_eq!(a.metrics, b.metrics, "{spec:?}");
+            assert_eq!(b.metrics.total_faults(), 0);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_count_faults() {
+        let trace = TraceKind::Snake.generate(6000, 11);
+        let cfg =
+            SimConfig::new(128, PolicySpec::TreeNextLimit).with_disks(2).with_fault_rate(7, 0.08);
+        cfg.validate().unwrap();
+        let a = run_simulation(&trace, &cfg);
+        let b = run_simulation(&trace, &cfg);
+        assert_eq!(a.metrics, b.metrics);
+        assert!(a.metrics.demand_faults > 0, "no demand faults at rate 0.08");
+        assert!(a.metrics.demand_retries > 0, "faults never retried");
+        assert!(a.metrics.retry_backoff_ms > 0.0, "retries never backed off");
+        assert!(a.metrics.prefetch_faults > 0, "no prefetch faults at rate 0.08");
+    }
+
+    #[test]
+    fn all_policies_survive_heavy_faults() {
+        let trace = TraceKind::Cad.generate(4000, 3);
+        for spec in [
+            PolicySpec::NoPrefetch,
+            PolicySpec::NextLimit,
+            PolicySpec::Tree,
+            PolicySpec::TreeNextLimit,
+            PolicySpec::TreeLvc,
+            PolicySpec::TreeThreshold(0.05),
+            PolicySpec::TreeChildren(3),
+            PolicySpec::PerfectSelector,
+        ] {
+            let cfg = SimConfig::new(256, spec).with_disks(4).with_fault_rate(13, 0.25);
+            cfg.validate().unwrap();
+            let r = run_simulation(&trace, &cfg);
+            assert_eq!(r.metrics.refs, 4000, "{spec:?}");
+            assert!(r.metrics.demand_faults > 0, "{spec:?} saw no faults at rate 0.25");
+        }
+    }
+
+    #[test]
+    fn faults_slow_the_run_down() {
+        let trace = TraceKind::Snake.generate(8000, 2);
+        let plain = SimConfig::new(128, PolicySpec::Tree).with_disks(2);
+        let faulted = plain.with_fault_rate(5, 0.15);
+        let a = run_simulation(&trace, &plain);
+        let b = run_simulation(&trace, &faulted);
+        assert!(
+            b.metrics.elapsed_ms > a.metrics.elapsed_ms,
+            "faults should cost virtual time: {} vs {}",
+            b.metrics.elapsed_ms,
+            a.metrics.elapsed_ms
+        );
+    }
+
+    #[test]
+    fn repeat_prefetch_faults_quarantine_blocks() {
+        // At a very high fault rate the tree policy's prefetches fail
+        // repeatedly; the quarantine must engage and be visible in the
+        // counters.
+        let trace = TraceKind::Cad.generate(8000, 9);
+        let cfg =
+            SimConfig::new(256, PolicySpec::TreeNextLimit).with_disks(1).with_fault_rate(3, 0.5);
+        let r = run_simulation(&trace, &cfg);
+        assert!(r.metrics.prefetch_faults > 0);
+        assert!(
+            r.metrics.blocks_quarantined > 0,
+            "no block crossed the quarantine threshold under 50% faults"
+        );
     }
 }

@@ -68,12 +68,9 @@ mod tests {
 
     #[test]
     fn grid_preserves_order_and_matches_serial_runs() {
-        let traces =
-            vec![TraceKind::Cad.generate(2000, 1), TraceKind::Sitar.generate(2000, 1)];
-        let configs = vec![
-            SimConfig::new(64, PolicySpec::NoPrefetch),
-            SimConfig::new(64, PolicySpec::Tree),
-        ];
+        let traces = vec![TraceKind::Cad.generate(2000, 1), TraceKind::Sitar.generate(2000, 1)];
+        let configs =
+            vec![SimConfig::new(64, PolicySpec::NoPrefetch), SimConfig::new(64, PolicySpec::Tree)];
         let grid = run_grid(&traces, &configs);
         assert_eq!(grid.len(), 4);
         // Order: (t0,c0), (t0,c1), (t1,c0), (t1,c1).

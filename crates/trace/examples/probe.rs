@@ -5,8 +5,13 @@ fn main() {
     for kind in TraceKind::ALL {
         let t = kind.generate(200_000, 1);
         let s = TraceStats::compute(&t);
-        println!("{kind}: seq={:.3} unique_frac={:.3} bigram_rep={:.3} reuse={:.3} procs={}",
-            s.sequential_fraction, s.unique_blocks as f64 / s.refs as f64,
-            s.bigram_repetition, s.reuse_fraction, s.processes);
+        println!(
+            "{kind}: seq={:.3} unique_frac={:.3} bigram_rep={:.3} reuse={:.3} procs={}",
+            s.sequential_fraction,
+            s.unique_blocks as f64 / s.refs as f64,
+            s.bigram_repetition,
+            s.reuse_fraction,
+            s.processes
+        );
     }
 }

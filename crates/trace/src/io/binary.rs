@@ -17,7 +17,7 @@
 //! bytes. Encoding detail: the low bit of the varint payload marks whether a
 //! flags byte follows, so `delta` is shifted left once more.
 
-use crate::io::text::{read_text, write_text};
+use crate::io::text::{read_text, write_text, ReadOptions};
 use crate::io::TraceIoError;
 use crate::record::{AccessKind, TraceRecord};
 use crate::Trace;
@@ -74,8 +74,28 @@ pub fn write_binary<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceIoErr
     Ok(())
 }
 
-/// Deserialize a binary trace.
+/// Deserialize a binary trace (strict: any malformed or truncated record
+/// is an error).
 pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
+    read_binary_with(r, ReadOptions { strict: true }).map(|(t, _)| t)
+}
+
+/// Deserialize a binary trace leniently: a malformed varint or truncated
+/// body yields the records decoded so far plus a count of those lost,
+/// instead of an error. The varint delta encoding cannot resynchronize
+/// after a corrupt record, so everything from the first bad record to the
+/// declared end counts as skipped. Header errors (bad magic, version,
+/// metadata) are still fatal — there is no trace to salvage.
+pub fn read_binary_lossy<R: Read>(r: &mut R) -> Result<(Trace, u64), TraceIoError> {
+    read_binary_with(r, ReadOptions { strict: false })
+}
+
+/// Deserialize a binary trace under explicit [`ReadOptions`]. The skipped
+/// count is always `0` in strict mode.
+pub fn read_binary_with<R: Read>(
+    r: &mut R,
+    opts: ReadOptions,
+) -> Result<(Trace, u64), TraceIoError> {
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
     let mut buf = &raw[..];
@@ -104,23 +124,18 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
 
     // Parse the meta via the text reader for a single source of truth.
     let meta_line = format!("#!meta {meta_json}\n");
-    let meta = read_text(&mut std::io::BufReader::new(meta_line.as_bytes()))?
-        .meta()
-        .clone();
+    let meta = read_text(&mut std::io::BufReader::new(meta_line.as_bytes()))?.meta().clone();
 
     let mut trace = Trace::new(meta);
     trace.reserve(count as usize);
     let mut prev_block: u64 = 0;
     let mut prev_pid: u32 = 0;
     let mut prev_kind = AccessKind::Read;
-    for i in 0..count {
-        let tagged = get_varint(&mut buf).map_err(|_| TraceIoError::Truncated {
-            expected: count,
-            got: i,
-        })?;
+    let mut decode_record = |buf: &mut &[u8], i: u64| -> Result<TraceRecord, TraceIoError> {
+        let tagged =
+            get_varint(buf).map_err(|_| TraceIoError::Truncated { expected: count, got: i })?;
         let has_flags = tagged & 1 == 1;
-        let delta =
-            zigzag_decode(u64::try_from(tagged >> 1).map_err(|_| TraceIoError::BadVarint)?);
+        let delta = zigzag_decode(u64::try_from(tagged >> 1).map_err(|_| TraceIoError::BadVarint)?);
         let block = prev_block.wrapping_add(delta as u64);
         if has_flags {
             if buf.remaining() < 1 {
@@ -128,16 +143,23 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
             }
             let kind_bit = buf.get_u8();
             prev_kind = if kind_bit & 1 == 1 { AccessKind::Write } else { AccessKind::Read };
-            let pid = get_varint(&mut buf).map_err(|_| TraceIoError::Truncated {
-                expected: count,
-                got: i,
-            })?;
+            let pid =
+                get_varint(buf).map_err(|_| TraceIoError::Truncated { expected: count, got: i })?;
             prev_pid = u32::try_from(pid).map_err(|_| TraceIoError::BadVarint)?;
         }
-        trace.push(TraceRecord { block: block.into(), pid: prev_pid, kind: prev_kind });
         prev_block = block;
+        Ok(TraceRecord { block: block.into(), pid: prev_pid, kind: prev_kind })
+    };
+    for i in 0..count {
+        match decode_record(&mut buf, i) {
+            Ok(rec) => trace.push(rec),
+            Err(e) if opts.strict => return Err(e),
+            // The delta stream cannot resynchronize: everything from the
+            // first bad record to the declared end is lost.
+            Err(_) => return Ok((trace, count - i)),
+        }
     }
-    Ok(trace)
+    Ok((trace, 0))
 }
 
 #[inline]
@@ -279,5 +301,36 @@ mod tests {
         write_binary(&Trace::from_blocks([1u64]), &mut buf).unwrap();
         let res = read_binary(&mut &buf[..5]);
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn lossy_read_salvages_a_truncated_body() {
+        let t = Trace::from_blocks([1u64, 100, 10000, 42]);
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let shorter = &buf[..buf.len() - 2];
+        let (back, skipped) = read_binary_lossy(&mut &shorter[..]).unwrap();
+        assert!(skipped > 0);
+        assert_eq!(back.len() as u64 + skipped, t.len() as u64);
+        // Salvaged prefix matches the original records.
+        assert_eq!(back.records(), &t.records()[..back.len()]);
+    }
+
+    #[test]
+    fn lossy_read_still_rejects_header_corruption() {
+        let mut buf = Vec::new();
+        write_binary(&Trace::from_blocks([1u64]), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(read_binary_lossy(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn lossy_read_on_clean_input_matches_strict() {
+        let t = Trace::from_blocks([3u64, 1, 4, 1, 5, 9, 2, 6]);
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let (back, skipped) = read_binary_lossy(&mut &buf[..]).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(back, t);
     }
 }

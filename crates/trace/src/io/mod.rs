@@ -10,14 +10,19 @@
 //!   record count, using varint block deltas; roughly 2-4 bytes per record
 //!   for realistic traces. Truncation and corruption are detected and
 //!   reported as errors, never panics.
+//!
+//! Both formats offer a lenient reading mode ([`read_text_lossy`],
+//! [`read_binary_lossy`], [`ReadOptions`]) that skips malformed records
+//! and reports how many were dropped, for traces converted from external
+//! dumps; the strict default fails on the first malformed record.
 
 pub mod binary;
 pub mod error;
 pub mod text;
 
-pub use binary::{read_binary, write_binary};
+pub use binary::{read_binary, read_binary_lossy, read_binary_with, write_binary};
 pub use error::TraceIoError;
-pub use text::{read_text, write_text};
+pub use text::{read_text, read_text_lossy, read_text_with, write_text, ReadOptions};
 
 use crate::Trace;
 use std::path::Path;
@@ -31,6 +36,19 @@ pub fn load(path: &Path) -> Result<Trace, TraceIoError> {
         read_binary(&mut reader)
     } else {
         read_text(&mut reader)
+    }
+}
+
+/// Load a trace leniently, picking the format from the file extension:
+/// malformed records are skipped and counted instead of fatal (see
+/// [`read_text_lossy`] / [`read_binary_lossy`]).
+pub fn load_lossy(path: &Path) -> Result<(Trace, u64), TraceIoError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = std::io::BufReader::new(file);
+    if path.extension().is_some_and(|e| e == "trc") {
+        read_binary_lossy(&mut reader)
+    } else {
+        read_text_lossy(&mut reader)
     }
 }
 

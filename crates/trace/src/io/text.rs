@@ -26,11 +26,47 @@ pub fn write_text<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceIoError
     Ok(())
 }
 
-/// Parse a text trace.
+/// How strictly a reader treats malformed input.
+///
+/// The strict mode (the default) fails on the first malformed record —
+/// right for traces this crate wrote itself. The lenient mode skips
+/// malformed records and reports how many were dropped — right for traces
+/// converted from external dumps, where a handful of mangled lines should
+/// not discard millions of good records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// Fail on the first malformed record instead of skipping it.
+    pub strict: bool,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions { strict: true }
+    }
+}
+
+/// Parse a text trace (strict: the first malformed line is an error).
 pub fn read_text<R: BufRead>(r: &mut R) -> Result<Trace, TraceIoError> {
+    read_text_with(r, ReadOptions { strict: true }).map(|(t, _)| t)
+}
+
+/// Parse a text trace leniently: malformed lines (and a malformed
+/// `#!meta` header) are skipped rather than fatal. Returns the trace and
+/// the number of lines skipped. I/O errors are still fatal.
+pub fn read_text_lossy<R: BufRead>(r: &mut R) -> Result<(Trace, u64), TraceIoError> {
+    read_text_with(r, ReadOptions { strict: false })
+}
+
+/// Parse a text trace under explicit [`ReadOptions`]. The skipped count is
+/// always `0` in strict mode (a malformed line returns `Err` instead).
+pub fn read_text_with<R: BufRead>(
+    r: &mut R,
+    opts: ReadOptions,
+) -> Result<(Trace, u64), TraceIoError> {
     let mut trace = Trace::empty();
     let mut line = String::new();
     let mut line_no = 0usize;
+    let mut skipped = 0u64;
     loop {
         line.clear();
         if r.read_line(&mut line)? == 0 {
@@ -42,15 +78,23 @@ pub fn read_text<R: BufRead>(r: &mut R) -> Result<Trace, TraceIoError> {
             continue;
         }
         if let Some(meta_json) = trimmed.strip_prefix(META_PREFIX) {
-            *trace.meta_mut() = meta_from_json(meta_json)?;
+            match meta_from_json(meta_json) {
+                Ok(meta) => *trace.meta_mut() = meta,
+                Err(e) if opts.strict => return Err(e),
+                Err(_) => skipped += 1,
+            }
             continue;
         }
         if trimmed.starts_with('#') {
             continue;
         }
-        trace.push(parse_line(trimmed, line_no)?);
+        match parse_line(trimmed, line_no) {
+            Ok(rec) => trace.push(rec),
+            Err(e) if opts.strict => return Err(e),
+            Err(_) => skipped += 1,
+        }
     }
-    Ok(trace)
+    Ok((trace, skipped))
 }
 
 fn parse_line(s: &str, line_no: usize) -> Result<TraceRecord, TraceIoError> {
@@ -116,9 +160,8 @@ fn meta_from_json(s: &str) -> Result<TraceMeta, TraceIoError> {
         fields.push(&body[start..]);
     }
     for field in fields {
-        let (k, v) = field
-            .split_once(':')
-            .ok_or_else(|| TraceIoError::BadMeta(field.to_string()))?;
+        let (k, v) =
+            field.split_once(':').ok_or_else(|| TraceIoError::BadMeta(field.to_string()))?;
         let key = k.trim().trim_matches('"');
         let val = v.trim();
         let unesc = |s: &str| s.replace("\\\"", "\"").replace("\\\\", "\\");
@@ -207,5 +250,42 @@ mod tests {
     fn empty_input_is_empty_trace() {
         let t = read_text(&mut BufReader::new("".as_bytes())).unwrap();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lossy_read_skips_bad_lines_and_counts_them() {
+        let src = "1\nabc\n2\n1 2 X\n3\n-5\n";
+        let (t, skipped) = read_text_lossy(&mut BufReader::new(src.as_bytes())).unwrap();
+        assert_eq!(skipped, 3);
+        let blocks: Vec<u64> = t.records().iter().map(|r| r.block.0).collect();
+        assert_eq!(blocks, [1, 2, 3]);
+        // The same input fails in strict mode.
+        assert!(read_text(&mut BufReader::new(src.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn lossy_read_survives_bad_meta() {
+        let src = "#!meta not-json\n1\n2\n";
+        let (t, skipped) = read_text_lossy(&mut BufReader::new(src.as_bytes())).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.meta().name, "");
+    }
+
+    #[test]
+    fn lossy_read_on_clean_input_matches_strict() {
+        let mut t = Trace::from_blocks([10u64, 11, 12, 5]);
+        t.meta_mut().name = "snake".into();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let strict = read_text(&mut BufReader::new(&buf[..])).unwrap();
+        let (lossy, skipped) = read_text_lossy(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(strict, lossy);
+    }
+
+    #[test]
+    fn default_read_options_are_strict() {
+        assert!(ReadOptions::default().strict);
     }
 }

@@ -50,16 +50,11 @@ impl From<u64> for BlockId {
 /// Read or write. The paper's model treats every reference as a fetch into
 /// the buffer cache; we keep the distinction in the trace format so that
 /// workload generators can record it and future policies can use it.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum AccessKind {
+    #[default]
     Read,
     Write,
-}
-
-impl Default for AccessKind {
-    fn default() -> Self {
-        AccessKind::Read
-    }
 }
 
 /// One I/O reference in a trace.

@@ -64,14 +64,9 @@ pub fn generate_cad(cfg: &CadConfig, seed: u64) -> Trace {
     );
     // CAD users iterate: the same traversal is often re-run back to back,
     // which is what drives the paper's high last-visited-child rate.
-    let workload = LoopReplay::new(
-        library,
-        cfg.popularity_skew,
-        cfg.mutation_rate,
-        0,
-        cfg.object_space,
-    )
-    .with_persistence(0.45);
+    let workload =
+        LoopReplay::new(library, cfg.popularity_skew, cfg.mutation_rate, 0, cfg.object_space)
+            .with_persistence(0.45);
     generate(
         workload,
         cfg.refs,

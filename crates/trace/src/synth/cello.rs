@@ -70,11 +70,7 @@ pub fn generate_cello(cfg: &CelloConfig, seed: u64) -> Trace {
     // disk-level trace — the (weak) structure the prefetch tree can learn.
     let loops_start = cfg.scan_processes as u64 * region;
     let library = LoopReplay::random_library(&mut setup_rng, 8, 800, 1800, loops_start, region);
-    streams.push((
-        Box::new(LoopReplay::new(library, 0.7, 0.02, loops_start, region)),
-        7.0,
-        99,
-    ));
+    streams.push((Box::new(LoopReplay::new(library, 0.7, 0.02, loops_start, region)), 7.0, 99));
     // Zipf metadata / hot-file traffic: mostly absorbed by the L1; what
     // leaks is the long tail, which looks nearly random below the cache.
     streams.push((
@@ -89,10 +85,7 @@ pub fn generate_cello(cfg: &CelloConfig, seed: u64) -> Trace {
     ));
     // Scattered background traffic (paging, random database probes).
     streams.push((
-        Box::new(UniformRandom::new(
-            (cfg.scan_processes as u64 + 2) * region,
-            region,
-        )),
+        Box::new(UniformRandom::new((cfg.scan_processes as u64 + 2) * region, region)),
         1.2,
         101,
     ));
@@ -144,8 +137,7 @@ mod tests {
     #[test]
     fn cello_mixes_processes() {
         let t = generate_cello(&CelloConfig { refs: 20_000, ..Default::default() }, 2);
-        let pids: std::collections::HashSet<u32> =
-            t.records().iter().map(|r| r.pid).collect();
+        let pids: std::collections::HashSet<u32> = t.records().iter().map(|r| r.pid).collect();
         assert!(pids.len() >= 4, "expected multiple processes, got {pids:?}");
     }
 }

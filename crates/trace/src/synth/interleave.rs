@@ -105,12 +105,8 @@ mod tests {
             (Box::new(SequentialRuns::new(0, 100_000, 1000, 1000)), 1.0, 1),
             (Box::new(SequentialRuns::new(1_000_000, 100_000, 1000, 1000)), 1.0, 2),
         ];
-        let t = generate(
-            Interleave::new(streams).with_burst(32.0),
-            20_000,
-            8,
-            TraceMeta::default(),
-        );
+        let t =
+            generate(Interleave::new(streams).with_burst(32.0), 20_000, 8, TraceMeta::default());
         // Mean pid-run length should be near the burst mean.
         let recs = t.records();
         let mut runs = 0usize;

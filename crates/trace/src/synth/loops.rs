@@ -91,9 +91,7 @@ impl LoopReplay {
         (0..count)
             .map(|_| {
                 let len = rng.gen_range(len_min..=len_max);
-                (0..len)
-                    .map(|_| region_start + rng.gen_range(0..region_blocks))
-                    .collect()
+                (0..len).map(|_| region_start + rng.gen_range(0..region_blocks)).collect()
             })
             .collect()
     }
@@ -133,8 +131,7 @@ mod tests {
         let w = LoopReplay::new(lib.clone(), 1.0, 0.0, 0, 1);
         let t = generate(w, 300, 1, TraceMeta::default());
         // Every emitted block belongs to the library.
-        let all: std::collections::HashSet<u64> =
-            lib.iter().flatten().copied().collect();
+        let all: std::collections::HashSet<u64> = lib.iter().flatten().copied().collect();
         assert!(t.blocks().all(|b| all.contains(&b.0)));
         // Sequences appear contiguously: after a 10 always a 20, then 30.
         let blocks: Vec<u64> = t.blocks().map(|b| b.0).collect();

@@ -96,7 +96,8 @@ pub enum TraceKind {
 
 impl TraceKind {
     /// All four kinds in the paper's Table 1 order.
-    pub const ALL: [TraceKind; 4] = [TraceKind::Cello, TraceKind::Snake, TraceKind::Cad, TraceKind::Sitar];
+    pub const ALL: [TraceKind; 4] =
+        [TraceKind::Cello, TraceKind::Snake, TraceKind::Cad, TraceKind::Sitar];
 
     /// The trace's short name as used throughout the paper.
     pub fn name(self) -> &'static str {
@@ -111,10 +112,16 @@ impl TraceKind {
     /// Generate this trace with `refs` references from `seed`.
     pub fn generate(self, refs: usize, seed: u64) -> Trace {
         match self {
-            TraceKind::Cello => generate_cello(&CelloConfig { refs, ..CelloConfig::default() }, seed),
-            TraceKind::Snake => generate_snake(&SnakeConfig { refs, ..SnakeConfig::default() }, seed),
+            TraceKind::Cello => {
+                generate_cello(&CelloConfig { refs, ..CelloConfig::default() }, seed)
+            }
+            TraceKind::Snake => {
+                generate_snake(&SnakeConfig { refs, ..SnakeConfig::default() }, seed)
+            }
             TraceKind::Cad => generate_cad(&CadConfig { refs, ..CadConfig::default() }, seed),
-            TraceKind::Sitar => generate_sitar(&SitarConfig { refs, ..SitarConfig::default() }, seed),
+            TraceKind::Sitar => {
+                generate_sitar(&SitarConfig { refs, ..SitarConfig::default() }, seed)
+            }
         }
     }
 }

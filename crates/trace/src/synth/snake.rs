@@ -115,11 +115,7 @@ mod tests {
         let t = generate_snake(&SnakeConfig { refs: 60_000, ..Default::default() }, 1);
         let s = TraceStats::compute(&t);
         // Sequential file reads survive.
-        assert!(
-            s.sequential_fraction > 0.15,
-            "sequential fraction: {}",
-            s.sequential_fraction
-        );
+        assert!(s.sequential_fraction > 0.15, "sequential fraction: {}", s.sequential_fraction);
         // Repeated request chains: blocks are re-referenced below the disk
         // (unique fraction clearly below 1).
         assert!(

@@ -1,11 +1,16 @@
-use prefetch_tree::stats::analyze_blocks;
 use prefetch_trace::synth::TraceKind;
+use prefetch_tree::stats::analyze_blocks;
 
 fn main() {
     println!("trace   accuracy  lvc_rate  (paper: cello 35.78/24.37, snake 61.50/38.49, cad 59.90/68.61, sitar 71.39/73.61)");
     for kind in TraceKind::ALL {
         let t = kind.generate(400_000, 1);
         let s = analyze_blocks(t.blocks(), usize::MAX);
-        println!("{:<7} {:>6.2}%  {:>6.2}%", kind.name(), 100.0*s.prediction_accuracy(), 100.0*s.lvc_repeat_rate());
+        println!(
+            "{:<7} {:>6.2}%  {:>6.2}%",
+            kind.name(),
+            100.0 * s.prediction_accuracy(),
+            100.0 * s.lvc_repeat_rate()
+        );
     }
 }

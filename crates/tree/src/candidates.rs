@@ -143,10 +143,8 @@ impl PrefetchTree {
         let mut frontier: Vec<Candidate> = Vec::new();
         self.child_candidates(anchor, 1.0, 0, &mut frontier);
         let mut result: Vec<Candidate> = Vec::new();
-        while let Some((i, _)) = frontier
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.probability.total_cmp(&b.1.probability))
+        while let Some((i, _)) =
+            frontier.iter().enumerate().max_by(|a, b| a.1.probability.total_cmp(&b.1.probability))
         {
             let c = frontier.swap_remove(i);
             if result.len() >= max_candidates {
@@ -178,7 +176,7 @@ mod tests {
         let t = fig1_tree();
         let mut out = Vec::new();
         t.child_candidates(t.root(), 1.0, 0, &mut out);
-        out.sort_by(|a, b| a.block.0.cmp(&b.block.0));
+        out.sort_by_key(|a| a.block.0);
         assert_eq!(out.len(), 2);
         // a: 5/6, b: 1/6, both at depth 1 with parent probability 1.
         assert_eq!(out[0].block, BlockId(1));

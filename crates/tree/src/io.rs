@@ -121,8 +121,7 @@ pub fn read_tree<R: Read>(r: &mut R) -> Result<PrefetchTree, TreeIoError> {
     tree.restore_root_weight(root_weight);
     // (parent node, children still to read, weight budget left at parent):
     // a node's children can never outweigh the node (LZ invariant).
-    let mut stack: Vec<(NodeId, usize, u64)> =
-        vec![(tree.root(), root_children, root_weight)];
+    let mut stack: Vec<(NodeId, usize, u64)> = vec![(tree.root(), root_children, root_weight)];
     while let Some(&mut (parent, ref mut remaining, ref mut budget)) = stack.last_mut() {
         if *remaining == 0 {
             stack.pop();
@@ -142,9 +141,7 @@ pub fn read_tree<R: Read>(r: &mut R) -> Result<PrefetchTree, TreeIoError> {
         if child_count > 1 << 24 {
             return Err(TreeIoError::Corrupt("absurd child count"));
         }
-        let node = tree
-            .restore_child(parent, block, weight)
-            .map_err(TreeIoError::Corrupt)?;
+        let node = tree.restore_child(parent, block, weight).map_err(TreeIoError::Corrupt)?;
         stack.push((node, child_count, weight));
     }
     if pos != buf.len() {

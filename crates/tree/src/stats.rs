@@ -98,11 +98,7 @@ mod tests {
     fn perfectly_repetitive_stream_approaches_full_predictability() {
         let blocks: Vec<BlockId> = (0..4000).map(|i| BlockId(i % 3)).collect();
         let s = analyze_blocks(blocks, usize::MAX);
-        assert!(
-            s.prediction_accuracy() > 0.9,
-            "accuracy {}",
-            s.prediction_accuracy()
-        );
+        assert!(s.prediction_accuracy() > 0.9, "accuracy {}", s.prediction_accuracy());
         assert!(s.lvc_repeat_rate() > 0.8, "lvc {}", s.lvc_repeat_rate());
     }
 

@@ -193,8 +193,7 @@ impl PrefetchTree {
         let lvc = self.nodes[cur as usize].last_visited_child;
         let lvc_repeat = if lvc != NIL {
             self.stats.lvc_opportunities += 1;
-            let repeat = self.nodes[lvc as usize].block == block
-                && existing == Some(lvc);
+            let repeat = self.nodes[lvc as usize].block == block && existing == Some(lvc);
             if repeat {
                 self.stats.lvc_repeats += 1;
             }
@@ -638,10 +637,7 @@ mod tests {
         t.check_invariants();
         // The survivors are the most recent blocks.
         for b in 96..100u64 {
-            assert!(
-                t.child_by_block(t.root(), BlockId(b)).is_some(),
-                "recent block {b} evicted"
-            );
+            assert!(t.child_by_block(t.root(), BlockId(b)).is_some(), "recent block {b} evicted");
         }
         assert!(t.child_by_block(t.root(), BlockId(0)).is_none());
     }
@@ -662,10 +658,8 @@ mod tests {
         // require at least one hot root child), while the unique noise
         // leaves are what gets evicted.
         let root = t.root();
-        let hot_children = [1u64, 2, 3]
-            .iter()
-            .filter(|&&b| t.child_by_block(root, BlockId(b)).is_some())
-            .count();
+        let hot_children =
+            [1u64, 2, 3].iter().filter(|&&b| t.child_by_block(root, BlockId(b)).is_some()).count();
         assert!(hot_children >= 1, "all hot blocks evicted from root");
         assert!(t.node_count() <= 64);
     }

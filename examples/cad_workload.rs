@@ -49,10 +49,7 @@ fn main() {
         println!("  (cursor at a leaf — parse just reset)");
     }
     for c in cands {
-        println!(
-            "  block {:>8}  p = {:<6.3} at distance {}",
-            c.block, c.probability, c.depth
-        );
+        println!("  block {:>8}  p = {:<6.3} at distance {}", c.block, c.probability, c.depth);
     }
 
     // 3. Full simulation: next-limit does nothing here, the tree helps.

@@ -53,7 +53,8 @@ impl Workload for IndexProbes {
                 TraceRecord::read(self.root_page)
             }
             ProbeState::Inner(i) => {
-                let leaf = i * self.leaves_per_inner + self.hot_ranges.pick(rng) % self.leaves_per_inner;
+                let leaf =
+                    i * self.leaves_per_inner + self.hot_ranges.pick(rng) % self.leaves_per_inner;
                 self.state = ProbeState::Leaf(leaf);
                 TraceRecord::read(1000 + i)
             }
@@ -85,12 +86,17 @@ fn main() {
         hot_ranges: ZipfLike { n: 40 },
         state: ProbeState::Root,
     };
-    let trace = generate(workload, 120_000, 3, TraceMeta {
-        name: "index-probes".into(),
-        description: "Custom workload: skewed B-tree index probes + record scans".into(),
-        l1_cache_bytes: None,
-        seed: None,
-    });
+    let trace = generate(
+        workload,
+        120_000,
+        3,
+        TraceMeta {
+            name: "index-probes".into(),
+            description: "Custom workload: skewed B-tree index probes + record scans".into(),
+            l1_cache_bytes: None,
+            seed: None,
+        },
+    );
     let stats = TraceStats::compute(&trace);
     println!(
         "custom workload: {} refs, {} unique blocks, {:.1}% sequential\n",
@@ -100,12 +106,9 @@ fn main() {
     );
 
     println!("{:<18} {:>9} {:>12}", "policy", "miss %", "pf hit %");
-    for spec in [
-        PolicySpec::NoPrefetch,
-        PolicySpec::NextLimit,
-        PolicySpec::Tree,
-        PolicySpec::TreeNextLimit,
-    ] {
+    for spec in
+        [PolicySpec::NoPrefetch, PolicySpec::NextLimit, PolicySpec::Tree, PolicySpec::TreeNextLimit]
+    {
         let m = run_simulation(&trace, &SimConfig::new(512, spec)).metrics;
         println!(
             "{:<18} {:>8.2}% {:>11.1}%",

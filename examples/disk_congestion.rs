@@ -34,11 +34,8 @@ fn main() {
                 cfg = cfg.with_disks(disks);
             }
             let m = run_simulation(&trace, &cfg).metrics;
-            let queue_per_io = if m.disk_reads() > 0 {
-                m.disk_queue_ms / m.disk_reads() as f64
-            } else {
-                0.0
-            };
+            let queue_per_io =
+                if m.disk_reads() > 0 { m.disk_queue_ms / m.disk_reads() as f64 } else { 0.0 };
             println!(
                 "{:<18} {:>10} {:>11.2}% {:>12.3} {:>12.3} {:>11.1}%",
                 spec.name(),

@@ -14,17 +14,13 @@ fn main() {
     let cache: usize = args.next().map(|s| s.parse().expect("cache blocks")).unwrap_or(1024);
 
     let trace = TraceKind::Cad.generate(refs, 9);
-    let base = run_simulation(&trace, &SimConfig::new(cache, PolicySpec::NoPrefetch))
-        .metrics
-        .miss_rate();
+    let base =
+        run_simulation(&trace, &SimConfig::new(cache, PolicySpec::NoPrefetch)).metrics.miss_rate();
     println!(
         "CAD workload, {refs} refs, {cache}-block cache; no-prefetch miss rate {:.2}%\n",
         100.0 * base
     );
-    println!(
-        "{:>10} {:>11} {:>10} {:>16}",
-        "node limit", "memory", "miss %", "relative to base"
-    );
+    println!("{:>10} {:>11} {:>10} {:>16}", "node limit", "memory", "miss %", "relative to base");
     for limit in [512usize, 1024, 2048, 4096, 8192, 16384, 32768, 65536, usize::MAX] {
         let cfg = if limit == usize::MAX {
             SimConfig::new(cache, PolicySpec::Tree)
@@ -32,8 +28,7 @@ fn main() {
             SimConfig::new(cache, PolicySpec::Tree).with_node_limit(limit)
         };
         let miss = run_simulation(&trace, &cfg).metrics.miss_rate();
-        let label =
-            if limit == usize::MAX { "unlimited".into() } else { format!("{limit}") };
+        let label = if limit == usize::MAX { "unlimited".into() } else { format!("{limit}") };
         let mem = if limit == usize::MAX {
             "-".into()
         } else {

@@ -25,8 +25,7 @@ fn main() {
     ];
 
     println!("generating 4 traces × {refs} refs ...");
-    let traces: Vec<Trace> =
-        TraceKind::ALL.iter().map(|k| k.generate(refs, 2024)).collect();
+    let traces: Vec<Trace> = TraceKind::ALL.iter().map(|k| k.generate(refs, 2024)).collect();
 
     let cells: Vec<(usize, SimConfig)> = (0..traces.len())
         .flat_map(|ti| specs.iter().map(move |&s| (ti, SimConfig::new(cache, s))))

@@ -51,11 +51,8 @@ fn main() {
     }
     if let Some(base) = baseline {
         let best = run_simulation(&trace, &SimConfig::new(cache_blocks, PolicySpec::TreeNextLimit));
-        let reduction = if base > 0.0 {
-            100.0 * (base - best.metrics.miss_rate()) / base
-        } else {
-            0.0
-        };
+        let reduction =
+            if base > 0.0 { 100.0 * (base - best.metrics.miss_rate()) / base } else { 0.0 };
         println!("\ntree-next-limit reduces the miss rate by {reduction:.1}% vs no-prefetch");
     }
 }

@@ -39,13 +39,20 @@ pub use prefetch_tree as tree;
 pub mod prelude {
     pub use prefetch_cache::{BufferCache, PrefetchMeta, StackDistanceEstimator};
     pub use prefetch_core::policy::{
-        NextLimit, NoPrefetch, PeriodActivity, PerfectSelector, PrefetchPolicy, RefContext,
+        NextLimit, NoPrefetch, PerfectSelector, PeriodActivity, PrefetchPolicy, RefContext,
         RefKind, TreeChildren, TreeLvc, TreeNextLimit, TreePolicy, TreeThreshold, Victim,
     };
-    pub use prefetch_core::{CostBenefitEngine, CostBenefitModel, EngineConfig, ModelConfig, SystemParams};
-    pub use prefetch_disk::{DiskArray, DiskArrayConfig, DiskStats, Striping};
+    pub use prefetch_core::{
+        CostBenefitEngine, CostBenefitModel, EngineConfig, ModelConfig, Quarantine, RetryPolicy,
+        SystemParams,
+    };
+    pub use prefetch_disk::{
+        Completion, DiskArray, DiskArrayConfig, DiskFault, DiskStats, FaultPlan, Striping,
+    };
     pub use prefetch_sim::experiments::{run_all, run_experiment, ExperimentOpts, TraceSet};
-    pub use prefetch_sim::{run_simulation, PolicySpec, SimConfig, SimMetrics, SimResult};
+    pub use prefetch_sim::{
+        run_simulation, FaultConfig, PolicySpec, SimConfig, SimConfigError, SimMetrics, SimResult,
+    };
     pub use prefetch_trace::stats::{ReuseDistances, TraceStats};
     pub use prefetch_trace::synth::TraceKind;
     pub use prefetch_trace::{BlockId, Trace, TraceMeta, TraceRecord};

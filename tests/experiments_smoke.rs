@@ -30,18 +30,17 @@ fn run_all_covers_every_artifact_in_order() {
     // Every id appears at least once (figures with per-trace reports
     // appear multiple times).
     for id in ALL_IDS {
-        assert!(
-            reports.iter().any(|r| r.id.starts_with(id)),
-            "run_all missing {id}"
-        );
+        assert!(reports.iter().any(|r| r.id.starts_with(id)), "run_all missing {id}");
     }
-    // Paper order: table1 first; the extension reports (ablation, disks)
-    // come after every paper artifact.
+    // Paper order: table1 first; the extension reports (ablation, disks,
+    // resilience) come after every paper artifact.
     assert_eq!(reports.first().unwrap().id, "table1");
     let table4_pos = reports.iter().position(|r| r.id == "table4").unwrap();
     for r in &reports[table4_pos + 1..] {
         assert!(
-            r.id.starts_with("ablation") || r.id.starts_with("disks"),
+            r.id.starts_with("ablation")
+                || r.id.starts_with("disks")
+                || r.id.starts_with("resilience"),
             "unexpected report after table4: {}",
             r.id
         );

@@ -38,10 +38,7 @@ fn sitar_next_limit_dominates_and_tree_alone_adds_little() {
     let base = miss(&trace, 4096, PolicySpec::NoPrefetch);
     let nl = miss(&trace, 4096, PolicySpec::NextLimit);
     let tree = miss(&trace, 4096, PolicySpec::Tree);
-    assert!(
-        nl < 0.65 * base,
-        "next-limit should cut sitar misses sharply: {nl:.3} vs {base:.3}"
-    );
+    assert!(nl < 0.65 * base, "next-limit should cut sitar misses sharply: {nl:.3} vs {base:.3}");
     assert!(
         tree > base - 0.35 * base,
         "tree alone should not rival next-limit on sitar: tree {tree:.3}, base {base:.3}"
@@ -111,10 +108,7 @@ fn tree_lvc_matches_tree() {
         let trace = kind.generate(REFS, SEED);
         let tree = miss(&trace, 1024, PolicySpec::Tree);
         let lvc = miss(&trace, 1024, PolicySpec::TreeLvc);
-        assert!(
-            (tree - lvc).abs() < 0.05,
-            "{kind}: tree-lvc {lvc:.3} differs from tree {tree:.3}"
-        );
+        assert!((tree - lvc).abs() < 0.05, "{kind}: tree-lvc {lvc:.3} differs from tree {tree:.3}");
     }
 }
 

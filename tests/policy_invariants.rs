@@ -75,10 +75,8 @@ fn bigger_caches_never_hurt_tree_policies_much() {
     for kind in TraceKind::ALL {
         let trace = kind.generate(8_000, 6);
         for spec in [PolicySpec::Tree, PolicySpec::TreeNextLimit] {
-            let small =
-                run_simulation(&trace, &SimConfig::new(64, spec)).metrics.miss_rate();
-            let big =
-                run_simulation(&trace, &SimConfig::new(1024, spec)).metrics.miss_rate();
+            let small = run_simulation(&trace, &SimConfig::new(64, spec)).metrics.miss_rate();
+            let big = run_simulation(&trace, &SimConfig::new(1024, spec)).metrics.miss_rate();
             assert!(
                 big <= small + 0.02,
                 "{kind}/{spec:?}: 1024-block cache ({big:.3}) worse than 64 ({small:.3})"
@@ -108,8 +106,7 @@ fn oracle_never_fetches_unused_blocks_wastefully() {
     // prefetch hit rate should be near 1.
     for kind in TraceKind::ALL {
         let trace = kind.generate(8_000, 8);
-        let m =
-            run_simulation(&trace, &SimConfig::new(256, PolicySpec::PerfectSelector)).metrics;
+        let m = run_simulation(&trace, &SimConfig::new(256, PolicySpec::PerfectSelector)).metrics;
         if m.prefetches_issued > 50 {
             assert!(
                 m.prefetch_hit_rate() > 0.95,

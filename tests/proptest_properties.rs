@@ -204,14 +204,14 @@ proptest! {
             service_ms: 7.0,
             striping: Striping::RoundRobin { stripe_unit: 4 },
         };
-        let mut array = DiskArray::new(cfg);
+        let mut array = DiskArray::new(cfg).unwrap();
         let mut now = 0.0f64;
         let mut last = vec![0.0f64; num_disks];
         for (b, dt) in reqs {
             now += dt;
             let block = BlockId(b);
             let d = cfg.striping.disk_for(block, num_disks);
-            let c = array.submit(block, now);
+            let c = array.submit(block, now).unwrap().completion_ms;
             prop_assert!(c >= now + 7.0 - 1e-9);
             prop_assert!(c >= last[d] + 7.0 - 1e-9 || last[d] == 0.0);
             last[d] = c;
@@ -219,6 +219,58 @@ proptest! {
         let stats = array.stats();
         prop_assert!(stats.queue_fraction() <= 1.0);
         prop_assert!(stats.mean_utilization() <= 1.0 + 1e-9);
+    }
+
+    /// The fault injector's schedule is a pure function of (seed, plan):
+    /// two arrays driven identically produce identical outcomes, and a
+    /// different seed is allowed to differ (not asserted — just exercised).
+    #[test]
+    fn fault_schedules_are_deterministic(
+        reqs in proptest::collection::vec((0u64..256, 0.0f64..8.0), 1..300),
+        num_disks in 1usize..6,
+        seed in any::<u64>(),
+        rate_millis in 1u32..300,
+    ) {
+        use predictive_prefetch::disk::{DiskArray, DiskArrayConfig, FaultPlan};
+        let cfg = DiskArrayConfig::with_disks(num_disks);
+        let plan = FaultPlan::uniform(seed, rate_millis as f64 / 1000.0, cfg.service_ms);
+        let mut a = DiskArray::with_faults(cfg, plan).unwrap();
+        let mut b = DiskArray::with_faults(cfg, plan).unwrap();
+        let mut now = 0.0f64;
+        for &(blk, dt) in &reqs {
+            now += dt;
+            prop_assert_eq!(a.submit(BlockId(blk), now), b.submit(BlockId(blk), now));
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Same (seed, FaultPlan, trace, policy) → identical SimMetrics, and a
+    /// zero fault rate reproduces the fault-free baseline bit for bit.
+    #[test]
+    fn faulted_simulations_are_deterministic(
+        blocks in proptest::collection::vec(0u64..64, 1..300),
+        cache in 2usize..64,
+        num_disks in 1usize..4,
+        seed in any::<u64>(),
+        policy_idx in 0usize..3,
+        rate_millis in 0u32..200,
+    ) {
+        let policies = [PolicySpec::NoPrefetch, PolicySpec::Tree, PolicySpec::TreeNextLimit];
+        let trace = Trace::from_blocks(blocks);
+        let rate = rate_millis as f64 / 1000.0;
+        let cfg = SimConfig::new(cache, policies[policy_idx])
+            .with_disks(num_disks)
+            .with_fault_rate(seed, rate);
+        cfg.validate().unwrap();
+        let a = run_simulation(&trace, &cfg);
+        let b = run_simulation(&trace, &cfg);
+        prop_assert_eq!(a.metrics, b.metrics);
+        if rate == 0.0 {
+            let baseline =
+                run_simulation(&trace, &SimConfig::new(cache, policies[policy_idx]).with_disks(num_disks));
+            prop_assert_eq!(a.metrics, baseline.metrics);
+            prop_assert_eq!(a.metrics.total_faults(), 0);
+        }
     }
 
     /// BufferCache never exceeds capacity and reference outcomes are

@@ -44,10 +44,7 @@ fn corrupt_binary_traces_error_not_panic() {
     for i in 0..6 {
         let mut corrupt = buf.clone();
         corrupt[i] ^= 0xff;
-        assert!(
-            io::read_binary(&mut &corrupt[..]).is_err(),
-            "header byte {i} corruption accepted"
-        );
+        assert!(io::read_binary(&mut &corrupt[..]).is_err(), "header byte {i} corruption accepted");
     }
 }
 

@@ -1,0 +1,61 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! supplies the `par_iter()` / `into_par_iter()` entry points the workspace
+//! uses and executes them **sequentially** on the calling thread. All sweep
+//! results are documented to be schedule-independent, so sequential
+//! execution is behaviorally identical (just slower on multi-core hosts).
+//! Swap the real rayon back in by restoring the crates.io entry in the
+//! workspace `Cargo.toml` when network access is available.
+
+pub mod prelude {
+    /// `into_par_iter()` for owned collections — sequential here.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns a plain sequential iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// `par_iter()` for borrowed slices — sequential here.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Iterator over borrowed items.
+        type Iter: Iterator;
+
+        /// Returns a plain sequential iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = core::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = core::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let a: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        let b: Vec<i32> = v.iter().map(|x| x * 2).collect();
+        assert_eq!(a, b);
+        let c: Vec<i32> = v.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(c, vec![2, 3, 4, 5]);
+    }
+}

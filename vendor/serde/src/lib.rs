@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Supplies the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derives from the vendored `serde_derive`. See that crate's docs
+//! for the rationale; nothing in this workspace serializes through serde
+//! at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait SerializeTrait {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait DeserializeTrait<'de> {}

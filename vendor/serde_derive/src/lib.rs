@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! metrics types for downstream consumers, but nothing in the repo itself
+//! serializes through serde at runtime (reports are rendered by hand in
+//! `prefetch-sim::report`). With crates.io unreachable, these derives
+//! expand to nothing: the attribute is accepted and type-checked away.
+//! Restoring real serde only requires swapping the workspace dependency
+//! back to the registry.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

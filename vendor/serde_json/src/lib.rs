@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The workspace declares `serde_json` in a few manifests but no source
+//! file uses it (trace metadata has its own minimal JSON codec in
+//! `prefetch-trace::io::text`). This empty crate satisfies dependency
+//! resolution without network access.
