@@ -3,8 +3,9 @@
 //! long a full figure sweep takes.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use prefetch_sim::{run_simulation, PolicySpec, SimConfig};
+use prefetch_sim::{run_simulation, run_source, PolicySpec, SimConfig};
 use prefetch_trace::synth::TraceKind;
+use prefetch_trace::TraceSource;
 
 fn bench_policies(c: &mut Criterion) {
     const REFS: usize = 20_000;
@@ -28,6 +29,29 @@ fn bench_policies(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_streaming_vs_materialized(c: &mut Criterion) {
+    // The streaming path must not tax throughput: generating records on
+    // the fly (rewinding the generator each iteration) vs replaying a
+    // pre-materialized trace.
+    const REFS: usize = 20_000;
+    let mut g = c.benchmark_group("sim/streaming");
+    g.throughput(Throughput::Elements(REFS as u64));
+    g.sample_size(10);
+    let cfg = SimConfig::new(1024, PolicySpec::TreeNextLimit);
+    let trace = TraceKind::Cello.generate(REFS, 5);
+    g.bench_function("materialized", |b| {
+        b.iter(|| black_box(run_simulation(&trace, &cfg).metrics.miss_rate()))
+    });
+    g.bench_function("streamed", |b| {
+        let mut source = TraceKind::Cello.stream(REFS, 5);
+        b.iter(|| {
+            source.rewind().unwrap();
+            black_box(run_source(&mut source, &cfg).unwrap().metrics.miss_rate())
+        })
+    });
+    g.finish();
+}
+
 fn bench_cache_size_scaling(c: &mut Criterion) {
     // The tree policy's per-reference cost should stay flat as the cache
     // grows (the victim scan is the risk).
@@ -45,5 +69,10 @@ fn bench_cache_size_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_cache_size_scaling);
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_streaming_vs_materialized,
+    bench_cache_size_scaling
+);
 criterion_main!(benches);

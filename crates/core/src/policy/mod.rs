@@ -57,7 +57,10 @@ pub struct RefContext {
     /// How the reference was served.
     pub kind: RefKind,
     /// One-reference lookahead, used only by the [`PerfectSelector`]
-    /// oracle (Section 9.5). `None` at end of trace.
+    /// oracle (Section 9.5). `None` at end of trace. Streaming drivers
+    /// provide it by buffering exactly one record ahead of the one being
+    /// simulated, so the oracle sees the same input whether the trace is
+    /// materialized or streamed.
     pub next_block: Option<BlockId>,
     /// Index of this access period (monotone reference counter).
     pub period: u64,

@@ -1,0 +1,54 @@
+//! Times a dense sweep of small cells to expose per-cell overhead
+//! (config/trace-name duplication, allocation) rather than simulation
+//! work. Used to measure the sweep-level effect of sharing the trace
+//! name across `SimResult`s (see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release --example profile_sweep [refs] [repeats]
+//! ```
+
+use prefetch_sim::sweep::run_grid;
+use prefetch_sim::{PolicySpec, SimConfig};
+use prefetch_trace::synth::standard_suite;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let refs: usize = args.next().map(|s| s.parse().expect("refs")).unwrap_or(256);
+    let repeats: usize = args.next().map(|s| s.parse().expect("repeats")).unwrap_or(5);
+
+    let traces = standard_suite(refs, 1);
+    let mut configs = Vec::new();
+    for &cache in &[16usize, 32, 64, 128, 256, 512] {
+        for p in [
+            PolicySpec::NoPrefetch,
+            PolicySpec::NextLimit,
+            PolicySpec::Tree,
+            PolicySpec::TreeNextLimit,
+            PolicySpec::TreeLvc,
+            PolicySpec::TreeThreshold(0.05),
+            PolicySpec::TreeChildren(3),
+            PolicySpec::PerfectSelector,
+        ] {
+            configs.push(SimConfig::new(cache, p));
+        }
+    }
+
+    // Warm up thread pool and caches.
+    let _ = run_grid(&traces, &configs);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let cells = run_grid(&traces, &configs);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        println!("{} cells in {:.3} ms", cells.len(), dt * 1e3);
+    }
+    println!(
+        "best: {:.3} ms for {} cells ({:.2} us/cell)",
+        best * 1e3,
+        traces.len() * configs.len(),
+        best * 1e6 / (traces.len() * configs.len()) as f64
+    );
+}

@@ -2,21 +2,27 @@
 //!
 //! ```text
 //! pfsim --trace cad --refs 100000 --policy tree-next-limit --cache 1024
+//! pfsim --trace cello --refs 3500000 --policy tree --cache 4096
 //! pfsim --trace-file mytrace.trc --policy tree --cache 4096 --t-cpu 20
 //! pfsim --trace snake --policy all --cache 1024 --disks 4
 //! pfsim --trace cad --policy tree --cache 1024 --disks 4 --fault-rate 0.05 --fault-seed 7
 //! ```
 //!
 //! `--trace` takes a synthetic workload name (cello|snake|cad|sitar);
-//! `--trace-file` loads a `.trc` (binary) or text trace from disk.
+//! `--trace-file` loads a `.trc` (binary) or text trace from disk. Traces
+//! are **streamed** through the simulator — synthetic records are drawn
+//! from the generator and file records decoded incrementally as the run
+//! consumes them — so memory use is independent of `--refs` (paper-scale
+//! runs like cello's 3.5 M references need no trace buffer at all).
 
-use prefetch_sim::{run_simulation, PolicySpec, SimConfig};
-use prefetch_trace::synth::TraceKind;
-use prefetch_trace::Trace;
+use prefetch_sim::{run_source, PolicySpec, SimConfig};
+use prefetch_trace::io::{open_source, FileSource, ReadOptions, TraceIoError};
+use prefetch_trace::synth::{SynthSource, TraceKind};
+use prefetch_trace::{TraceMeta, TraceRecord, TraceSource};
 use std::process::ExitCode;
 
 struct Args {
-    trace: TraceSource,
+    trace: TraceInput,
     refs: usize,
     seed: u64,
     cache: usize,
@@ -28,9 +34,55 @@ struct Args {
     lenient: bool,
 }
 
-enum TraceSource {
+enum TraceInput {
     Synthetic(TraceKind),
     File(std::path::PathBuf),
+}
+
+/// The two streaming inputs pfsim drives, behind one `TraceSource`.
+enum StreamInput {
+    Synth(SynthSource),
+    File(FileSource),
+}
+
+impl StreamInput {
+    /// Records a lossy file pass skipped (0 for synthetic sources).
+    fn skipped(&self) -> u64 {
+        match self {
+            StreamInput::Synth(_) => 0,
+            StreamInput::File(f) => f.skipped(),
+        }
+    }
+}
+
+impl TraceSource for StreamInput {
+    fn meta(&self) -> &TraceMeta {
+        match self {
+            StreamInput::Synth(s) => s.meta(),
+            StreamInput::File(f) => f.meta(),
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        match self {
+            StreamInput::Synth(s) => s.len_hint(),
+            StreamInput::File(f) => f.len_hint(),
+        }
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        match self {
+            StreamInput::Synth(s) => s.next_record(),
+            StreamInput::File(f) => f.next_record(),
+        }
+    }
+
+    fn rewind(&mut self) -> Result<(), TraceIoError> {
+        match self {
+            StreamInput::Synth(s) => s.rewind(),
+            StreamInput::File(f) => f.rewind(),
+        }
+    }
 }
 
 fn parse_policy(s: &str) -> Result<Vec<PolicySpec>, String> {
@@ -90,9 +142,9 @@ fn parse_args() -> Result<Args, String> {
         let mut val = || argv.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--trace" => {
-                trace = Some(TraceSource::Synthetic(val()?.parse::<TraceKind>()?));
+                trace = Some(TraceInput::Synthetic(val()?.parse::<TraceKind>()?));
             }
-            "--trace-file" => trace = Some(TraceSource::File(val()?.into())),
+            "--trace-file" => trace = Some(TraceInput::File(val()?.into())),
             "--refs" => refs = val()?.parse().map_err(|e| format!("bad --refs: {e}"))?,
             "--seed" => seed = val()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
             "--cache" => cache = val()?.parse().map_err(|e| format!("bad --cache: {e}"))?,
@@ -130,34 +182,29 @@ fn main() -> ExitCode {
         }
     };
 
-    let trace: Trace = match &args.trace {
-        TraceSource::Synthetic(kind) => kind.generate(args.refs, args.seed),
-        TraceSource::File(path) if args.lenient => match prefetch_trace::io::load_lossy(path) {
-            Ok((t, skipped)) => {
-                if skipped > 0 {
-                    eprintln!("warning: skipped {skipped} malformed records in {path:?}");
-                }
-                t
-            }
+    let mut source = match &args.trace {
+        TraceInput::Synthetic(kind) => StreamInput::Synth(kind.stream(args.refs, args.seed)),
+        TraceInput::File(path) => match open_source(path, ReadOptions { strict: !args.lenient }) {
+            Ok(f) => StreamInput::File(f),
             Err(e) => {
-                eprintln!("cannot load {path:?}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        TraceSource::File(path) => match prefetch_trace::io::load(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot load {path:?}: {e}");
+                eprintln!("cannot open {path:?}: {e}");
                 return ExitCode::FAILURE;
             }
         },
     };
-    eprintln!(
-        "trace '{}': {} references; cache {} blocks",
-        trace.meta().name,
-        trace.len(),
-        args.cache
-    );
+    match source.len_hint() {
+        Some(n) => eprintln!(
+            "trace '{}': {} references (streaming); cache {} blocks",
+            source.meta().name,
+            n,
+            args.cache
+        ),
+        None => eprintln!(
+            "trace '{}': streaming (length unknown until read); cache {} blocks",
+            source.meta().name,
+            args.cache
+        ),
+    }
 
     let faults_on = args.fault_rate.is_some_and(|r| r > 0.0);
     if faults_on {
@@ -179,6 +226,7 @@ fn main() -> ExitCode {
             "policy", "miss %", "pf issued", "pf hit %", "disk reads", "ms/ref"
         );
     }
+    let mut warned_skipped = false;
     for &spec in &args.policies {
         let mut cfg = SimConfig::new(args.cache, spec);
         if let Some(t) = args.t_cpu {
@@ -194,7 +242,21 @@ fn main() -> ExitCode {
             eprintln!("invalid configuration: {e}");
             return ExitCode::FAILURE;
         }
-        let m = run_simulation(&trace, &cfg).metrics;
+        if let Err(e) = source.rewind() {
+            eprintln!("cannot rewind trace: {e}");
+            return ExitCode::FAILURE;
+        }
+        let m = match run_source(&mut source, &cfg) {
+            Ok(r) => r.metrics,
+            Err(e) => {
+                eprintln!("trace error during {} run: {e}", spec.name());
+                return ExitCode::FAILURE;
+            }
+        };
+        if !warned_skipped && source.skipped() > 0 {
+            eprintln!("warning: skipped {} malformed records", source.skipped());
+            warned_skipped = true;
+        }
         if faults_on {
             println!(
                 "{:<22} {:>8.2}% {:>11} {:>10.1}% {:>11} {:>8} {:>8} {:>8} {:>11.3}",

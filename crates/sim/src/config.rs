@@ -135,7 +135,11 @@ pub struct SimConfig {
     pub cache_blocks: usize,
     /// System timing constants.
     pub params: SystemParams,
-    /// Cost-benefit engine tunables (tree policies only).
+    /// Cost-benefit engine tunables (tree policies only). Also sizes the
+    /// simulator's period-start ring: [`crate::clock::VirtualClock::for_run`]
+    /// covers `4 × cache_blocks / engine.max_per_period` periods, so a
+    /// prefetch that stays resident-but-unreferenced for its plausible
+    /// lifetime is always priced from its true issue time.
     pub engine: EngineConfig,
     /// The policy to run.
     pub policy: PolicySpec,

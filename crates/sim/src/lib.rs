@@ -19,14 +19,22 @@
 //! assert!(result.metrics.miss_rate() < 1.0);
 //! ```
 
+pub mod clock;
 pub mod config;
 pub mod experiments;
+pub mod io_subsystem;
 pub mod metrics;
+pub mod observer;
 pub mod report;
 pub mod runner;
+pub mod simulator;
 pub mod sweep;
 
+pub use clock::VirtualClock;
 pub use config::{FaultConfig, PolicySpec, SimConfig, SimConfigError};
+pub use io_subsystem::IoSubsystem;
 pub use metrics::SimMetrics;
-pub use runner::{run_simulation, SimResult};
+pub use observer::{DiskSummary, NullObserver, SimEvent, SimObserver};
+pub use runner::{run_simulation, run_simulation_named, run_source, SimResult};
+pub use simulator::Simulator;
 pub use sweep::{run_cells, SweepCell};

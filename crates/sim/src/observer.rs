@@ -1,0 +1,257 @@
+//! Simulation event stream.
+//!
+//! The decomposed [`crate::simulator::Simulator`] does not count anything
+//! itself: it narrates the run as a stream of [`SimEvent`]s and any
+//! [`SimObserver`] folds them into whatever it wants. [`SimMetrics`] is
+//! simply the default observer — every counter the paper's tables and
+//! figures need is reconstructed from the events — and [`NullObserver`]
+//! discards them (useful for timing the bare simulator).
+
+use crate::metrics::SimMetrics;
+use prefetch_core::policy::{PeriodActivity, RefKind};
+use prefetch_trace::{BlockId, TraceRecord};
+
+/// Per-disk-array statistics reported once at the end of a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskSummary {
+    /// Total request queueing delay (ms).
+    pub queue_ms: f64,
+    /// Requests that found their disk busy.
+    pub queued_requests: u64,
+    /// Mean disk utilization over the run.
+    pub mean_utilization: f64,
+    /// Requests a slow-disk episode stretched.
+    pub slowed_requests: u64,
+}
+
+/// One step of a simulation run, in emission order:
+///
+/// per reference — zero or more [`SimEvent::DemandFault`] (one per faulted
+/// attempt), at most one [`SimEvent::DemandGiveUp`], then
+/// [`SimEvent::Reference`], then [`SimEvent::Period`] (the policy's
+/// activity), then zero or more [`SimEvent::PrefetchFault`]s; finally one
+/// [`SimEvent::End`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimEvent<'a> {
+    /// A reference was served.
+    Reference {
+        /// Access period (monotone reference index).
+        period: u64,
+        /// The trace record referenced.
+        record: TraceRecord,
+        /// How the cache served it.
+        kind: RefKind,
+        /// CPU stall absorbed by this reference (ms): the unfinished part
+        /// of a prefetch, or the full demand fetch (including retry
+        /// backoff and give-up penalties under faults).
+        stall_ms: f64,
+        /// Whether the demand fetch evicted a prefetched block to make
+        /// room (miss path only).
+        evicted_prefetch: bool,
+    },
+    /// A demand read attempt hit an injected disk fault.
+    DemandFault {
+        /// Access period of the demanding reference.
+        period: u64,
+        /// The block being read.
+        block: BlockId,
+        /// 1-based faulted-attempt counter for this read.
+        attempt: u32,
+        /// Whether the read will be retried (`false`: the retry budget is
+        /// exhausted and a [`SimEvent::DemandGiveUp`] follows).
+        retried: bool,
+        /// Exponential backoff charged before the retry (ms); zero when
+        /// not retried.
+        backoff_ms: f64,
+    },
+    /// A faulted demand read exhausted its retry budget and was priced
+    /// with the give-up penalty.
+    DemandGiveUp {
+        /// Access period of the demanding reference.
+        period: u64,
+        /// The block whose read was abandoned.
+        block: BlockId,
+        /// Penalty charged in place of the read (ms).
+        penalty_ms: f64,
+    },
+    /// A prefetch submission faulted: the buffer is released and the block
+    /// may be quarantined (a priced mispredict).
+    PrefetchFault {
+        /// Access period that issued the prefetch.
+        period: u64,
+        /// The block whose prefetch faulted.
+        block: BlockId,
+        /// Whether this fault pushed the block over the policy's
+        /// quarantine threshold.
+        quarantined: bool,
+    },
+    /// The policy finished an access period; `activity` is what it did.
+    Period {
+        /// The access period just completed.
+        period: u64,
+        /// How the period's reference was served.
+        kind: RefKind,
+        /// The policy's prefetch decisions and predictor observations.
+        activity: &'a PeriodActivity,
+    },
+    /// The run is over.
+    End {
+        /// Total virtual time (ms).
+        elapsed_ms: f64,
+        /// Disk statistics, when a finite array was configured.
+        disk: Option<DiskSummary>,
+    },
+}
+
+/// Consumes the event stream of a simulation run.
+pub trait SimObserver {
+    /// Called once per event, in emission order.
+    fn on_event(&mut self, event: &SimEvent<'_>);
+}
+
+/// Discards every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {
+    fn on_event(&mut self, _event: &SimEvent<'_>) {}
+}
+
+/// Forward events to two observers in order.
+impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+impl SimObserver for SimMetrics {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        match *event {
+            SimEvent::Reference { kind, stall_ms, evicted_prefetch, .. } => {
+                self.refs += 1;
+                match kind {
+                    RefKind::DemandHit => self.demand_hits += 1,
+                    RefKind::PrefetchHit => self.prefetch_hits += 1,
+                    RefKind::Miss => self.misses += 1,
+                }
+                self.stall_ms += stall_ms;
+                if evicted_prefetch {
+                    self.prefetch_evictions += 1;
+                }
+            }
+            SimEvent::DemandFault { retried, backoff_ms, .. } => {
+                self.demand_faults += 1;
+                if retried {
+                    self.demand_retries += 1;
+                    self.retry_backoff_ms += backoff_ms;
+                }
+            }
+            SimEvent::DemandGiveUp { .. } => self.demand_read_failures += 1,
+            SimEvent::PrefetchFault { quarantined, .. } => {
+                self.prefetch_faults += 1;
+                if quarantined {
+                    self.blocks_quarantined += 1;
+                }
+            }
+            SimEvent::Period { kind, activity: act, .. } => {
+                self.prefetches_issued += act.prefetches_issued as u64;
+                self.prefetch_probability_sum += act.prefetch_probability_sum;
+                self.candidates_considered += act.candidates_considered as u64;
+                self.candidates_already_cached += act.candidates_already_cached as u64;
+                self.candidates_quarantined += act.candidates_quarantined as u64;
+                self.prefetch_evictions += act.prefetch_evictions as u64;
+                self.demand_evictions_for_prefetch += act.demand_evictions_for_prefetch as u64;
+                if act.predictable {
+                    self.predictable += 1;
+                    if kind == RefKind::Miss {
+                        self.predictable_missed += 1;
+                    }
+                }
+                if let Some(repeat) = act.lvc_repeat {
+                    self.lvc_opportunities += 1;
+                    if repeat {
+                        self.lvc_repeats += 1;
+                    }
+                }
+                if let Some(true) = act.lvc_already_cached {
+                    self.lvc_cached += 1;
+                }
+            }
+            SimEvent::End { elapsed_ms, disk } => {
+                self.elapsed_ms = elapsed_ms;
+                if let Some(d) = disk {
+                    self.disk_queue_ms = d.queue_ms;
+                    self.disk_queued_requests = d.queued_requests;
+                    self.disk_mean_utilization = d.mean_utilization;
+                    self.disk_slowed_requests = d.slowed_requests;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_fold_reference_events() {
+        let mut m = SimMetrics::default();
+        m.on_event(&SimEvent::Reference {
+            period: 0,
+            record: TraceRecord::read(1u64),
+            kind: RefKind::Miss,
+            stall_ms: 15.58,
+            evicted_prefetch: true,
+        });
+        m.on_event(&SimEvent::Reference {
+            period: 1,
+            record: TraceRecord::read(2u64),
+            kind: RefKind::DemandHit,
+            stall_ms: 0.0,
+            evicted_prefetch: false,
+        });
+        assert_eq!(m.refs, 2);
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.demand_hits, 1);
+        assert_eq!(m.prefetch_evictions, 1);
+        assert!((m.stall_ms - 15.58).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_fold_fault_events() {
+        let mut m = SimMetrics::default();
+        let b = BlockId(9);
+        m.on_event(&SimEvent::DemandFault {
+            period: 3,
+            block: b,
+            attempt: 1,
+            retried: true,
+            backoff_ms: 2.0,
+        });
+        m.on_event(&SimEvent::DemandFault {
+            period: 3,
+            block: b,
+            attempt: 2,
+            retried: false,
+            backoff_ms: 0.0,
+        });
+        m.on_event(&SimEvent::DemandGiveUp { period: 3, block: b, penalty_ms: 150.0 });
+        m.on_event(&SimEvent::PrefetchFault { period: 3, block: b, quarantined: true });
+        assert_eq!(m.demand_faults, 2);
+        assert_eq!(m.demand_retries, 1);
+        assert_eq!(m.demand_read_failures, 1);
+        assert!((m.retry_backoff_ms - 2.0).abs() < 1e-12);
+        assert_eq!(m.prefetch_faults, 1);
+        assert_eq!(m.blocks_quarantined, 1);
+    }
+
+    #[test]
+    fn observer_pairs_fan_out() {
+        let mut pair = (SimMetrics::default(), SimMetrics::default());
+        pair.on_event(&SimEvent::End { elapsed_ms: 7.0, disk: None });
+        assert_eq!(pair.0.elapsed_ms, 7.0);
+        assert_eq!(pair.1.elapsed_ms, 7.0);
+    }
+}

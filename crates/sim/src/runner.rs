@@ -1,252 +1,58 @@
-//! The simulation driver loop.
+//! Batch front ends over the decomposed [`crate::simulator::Simulator`].
 //!
-//! Per reference: look the block up in the partitioned cache (demand hits
-//! touch, prefetch hits migrate — Figure 2), demand-fetch on a miss with a
-//! policy-chosen victim, then hand the completed reference to the policy,
-//! which updates its predictor and issues prefetches (Section 7). A
-//! virtual clock follows the Section 3 timing model as an extension
-//! (the paper itself reports only rates).
+//! [`run_simulation`] keeps the original materialized-trace signature;
+//! [`run_source`] drives any streaming [`TraceSource`] in memory
+//! independent of trace length. Both feed the same simulator core, so
+//! their metrics are bit-identical for identical record streams.
 
 use crate::config::SimConfig;
 use crate::metrics::SimMetrics;
-use prefetch_cache::buffer_cache::RefOutcome;
-use prefetch_cache::BufferCache;
-use prefetch_core::policy::{apply_victim, PeriodActivity, RefContext, RefKind};
-use prefetch_trace::Trace;
+use crate::simulator::Simulator;
+use prefetch_trace::io::TraceIoError;
+use prefetch_trace::{Trace, TraceSource};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Result of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimResult {
     /// The configuration that produced it.
     pub config: SimConfig,
-    /// Trace name (from metadata).
-    pub trace: String,
+    /// Trace name (from metadata). Shared, not cloned, across the cells
+    /// of a sweep.
+    pub trace: Arc<str>,
     /// Collected metrics.
     pub metrics: SimMetrics,
 }
 
-/// Ring buffer mapping recent access periods to virtual start times, used
-/// to price partially-overlapped prefetch hits.
-struct PeriodClock {
-    starts: Vec<f64>,
-    head: usize,
-}
-
-impl PeriodClock {
-    const LEN: usize = 512;
-
-    fn new() -> Self {
-        PeriodClock { starts: vec![0.0; Self::LEN], head: 0 }
-    }
-
-    fn record(&mut self, period: u64, now_ms: f64) {
-        debug_assert_eq!(period as usize % Self::LEN, self.head % Self::LEN);
-        self.starts[period as usize % Self::LEN] = now_ms;
-        self.head = (period as usize + 1) % Self::LEN;
-    }
-
-    /// Virtual start time of `period`, or `None` if it scrolled out.
-    fn start_of(&self, period: u64, current_period: u64) -> Option<f64> {
-        if current_period.saturating_sub(period) >= Self::LEN as u64 {
-            return None;
-        }
-        Some(self.starts[period as usize % Self::LEN])
-    }
-}
-
 /// Run `trace` under `config` and collect metrics.
 pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimResult {
-    let mut policy = config.policy.build(config.params, config.engine);
-    let mut cache = BufferCache::new(config.cache_blocks);
-    let mut metrics = SimMetrics::default();
-    let p = &config.params;
-    let mut clock = PeriodClock::new();
-    let mut now_ms = 0.0f64;
-
-    // Optional finite disk array (extension; `None` = the paper's
-    // infinite-disk assumption). Prefetch completion times are tracked per
-    // block so partially-overlapped prefetch hits stall correctly.
-    // Configuration errors surface through `SimConfig::validate`; reaching
-    // this expect means a front end skipped validation.
-    let mut disks = config.disks.map(|d| {
-        match config.faults {
-            Some(f) if f.plan.is_active() => prefetch_disk::DiskArray::with_faults(d, f.plan),
-            _ => prefetch_disk::DiskArray::new(d),
-        }
-        .expect("invalid SimConfig (run SimConfig::validate first)")
-    });
-    let retry = config.faults.map(|f| f.retry).unwrap_or_default();
-    let faults_active = disks.as_ref().is_some_and(|a| a.fault_plan().is_some());
-    let mut prefetch_completion: std::collections::HashMap<u64, f64> =
-        std::collections::HashMap::new();
-
-    let records = trace.records();
-    let mut act = PeriodActivity::default();
-    for (i, rec) in records.iter().enumerate() {
-        let period = i as u64;
-        clock.record(period, now_ms);
-        metrics.refs += 1;
-
-        let outcome = cache.reference(rec.block);
-        let kind = match outcome {
-            RefOutcome::DemandHit => {
-                metrics.demand_hits += 1;
-                RefKind::DemandHit
-            }
-            RefOutcome::PrefetchHit(meta) => {
-                metrics.prefetch_hits += 1;
-                // Stall for whatever part of the prefetch I/O has not yet
-                // completed (Figure 5, access period 3).
-                let completes = if disks.is_some() {
-                    prefetch_completion.remove(&rec.block.0)
-                } else {
-                    clock
-                        .start_of(meta.issued_at, period)
-                        .map(|issue_start| issue_start + p.t_driver + p.t_disk)
-                };
-                if let Some(completes) = completes {
-                    let stall = (completes - now_ms).max(0.0);
-                    now_ms += stall;
-                    metrics.stall_ms += stall;
-                }
-                RefKind::PrefetchHit
-            }
-            RefOutcome::Miss => {
-                metrics.misses += 1;
-                if cache.is_full() {
-                    let victim = policy.choose_demand_victim(&cache);
-                    if apply_victim(victim, &mut cache) {
-                        metrics.prefetch_evictions += 1;
-                    }
-                }
-                cache.insert_demand(rec.block);
-                // Full demand-fetch stall (Figure 3a); with a finite array
-                // the fetch may additionally queue behind earlier I/O.
-                // Under fault injection a failed read retries with
-                // exponential backoff in virtual time; when the budget runs
-                // out the read is priced with the give-up penalty instead
-                // of looping forever.
-                let stall = match &mut disks {
-                    Some(array) => {
-                        let mut attempts = 0u32;
-                        let mut submit_at = now_ms + p.t_driver;
-                        let completion = loop {
-                            match array.submit(rec.block, submit_at) {
-                                Ok(c) => {
-                                    if faults_active {
-                                        policy.note_read_success(rec.block);
-                                    }
-                                    break c.completion_ms;
-                                }
-                                Err(fault) => {
-                                    attempts += 1;
-                                    metrics.demand_faults += 1;
-                                    if retry.should_retry(attempts) {
-                                        metrics.demand_retries += 1;
-                                        let backoff = retry.backoff_ms(attempts);
-                                        metrics.retry_backoff_ms += backoff;
-                                        submit_at = fault.retry_at_ms().max(submit_at) + backoff;
-                                    } else {
-                                        metrics.demand_read_failures += 1;
-                                        break fault.retry_at_ms().max(submit_at)
-                                            + retry.give_up_penalty_ms;
-                                    }
-                                }
-                            }
-                        };
-                        completion - now_ms
-                    }
-                    None => p.t_driver + p.t_disk,
-                };
-                now_ms += stall;
-                metrics.stall_ms += stall;
-                RefKind::Miss
-            }
-        };
-
-        let ctx = RefContext {
-            block: rec.block,
-            kind,
-            next_block: records.get(i + 1).map(|r| r.block),
-            period,
-        };
-        // Reuse the block-list allocation across periods.
-        let mut blocks = std::mem::take(&mut act.prefetched_blocks);
-        blocks.clear();
-        act = PeriodActivity { prefetched_blocks: blocks, ..PeriodActivity::default() };
-        policy.after_reference(&ctx, &mut cache, &mut act);
-        absorb(&mut metrics, &act, kind);
-
-        // Queue this period's prefetch I/O on the array. A faulted
-        // prefetch is treated as a priced mispredict: the buffer is
-        // released immediately (no retries compete with demand traffic),
-        // the initiation overhead stays charged via `prefetches_issued`,
-        // and repeat offenders are quarantined by the policy so the
-        // Section 7 loop stops re-issuing them.
-        if let Some(array) = &mut disks {
-            for (j, &b) in act.prefetched_blocks.iter().enumerate() {
-                let issue = now_ms + (j + 1) as f64 * p.t_driver;
-                match array.submit(b, issue) {
-                    Ok(c) => {
-                        prefetch_completion.insert(b.0, c.completion_ms);
-                    }
-                    Err(_) => {
-                        metrics.prefetch_faults += 1;
-                        cache.cancel_prefetch(b);
-                        prefetch_completion.remove(&b.0);
-                        if policy.note_prefetch_fault(b) {
-                            metrics.blocks_quarantined += 1;
-                        }
-                    }
-                }
-            }
-        }
-
-        // Advance the virtual clock by the period's foreground work
-        // (Figure 3): the cache read, the prefetch initiations, and the
-        // computation until the next request.
-        now_ms += p.t_hit + act.prefetches_issued as f64 * p.t_driver + p.t_cpu;
-
-        debug_assert!(cache.len() <= cache.capacity());
-    }
-    metrics.elapsed_ms = now_ms;
-    if let Some(array) = &disks {
-        let s = array.stats();
-        metrics.disk_queue_ms = s.queue_ms;
-        metrics.disk_queued_requests = s.queued_requests;
-        metrics.disk_mean_utilization = s.mean_utilization();
-        metrics.disk_slowed_requests = s.slowed_requests;
-    }
-    metrics.check_invariants();
-    SimResult { config: *config, trace: trace.meta().name.clone(), metrics }
+    run_simulation_named(trace, Arc::from(trace.meta().name.as_str()), config)
 }
 
-fn absorb(m: &mut SimMetrics, act: &PeriodActivity, kind: RefKind) {
-    m.prefetches_issued += act.prefetches_issued as u64;
-    m.prefetch_probability_sum += act.prefetch_probability_sum;
-    m.candidates_considered += act.candidates_considered as u64;
-    m.candidates_already_cached += act.candidates_already_cached as u64;
-    m.candidates_quarantined += act.candidates_quarantined as u64;
-    m.prefetch_evictions += act.prefetch_evictions as u64;
-    m.demand_evictions_for_prefetch += act.demand_evictions_for_prefetch as u64;
-    if act.predictable {
-        m.predictable += 1;
-        if kind == RefKind::Miss {
-            m.predictable_missed += 1;
-        }
-    }
-    if let Some(repeat) = act.lvc_repeat {
-        m.lvc_opportunities += 1;
-        if repeat {
-            m.lvc_repeats += 1;
-        }
-    }
-    if let Some(cached) = act.lvc_already_cached {
-        if cached {
-            m.lvc_cached += 1;
-        }
-    }
+/// [`run_simulation`] with the trace's name supplied by the caller, so a
+/// sweep can share one allocation across thousands of cells.
+pub fn run_simulation_named(trace: &Trace, name: Arc<str>, config: &SimConfig) -> SimResult {
+    let mut source = trace.source();
+    let mut metrics = SimMetrics::default();
+    Simulator::run(&mut source, config, &mut metrics).expect("in-memory sources cannot fail");
+    metrics.check_invariants();
+    SimResult { config: *config, trace: name, metrics }
+}
+
+/// Run a streaming source under `config`. The source is consumed to its
+/// end; rewind it first if it has already been read. Fails only if the
+/// source does (synthetic and in-memory sources never do).
+pub fn run_source<S: TraceSource>(
+    source: &mut S,
+    config: &SimConfig,
+) -> Result<SimResult, TraceIoError> {
+    let mut metrics = SimMetrics::default();
+    Simulator::run(source, config, &mut metrics)?;
+    metrics.check_invariants();
+    // Read the name after the run: file sources may refine their metadata
+    // while streaming.
+    Ok(SimResult { config: *config, trace: Arc::from(source.meta().name.as_str()), metrics })
 }
 
 #[cfg(test)]
@@ -350,6 +156,32 @@ mod tests {
         let a = run_simulation(&trace, &cfg);
         let b = run_simulation(&trace, &cfg);
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_run() {
+        // The same synthetic stream, materialized vs streamed, must
+        // produce bit-identical metrics (the constant-memory guarantee
+        // costs nothing in fidelity).
+        let refs = 5000;
+        let seed = 11;
+        for kind in TraceKind::ALL {
+            let trace = kind.generate(refs, seed);
+            let cfg = SimConfig::new(128, PolicySpec::TreeNextLimit);
+            let batch = run_simulation(&trace, &cfg);
+            let mut stream = kind.stream(refs, seed);
+            let streamed = run_source(&mut stream, &cfg).unwrap();
+            assert_eq!(batch.metrics, streamed.metrics, "{kind}");
+            assert_eq!(batch.trace, streamed.trace, "{kind}");
+        }
+    }
+
+    #[test]
+    fn run_simulation_named_shares_the_name_allocation() {
+        let trace = TraceKind::Cad.generate(1000, 2);
+        let name: Arc<str> = Arc::from(trace.meta().name.as_str());
+        let r = run_simulation_named(&trace, name.clone(), &SimConfig::new(64, PolicySpec::Tree));
+        assert!(Arc::ptr_eq(&r.trace, &name));
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The decomposed simulation core.
+//!
+//! [`Simulator`] composes a [`VirtualClock`] (time and period starts), an
+//! [`IoSubsystem`] (disk pricing, faults, retries) and a policy-driven
+//! cache, advancing one access period per [`Simulator::step`] and
+//! narrating everything through [`SimObserver`] events. It consumes
+//! records one at a time, so driving it from a streaming
+//! [`TraceSource`] gives paper-scale runs (the original cello trace is
+//! 3.5 M references) in memory independent of trace length; a one-record
+//! lookahead buffer preserves the `RefContext::next_block` oracle input
+//! exactly as the materialized path provides it.
+
+use crate::clock::VirtualClock;
+use crate::config::SimConfig;
+use crate::io_subsystem::IoSubsystem;
+use crate::observer::{SimEvent, SimObserver};
+use prefetch_cache::buffer_cache::RefOutcome;
+use prefetch_cache::BufferCache;
+use prefetch_core::policy::{apply_victim, PeriodActivity, PrefetchPolicy, RefContext, RefKind};
+use prefetch_trace::io::TraceIoError;
+use prefetch_trace::{BlockId, TraceRecord, TraceSource};
+
+/// One simulation run in progress: feed it records with
+/// [`Simulator::step`], then [`Simulator::finish`].
+pub struct Simulator {
+    config: SimConfig,
+    policy: Box<dyn PrefetchPolicy>,
+    cache: BufferCache,
+    clock: VirtualClock,
+    io: IoSubsystem,
+    period: u64,
+    act: PeriodActivity,
+    faulted: Vec<BlockId>,
+}
+
+impl Simulator {
+    /// Set up a run under `config`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; front ends must run
+    /// [`SimConfig::validate`] first.
+    pub fn new(config: &SimConfig) -> Self {
+        Simulator {
+            policy: config.policy.build(config.params, config.engine),
+            cache: BufferCache::new(config.cache_blocks),
+            clock: VirtualClock::for_run(config.cache_blocks, config.engine.max_per_period),
+            io: IoSubsystem::from_config(config),
+            period: 0,
+            act: PeriodActivity::default(),
+            faulted: Vec::new(),
+            config: *config,
+        }
+    }
+
+    /// Access periods completed so far.
+    pub fn periods(&self) -> u64 {
+        self.period
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Process one reference: serve it from the cache (demand hits touch,
+    /// prefetch hits migrate — Figure 2), demand-fetch on a miss with a
+    /// policy-chosen victim, hand the completed reference to the policy,
+    /// and queue its prefetches (Section 7). `next_block` is the
+    /// one-reference lookahead consumed by the `PerfectSelector` oracle.
+    pub fn step<O: SimObserver + ?Sized>(
+        &mut self,
+        rec: TraceRecord,
+        next_block: Option<BlockId>,
+        obs: &mut O,
+    ) {
+        let period = self.period;
+        self.clock.begin_period(period);
+        let p = &self.config.params;
+
+        let mut evicted_prefetch = false;
+        let (kind, stall_ms) = match self.cache.reference(rec.block) {
+            RefOutcome::DemandHit => (RefKind::DemandHit, 0.0),
+            RefOutcome::PrefetchHit(meta) => {
+                // Stall for whatever part of the prefetch I/O has not yet
+                // completed (Figure 5, access period 3).
+                let stall = self.io.prefetch_hit_stall(rec.block, meta.issued_at, &self.clock, p);
+                (RefKind::PrefetchHit, stall)
+            }
+            RefOutcome::Miss => {
+                if self.cache.is_full() {
+                    let victim = self.policy.choose_demand_victim(&self.cache);
+                    if apply_victim(victim, &mut self.cache) {
+                        evicted_prefetch = true;
+                    }
+                }
+                self.cache.insert_demand(rec.block);
+                let fetch = self
+                    .io
+                    .demand_fetch(rec.block, period, &self.clock, p, &mut |e| obs.on_event(&e));
+                if fetch.read_succeeded && self.io.faults_active() {
+                    self.policy.note_read_success(rec.block);
+                }
+                (RefKind::Miss, fetch.stall_ms)
+            }
+        };
+        self.clock.advance(stall_ms);
+        obs.on_event(&SimEvent::Reference {
+            period,
+            record: rec,
+            kind,
+            stall_ms,
+            evicted_prefetch,
+        });
+
+        let ctx = RefContext { block: rec.block, kind, next_block, period };
+        // Reuse the block-list allocation across periods.
+        let mut blocks = std::mem::take(&mut self.act.prefetched_blocks);
+        blocks.clear();
+        self.act = PeriodActivity { prefetched_blocks: blocks, ..PeriodActivity::default() };
+        self.policy.after_reference(&ctx, &mut self.cache, &mut self.act);
+        obs.on_event(&SimEvent::Period { period, kind, activity: &self.act });
+
+        // Queue this period's prefetch I/O. A faulted prefetch is treated
+        // as a priced mispredict: the buffer is released immediately (no
+        // retries compete with demand traffic), the initiation overhead
+        // stays charged via `prefetches_issued`, and repeat offenders are
+        // quarantined by the policy so the Section 7 loop stops
+        // re-issuing them.
+        self.faulted.clear();
+        self.io.submit_prefetches(
+            &self.act.prefetched_blocks,
+            self.clock.now(),
+            p.t_driver,
+            &mut self.faulted,
+        );
+        for i in 0..self.faulted.len() {
+            let b = self.faulted[i];
+            self.cache.cancel_prefetch(b);
+            let quarantined = self.policy.note_prefetch_fault(b);
+            obs.on_event(&SimEvent::PrefetchFault { period, block: b, quarantined });
+        }
+
+        // Advance the virtual clock by the period's foreground work
+        // (Figure 3): the cache read, the prefetch initiations, and the
+        // computation until the next request.
+        self.clock.advance(p.t_hit + self.act.prefetches_issued as f64 * p.t_driver + p.t_cpu);
+
+        debug_assert!(self.cache.len() <= self.cache.capacity());
+        self.period += 1;
+    }
+
+    /// End the run: emits [`SimEvent::End`] with the elapsed virtual time
+    /// and the disk summary.
+    pub fn finish<O: SimObserver + ?Sized>(self, obs: &mut O) {
+        obs.on_event(&SimEvent::End { elapsed_ms: self.clock.now(), disk: self.io.summary() });
+    }
+
+    /// Drive a whole [`TraceSource`] through a run, narrating to `obs`.
+    /// Buffers exactly one record of lookahead (for the oracle's
+    /// `next_block`); memory use is the source's, independent of length.
+    pub fn run<S, O>(source: &mut S, config: &SimConfig, obs: &mut O) -> Result<(), TraceIoError>
+    where
+        S: TraceSource,
+        O: SimObserver + ?Sized,
+    {
+        let mut sim = Simulator::new(config);
+        let mut pending = source.next_record()?;
+        while let Some(rec) = pending {
+            let next = source.next_record()?;
+            sim.step(rec, next.map(|r| r.block), obs);
+            pending = next;
+        }
+        sim.finish(obs);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicySpec;
+    use crate::metrics::SimMetrics;
+    use crate::observer::NullObserver;
+    use prefetch_trace::synth::TraceKind;
+
+    #[test]
+    fn step_by_step_matches_the_batch_driver() {
+        let trace = TraceKind::Snake.generate(3000, 5);
+        let cfg = SimConfig::new(128, PolicySpec::TreeNextLimit);
+        let batch = crate::runner::run_simulation(&trace, &cfg);
+
+        let mut metrics = SimMetrics::default();
+        let mut sim = Simulator::new(&cfg);
+        let records = trace.records();
+        for (i, rec) in records.iter().enumerate() {
+            sim.step(*rec, records.get(i + 1).map(|r| r.block), &mut metrics);
+        }
+        assert_eq!(sim.periods(), 3000);
+        sim.finish(&mut metrics);
+        metrics.check_invariants();
+        assert_eq!(metrics, batch.metrics);
+    }
+
+    #[test]
+    fn null_observer_runs_the_same_simulation() {
+        let trace = TraceKind::Cad.generate(2000, 3);
+        let cfg = SimConfig::new(256, PolicySpec::Tree).with_disks(2).with_fault_rate(7, 0.1);
+        cfg.validate().unwrap();
+        let mut source = trace.source();
+        Simulator::run(&mut source, &cfg, &mut NullObserver).unwrap();
+    }
+
+    #[test]
+    fn observer_pair_sees_identical_streams() {
+        let trace = TraceKind::Sitar.generate(2000, 8);
+        let cfg = SimConfig::new(128, PolicySpec::NextLimit);
+        let mut pair = (SimMetrics::default(), SimMetrics::default());
+        let mut source = trace.source();
+        Simulator::run(&mut source, &cfg, &mut pair).unwrap();
+        assert_eq!(pair.0, pair.1);
+        assert_eq!(pair.0.refs, 2000);
+    }
+}

@@ -7,10 +7,18 @@
 //! identical regardless of thread count or schedule.
 
 use crate::config::SimConfig;
-use crate::runner::{run_simulation, SimResult};
+use crate::runner::{run_simulation_named, SimResult};
 use prefetch_trace::Trace;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One shared name allocation per trace: every cell of a sweep clones an
+/// `Arc` pointer instead of the name string (and `SimConfig` is `Copy`),
+/// so the per-cell setup cost is allocation-free.
+fn shared_names(traces: &[Trace]) -> Vec<Arc<str>> {
+    traces.iter().map(|t| Arc::from(t.meta().name.as_str())).collect()
+}
 
 /// One point of a sweep: a configuration plus its result.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -24,6 +32,7 @@ pub struct SweepCell {
 /// Run every (trace, config) combination in parallel, preserving input
 /// order in the output.
 pub fn run_grid(traces: &[Trace], configs: &[SimConfig]) -> Vec<SweepCell> {
+    let names = shared_names(traces);
     let cells: Vec<(usize, SimConfig)> = traces
         .iter()
         .enumerate()
@@ -33,18 +42,26 @@ pub fn run_grid(traces: &[Trace], configs: &[SimConfig]) -> Vec<SweepCell> {
         .into_par_iter()
         .map(|(trace_index, config)| SweepCell {
             trace_index,
-            result: run_simulation(&traces[trace_index], &config),
+            result: run_simulation_named(&traces[trace_index], names[trace_index].clone(), &config),
         })
         .collect()
 }
 
 /// Run an explicit list of (trace index, config) cells in parallel.
 pub fn run_cells(traces: &[Trace], cells: &[(usize, SimConfig)]) -> Vec<SweepCell> {
+    let names = shared_names(traces);
     cells
         .par_iter()
         .map(|&(trace_index, config)| {
             assert!(trace_index < traces.len(), "trace index out of range");
-            SweepCell { trace_index, result: run_simulation(&traces[trace_index], &config) }
+            SweepCell {
+                trace_index,
+                result: run_simulation_named(
+                    &traces[trace_index],
+                    names[trace_index].clone(),
+                    &config,
+                ),
+            }
         })
         .collect()
 }
@@ -64,6 +81,7 @@ pub const PAPER_T_CPU_VALUES: [f64; 10] =
 mod tests {
     use super::*;
     use crate::config::PolicySpec;
+    use crate::runner::run_simulation;
     use prefetch_trace::synth::TraceKind;
 
     #[test]
@@ -92,6 +110,20 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].result.config.cache_blocks, 32);
         assert_eq!(out[1].result.config.cache_blocks, 64);
+    }
+
+    #[test]
+    fn cells_of_one_trace_share_the_name_allocation() {
+        let traces = vec![TraceKind::Snake.generate(500, 4)];
+        let configs = vec![
+            SimConfig::new(32, PolicySpec::NoPrefetch),
+            SimConfig::new(64, PolicySpec::NextLimit),
+            SimConfig::new(128, PolicySpec::Tree),
+        ];
+        let grid = run_grid(&traces, &configs);
+        assert!(Arc::ptr_eq(&grid[0].result.trace, &grid[1].result.trace));
+        assert!(Arc::ptr_eq(&grid[0].result.trace, &grid[2].result.trace));
+        assert_eq!(&*grid[0].result.trace, "snake");
     }
 
     #[test]

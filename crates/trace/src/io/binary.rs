@@ -20,9 +20,10 @@
 use crate::io::text::{read_text, write_text, ReadOptions};
 use crate::io::TraceIoError;
 use crate::record::{AccessKind, TraceRecord};
-use crate::Trace;
-use bytes::{Buf, BufMut, BytesMut};
-use std::io::{Read, Write};
+use crate::source::TraceSource;
+use crate::{Trace, TraceMeta};
+use bytes::{BufMut, BytesMut};
+use std::io::{Read, Seek, SeekFrom, Write};
 
 const MAGIC: [u8; 4] = *b"PFTR";
 const VERSION: u16 = 1;
@@ -92,67 +93,21 @@ pub fn read_binary_lossy<R: Read>(r: &mut R) -> Result<(Trace, u64), TraceIoErro
 
 /// Deserialize a binary trace under explicit [`ReadOptions`]. The skipped
 /// count is always `0` in strict mode.
+///
+/// Reads incrementally: records are decoded straight off the reader, never
+/// buffering the whole file. I/O errors are fatal even in lossy mode.
 pub fn read_binary_with<R: Read>(
     r: &mut R,
     opts: ReadOptions,
 ) -> Result<(Trace, u64), TraceIoError> {
-    let mut raw = Vec::new();
-    r.read_to_end(&mut raw)?;
-    let mut buf = &raw[..];
-
-    if buf.remaining() < 4 + 2 + 4 {
-        return Err(TraceIoError::Truncated { expected: 0, got: 0 });
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if magic != MAGIC {
-        return Err(TraceIoError::BadMagic { found: magic });
-    }
-    let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(TraceIoError::BadVersion { found: version });
-    }
-    let meta_len = buf.get_u32_le() as usize;
-    if buf.remaining() < meta_len + 8 {
-        return Err(TraceIoError::Truncated { expected: 0, got: 0 });
-    }
-    let meta_json = std::str::from_utf8(&buf[..meta_len])
-        .map_err(|e| TraceIoError::BadMeta(e.to_string()))?
-        .to_string();
-    buf.advance(meta_len);
-    let count = buf.get_u64_le();
-
-    // Parse the meta via the text reader for a single source of truth.
-    let meta_line = format!("#!meta {meta_json}\n");
-    let meta = read_text(&mut std::io::BufReader::new(meta_line.as_bytes()))?.meta().clone();
-
+    let (meta, count) = read_header(r)?;
     let mut trace = Trace::new(meta);
     trace.reserve(count as usize);
-    let mut prev_block: u64 = 0;
-    let mut prev_pid: u32 = 0;
-    let mut prev_kind = AccessKind::Read;
-    let mut decode_record = |buf: &mut &[u8], i: u64| -> Result<TraceRecord, TraceIoError> {
-        let tagged =
-            get_varint(buf).map_err(|_| TraceIoError::Truncated { expected: count, got: i })?;
-        let has_flags = tagged & 1 == 1;
-        let delta = zigzag_decode(u64::try_from(tagged >> 1).map_err(|_| TraceIoError::BadVarint)?);
-        let block = prev_block.wrapping_add(delta as u64);
-        if has_flags {
-            if buf.remaining() < 1 {
-                return Err(TraceIoError::Truncated { expected: count, got: i });
-            }
-            let kind_bit = buf.get_u8();
-            prev_kind = if kind_bit & 1 == 1 { AccessKind::Write } else { AccessKind::Read };
-            let pid =
-                get_varint(buf).map_err(|_| TraceIoError::Truncated { expected: count, got: i })?;
-            prev_pid = u32::try_from(pid).map_err(|_| TraceIoError::BadVarint)?;
-        }
-        prev_block = block;
-        Ok(TraceRecord { block: block.into(), pid: prev_pid, kind: prev_kind })
-    };
+    let mut dec = DeltaDecoder::new();
     for i in 0..count {
-        match decode_record(&mut buf, i) {
+        match dec.decode(r, count, i) {
             Ok(rec) => trace.push(rec),
+            Err(e @ TraceIoError::Io(_)) => return Err(e),
             Err(e) if opts.strict => return Err(e),
             // The delta stream cannot resynchronize: everything from the
             // first bad record to the declared end is lost.
@@ -160,6 +115,192 @@ pub fn read_binary_with<R: Read>(
         }
     }
     Ok((trace, 0))
+}
+
+/// Parse the fixed header + metadata; returns the [`TraceMeta`] and the
+/// declared record count, leaving the reader at the first record.
+fn read_header<R: Read>(r: &mut R) -> Result<(TraceMeta, u64), TraceIoError> {
+    let truncated = || TraceIoError::Truncated { expected: 0, got: 0 };
+    let mut fixed = [0u8; 4 + 2 + 4];
+    read_exact_or(r, &mut fixed, truncated)?;
+    let magic: [u8; 4] = fixed[0..4].try_into().expect("slice length");
+    if magic != MAGIC {
+        return Err(TraceIoError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(fixed[4..6].try_into().expect("slice length"));
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion { found: version });
+    }
+    let meta_len = u32::from_le_bytes(fixed[6..10].try_into().expect("slice length")) as usize;
+    let mut tail = vec![0u8; meta_len + 8];
+    read_exact_or(r, &mut tail, truncated)?;
+    let meta_json =
+        std::str::from_utf8(&tail[..meta_len]).map_err(|e| TraceIoError::BadMeta(e.to_string()))?;
+    let count = u64::from_le_bytes(tail[meta_len..].try_into().expect("slice length"));
+
+    // Parse the meta via the text reader for a single source of truth.
+    let meta_line = format!("#!meta {meta_json}\n");
+    let meta = read_text(&mut std::io::BufReader::new(meta_line.as_bytes()))?.meta().clone();
+    Ok((meta, count))
+}
+
+/// `read_exact` with end-of-input mapped through `on_eof`; other I/O
+/// errors pass through unchanged.
+fn read_exact_or<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    on_eof: impl Fn() -> TraceIoError,
+) -> Result<(), TraceIoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            on_eof()
+        } else {
+            e.into()
+        }
+    })
+}
+
+/// Stateful decoder for the delta/flags record stream, shared by the
+/// one-shot readers and the streaming [`BinarySource`].
+struct DeltaDecoder {
+    prev_block: u64,
+    prev_pid: u32,
+    prev_kind: AccessKind,
+}
+
+impl DeltaDecoder {
+    fn new() -> Self {
+        DeltaDecoder { prev_block: 0, prev_pid: 0, prev_kind: AccessKind::Read }
+    }
+
+    /// Decode record `i` of `count`. Truncation mid-record reports
+    /// `Truncated { expected: count, got: i }`; I/O errors pass through.
+    fn decode<R: Read>(
+        &mut self,
+        r: &mut R,
+        count: u64,
+        i: u64,
+    ) -> Result<TraceRecord, TraceIoError> {
+        let truncated = || TraceIoError::Truncated { expected: count, got: i };
+        let tagged = match read_varint(r) {
+            Ok(v) => v,
+            Err(e @ TraceIoError::Io(_)) => return Err(e),
+            Err(_) => return Err(truncated()),
+        };
+        let has_flags = tagged & 1 == 1;
+        let delta = zigzag_decode(u64::try_from(tagged >> 1).map_err(|_| TraceIoError::BadVarint)?);
+        let block = self.prev_block.wrapping_add(delta as u64);
+        if has_flags {
+            let mut kind_bit = [0u8; 1];
+            read_exact_or(r, &mut kind_bit, truncated)?;
+            self.prev_kind =
+                if kind_bit[0] & 1 == 1 { AccessKind::Write } else { AccessKind::Read };
+            let pid = match read_varint(r) {
+                Ok(v) => v,
+                Err(e @ TraceIoError::Io(_)) => return Err(e),
+                Err(_) => return Err(truncated()),
+            };
+            self.prev_pid = u32::try_from(pid).map_err(|_| TraceIoError::BadVarint)?;
+        }
+        self.prev_block = block;
+        Ok(TraceRecord { block: block.into(), pid: self.prev_pid, kind: self.prev_kind })
+    }
+}
+
+/// An incremental [`TraceSource`] over a binary-format reader: records are
+/// decoded one at a time, so memory stays independent of trace length.
+///
+/// The header (magic, version, metadata, count) is parsed at construction;
+/// [`TraceSource::len_hint`] reports the declared count. In lossy mode the
+/// source ends early at the first malformed record — the delta stream
+/// cannot resynchronize — and [`BinarySource::skipped`] reports the records
+/// lost. Rewinding seeks back to the first record.
+pub struct BinarySource<R> {
+    reader: R,
+    opts: ReadOptions,
+    meta: TraceMeta,
+    count: u64,
+    next_index: u64,
+    data_start: u64,
+    dec: DeltaDecoder,
+    skipped: u64,
+    fused: bool,
+}
+
+impl<R: Read + Seek> BinarySource<R> {
+    /// A strict streaming reader over `reader` (positioned at the start of
+    /// a binary-format trace). Header errors are reported here.
+    pub fn new(reader: R) -> Result<Self, TraceIoError> {
+        Self::with_options(reader, ReadOptions::default())
+    }
+
+    /// A streaming reader with explicit [`ReadOptions`].
+    pub fn with_options(mut reader: R, opts: ReadOptions) -> Result<Self, TraceIoError> {
+        let (meta, count) = read_header(&mut reader)?;
+        let data_start = reader.stream_position()?;
+        Ok(BinarySource {
+            reader,
+            opts,
+            meta,
+            count,
+            next_index: 0,
+            data_start,
+            dec: DeltaDecoder::new(),
+            skipped: 0,
+            fused: false,
+        })
+    }
+
+    /// Records lost to the first malformed record in lossy mode (always
+    /// `0` in strict mode). Reset by [`TraceSource::rewind`].
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+impl<R: Read + Seek> TraceSource for BinarySource<R> {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.count)
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        if self.fused || self.next_index == self.count {
+            return Ok(None);
+        }
+        match self.dec.decode(&mut self.reader, self.count, self.next_index) {
+            Ok(rec) => {
+                self.next_index += 1;
+                Ok(Some(rec))
+            }
+            Err(e @ TraceIoError::Io(_)) => {
+                self.fused = true;
+                Err(e)
+            }
+            Err(e) if self.opts.strict => {
+                self.fused = true;
+                Err(e)
+            }
+            Err(_) => {
+                // Lossy: the rest of the stream is undecodable; end early.
+                self.skipped = self.count - self.next_index;
+                self.next_index = self.count;
+                Ok(None)
+            }
+        }
+    }
+
+    fn rewind(&mut self) -> Result<(), TraceIoError> {
+        self.reader.seek(SeekFrom::Start(self.data_start))?;
+        self.dec = DeltaDecoder::new();
+        self.next_index = 0;
+        self.skipped = 0;
+        self.fused = false;
+        Ok(())
+    }
 }
 
 #[inline]
@@ -184,20 +325,25 @@ fn put_varint(buf: &mut BytesMut, mut v: u128) {
     }
 }
 
-fn get_varint(buf: &mut &[u8]) -> Result<u128, TraceIoError> {
+/// Read one varint off the stream. End of input mid-varint is
+/// [`TraceIoError::BadVarint`]; other I/O errors pass through.
+fn read_varint<R: Read>(r: &mut R) -> Result<u128, TraceIoError> {
     let mut v: u128 = 0;
-    // 70 bits of shift covers the 65-bit tagged payload with margin.
+    let mut byte = [0u8; 1];
+    // 77 bits of shift covers the 65-bit tagged payload with margin.
     for shift in (0..77).step_by(7) {
-        if buf.remaining() == 0 {
-            return Err(TraceIoError::BadVarint);
-        }
-        let byte = buf.get_u8();
-        v |= ((byte & 0x7f) as u128) << shift;
-        if byte & 0x80 == 0 {
+        read_exact_or(r, &mut byte, || TraceIoError::BadVarint)?;
+        v |= ((byte[0] & 0x7f) as u128) << shift;
+        if byte[0] & 0x80 == 0 {
             return Ok(v);
         }
     }
     Err(TraceIoError::BadVarint)
+}
+
+#[cfg(test)]
+fn get_varint(buf: &mut &[u8]) -> Result<u128, TraceIoError> {
+    read_varint(buf)
 }
 
 #[cfg(test)]
@@ -332,5 +478,74 @@ mod tests {
         let (back, skipped) = read_binary_lossy(&mut &buf[..]).unwrap();
         assert_eq!(skipped, 0);
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_source_streams_and_rewinds() {
+        let mut t = Trace::new(TraceMeta {
+            name: "cello".into(),
+            description: "timesharing".into(),
+            l1_cache_bytes: Some(30 << 20),
+            seed: Some(1),
+        });
+        t.extend([
+            TraceRecord::read(100u64),
+            TraceRecord::read(101u64),
+            TraceRecord::write(50u64).with_pid(4),
+            TraceRecord::read(0u64).with_pid(4),
+        ]);
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+
+        let mut src = BinarySource::new(std::io::Cursor::new(&buf[..])).unwrap();
+        assert_eq!(src.meta().name, "cello");
+        assert_eq!(src.len_hint(), Some(4));
+        let back = src.materialize().unwrap();
+        assert_eq!(back, t);
+
+        src.rewind().unwrap();
+        let again = src.materialize().unwrap();
+        assert_eq!(again, t);
+    }
+
+    #[test]
+    fn binary_source_strict_reports_truncation_and_fuses() {
+        let t = Trace::from_blocks([1u64, 100, 10000, 42]);
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let shorter = &buf[..buf.len() - 2];
+        let mut src = BinarySource::new(std::io::Cursor::new(shorter)).unwrap();
+        let mut ok = 0u64;
+        let err = loop {
+            match src.next_record() {
+                Ok(Some(_)) => ok += 1,
+                Ok(None) => panic!("expected a truncation error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, TraceIoError::Truncated { .. }), "got {err}");
+        assert!(ok < 4);
+        // Fused after the failure.
+        assert_eq!(src.next_record().unwrap(), None);
+        src.rewind().unwrap();
+        assert_eq!(src.next_record().unwrap().unwrap().block.0, 1);
+    }
+
+    #[test]
+    fn binary_source_lossy_matches_lossy_reader() {
+        let t = Trace::from_blocks([1u64, 100, 10000, 42]);
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let shorter = &buf[..buf.len() - 2];
+        let (expected, expected_skipped) = read_binary_lossy(&mut &shorter[..]).unwrap();
+
+        let mut src = BinarySource::with_options(
+            std::io::Cursor::new(shorter),
+            ReadOptions { strict: false },
+        )
+        .unwrap();
+        let got = src.materialize().unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(src.skipped(), expected_skipped);
     }
 }

@@ -20,36 +20,92 @@ pub mod binary;
 pub mod error;
 pub mod text;
 
-pub use binary::{read_binary, read_binary_lossy, read_binary_with, write_binary};
+pub use binary::{read_binary, read_binary_lossy, read_binary_with, write_binary, BinarySource};
 pub use error::TraceIoError;
-pub use text::{read_text, read_text_lossy, read_text_with, write_text, ReadOptions};
+pub use text::{read_text, read_text_lossy, read_text_with, write_text, ReadOptions, TextSource};
 
-use crate::Trace;
+use crate::source::TraceSource;
+use crate::{Trace, TraceMeta, TraceRecord};
+use std::fs::File;
+use std::io::BufReader;
 use std::path::Path;
+
+/// A streaming [`TraceSource`] over an on-disk trace file, format picked
+/// from the extension like [`load`] (`.trc` → binary, anything else →
+/// text). Obtained from [`open_source`]; memory use is independent of the
+/// trace length.
+pub enum FileSource {
+    /// Text-format file (see [`text`]).
+    Text(TextSource<BufReader<File>>),
+    /// Binary-format file (see [`binary`]).
+    Binary(BinarySource<BufReader<File>>),
+}
+
+impl FileSource {
+    /// Malformed records skipped/lost so far in lossy mode (always `0` in
+    /// strict mode); see [`TextSource::skipped`] / [`BinarySource::skipped`].
+    pub fn skipped(&self) -> u64 {
+        match self {
+            FileSource::Text(s) => s.skipped(),
+            FileSource::Binary(s) => s.skipped(),
+        }
+    }
+}
+
+impl TraceSource for FileSource {
+    fn meta(&self) -> &TraceMeta {
+        match self {
+            FileSource::Text(s) => s.meta(),
+            FileSource::Binary(s) => s.meta(),
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        match self {
+            FileSource::Text(s) => s.len_hint(),
+            FileSource::Binary(s) => s.len_hint(),
+        }
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        match self {
+            FileSource::Text(s) => s.next_record(),
+            FileSource::Binary(s) => s.next_record(),
+        }
+    }
+
+    fn rewind(&mut self) -> Result<(), TraceIoError> {
+        match self {
+            FileSource::Text(s) => s.rewind(),
+            FileSource::Binary(s) => s.rewind(),
+        }
+    }
+}
+
+/// Open a trace file as a streaming [`FileSource`], picking the format
+/// from the file extension (`.trc` → binary, anything else → text).
+pub fn open_source(path: &Path, opts: ReadOptions) -> Result<FileSource, TraceIoError> {
+    let reader = BufReader::new(File::open(path)?);
+    if path.extension().is_some_and(|e| e == "trc") {
+        Ok(FileSource::Binary(BinarySource::with_options(reader, opts)?))
+    } else {
+        Ok(FileSource::Text(TextSource::with_options(reader, opts)?))
+    }
+}
 
 /// Load a trace, picking the format from the file extension
 /// (`.trc` → binary, anything else → text).
 pub fn load(path: &Path) -> Result<Trace, TraceIoError> {
-    let file = std::fs::File::open(path)?;
-    let mut reader = std::io::BufReader::new(file);
-    if path.extension().is_some_and(|e| e == "trc") {
-        read_binary(&mut reader)
-    } else {
-        read_text(&mut reader)
-    }
+    open_source(path, ReadOptions { strict: true })?.materialize()
 }
 
 /// Load a trace leniently, picking the format from the file extension:
 /// malformed records are skipped and counted instead of fatal (see
 /// [`read_text_lossy`] / [`read_binary_lossy`]).
 pub fn load_lossy(path: &Path) -> Result<(Trace, u64), TraceIoError> {
-    let file = std::fs::File::open(path)?;
-    let mut reader = std::io::BufReader::new(file);
-    if path.extension().is_some_and(|e| e == "trc") {
-        read_binary_lossy(&mut reader)
-    } else {
-        read_text_lossy(&mut reader)
-    }
+    let mut source = open_source(path, ReadOptions { strict: false })?;
+    let trace = source.materialize()?;
+    Ok((trace, source.skipped()))
 }
 
 /// Save a trace, picking the format from the file extension
@@ -90,5 +146,25 @@ mod tests {
     fn load_missing_file_is_an_error() {
         let err = load(Path::new("/nonexistent/definitely/missing.trc"));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn open_source_streams_both_formats() {
+        let dir = std::env::temp_dir().join("prefetch-trace-io-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut trace = Trace::from_blocks([3u64, 1, 4, 1, 5, 9, 2, 6]);
+        trace.meta_mut().name = "pi".into();
+
+        for name in ["t.trc", "t.txt"] {
+            let path = dir.join(name);
+            save(&trace, &path).unwrap();
+            let mut src = open_source(&path, ReadOptions::default()).unwrap();
+            let back = src.materialize().unwrap();
+            assert_eq!(back, trace, "{name}");
+            assert_eq!(src.skipped(), 0);
+            // Rewind works through the enum too.
+            src.rewind().unwrap();
+            assert_eq!(src.next_record().unwrap().unwrap().block.0, 3);
+        }
     }
 }

@@ -6,8 +6,9 @@
 
 use crate::io::TraceIoError;
 use crate::record::{AccessKind, TraceRecord};
+use crate::source::TraceSource;
 use crate::{Trace, TraceMeta};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Seek, SeekFrom, Write};
 
 const META_PREFIX: &str = "#!meta ";
 
@@ -95,6 +96,151 @@ pub fn read_text_with<R: BufRead>(
         }
     }
     Ok((trace, skipped))
+}
+
+/// An incremental [`TraceSource`] over a text-format reader: records are
+/// decoded one line at a time, so memory stays independent of trace length.
+///
+/// Construction consumes the leading header (comments and a `#!meta` line)
+/// so [`TraceSource::meta`] is available before the first record; `#!meta`
+/// lines appearing later in the file refine the metadata as they stream
+/// past, exactly like [`read_text_with`]. Rewinding seeks back to the first
+/// record and resets the per-pass [`TextSource::skipped`] counter.
+pub struct TextSource<R> {
+    reader: R,
+    opts: ReadOptions,
+    meta: TraceMeta,
+    /// Byte offset of the first record line (after the leading header).
+    data_start: u64,
+    /// Lines consumed by the header scan, and the count skipped in it —
+    /// the rewind baselines for `line_no` / `skipped`.
+    header_lines: usize,
+    header_skipped: u64,
+    line_no: usize,
+    skipped: u64,
+    fused: bool,
+    line: String,
+}
+
+impl<R: BufRead + Seek> TextSource<R> {
+    /// A strict streaming reader over `reader` (positioned at the start of
+    /// a text-format trace).
+    pub fn new(reader: R) -> Result<Self, TraceIoError> {
+        Self::with_options(reader, ReadOptions::default())
+    }
+
+    /// A streaming reader with explicit [`ReadOptions`].
+    pub fn with_options(mut reader: R, opts: ReadOptions) -> Result<Self, TraceIoError> {
+        let mut meta = TraceMeta::default();
+        let mut pos = reader.stream_position()?;
+        let mut line = String::new();
+        let mut line_no = 0usize;
+        let mut skipped = 0u64;
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line)?;
+            if n == 0 {
+                break;
+            }
+            let trimmed = line.trim();
+            if let Some(meta_json) = trimmed.strip_prefix(META_PREFIX) {
+                match meta_from_json(meta_json) {
+                    Ok(m) => meta = m,
+                    Err(e) if opts.strict => return Err(e),
+                    Err(_) => skipped += 1,
+                }
+            } else if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                // First record line: leave it for streaming.
+                reader.seek(SeekFrom::Start(pos))?;
+                break;
+            }
+            line_no += 1;
+            pos += n as u64;
+        }
+        Ok(TextSource {
+            reader,
+            opts,
+            meta,
+            data_start: pos,
+            header_lines: line_no,
+            header_skipped: skipped,
+            line_no,
+            skipped,
+            fused: false,
+            line,
+        })
+    }
+
+    /// Malformed lines skipped so far in this pass (always `0` in strict
+    /// mode). Reset by [`TraceSource::rewind`] to the header's count.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+impl<R: BufRead + Seek> TraceSource for TextSource<R> {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Unknown: the text format carries no record count.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        if self.fused {
+            return Ok(None);
+        }
+        loop {
+            self.line.clear();
+            let n = match self.reader.read_line(&mut self.line) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.fused = true;
+                    return Err(e.into());
+                }
+            };
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(meta_json) = trimmed.strip_prefix(META_PREFIX) {
+                match meta_from_json(meta_json) {
+                    Ok(m) => self.meta = m,
+                    Err(e) if self.opts.strict => {
+                        self.fused = true;
+                        return Err(e);
+                    }
+                    Err(_) => self.skipped += 1,
+                }
+                continue;
+            }
+            if trimmed.starts_with('#') {
+                continue;
+            }
+            match parse_line(trimmed, self.line_no) {
+                Ok(rec) => return Ok(Some(rec)),
+                Err(e) if self.opts.strict => {
+                    self.fused = true;
+                    return Err(e);
+                }
+                Err(_) => self.skipped += 1,
+            }
+        }
+    }
+
+    fn rewind(&mut self) -> Result<(), TraceIoError> {
+        self.reader.seek(SeekFrom::Start(self.data_start))?;
+        self.line_no = self.header_lines;
+        self.skipped = self.header_skipped;
+        self.fused = false;
+        Ok(())
+    }
 }
 
 fn parse_line(s: &str, line_no: usize) -> Result<TraceRecord, TraceIoError> {
@@ -287,5 +433,58 @@ mod tests {
     #[test]
     fn default_read_options_are_strict() {
         assert!(ReadOptions::default().strict);
+    }
+
+    #[test]
+    fn text_source_streams_meta_then_records() {
+        let mut t = Trace::from_blocks([10u64, 11, 12, 5]);
+        t.meta_mut().name = "snake".into();
+        t.meta_mut().seed = Some(7);
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+
+        let mut src = TextSource::new(std::io::Cursor::new(&buf[..])).unwrap();
+        // Meta is available before the first record is pulled.
+        assert_eq!(src.meta().name, "snake");
+        assert_eq!(src.len_hint(), None);
+        let back = src.materialize().unwrap();
+        assert_eq!(back, t);
+
+        // Rewinding replays the records bit-identically.
+        src.rewind().unwrap();
+        let again = src.materialize().unwrap();
+        assert_eq!(again, t);
+    }
+
+    #[test]
+    fn text_source_strict_fuses_after_bad_line() {
+        let src_text = "1\n2\nabc\n3\n";
+        let mut src = TextSource::new(std::io::Cursor::new(src_text.as_bytes())).unwrap();
+        assert_eq!(src.next_record().unwrap().unwrap().block.0, 1);
+        assert_eq!(src.next_record().unwrap().unwrap().block.0, 2);
+        assert!(src.next_record().is_err());
+        // Fused: no records after the failure until rewound.
+        assert_eq!(src.next_record().unwrap(), None);
+        src.rewind().unwrap();
+        assert_eq!(src.next_record().unwrap().unwrap().block.0, 1);
+    }
+
+    #[test]
+    fn text_source_lossy_matches_lossy_reader() {
+        let src_text = "# hdr\n1\nabc\n2\n1 2 X\n3\n-5\n";
+        let (expected, expected_skipped) =
+            read_text_lossy(&mut BufReader::new(src_text.as_bytes())).unwrap();
+        let mut src = TextSource::with_options(
+            std::io::Cursor::new(src_text.as_bytes()),
+            ReadOptions { strict: false },
+        )
+        .unwrap();
+        let got = src.materialize().unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(src.skipped(), expected_skipped);
+        // The skip counter is per-pass.
+        src.rewind().unwrap();
+        src.materialize().unwrap();
+        assert_eq!(src.skipped(), expected_skipped);
     }
 }

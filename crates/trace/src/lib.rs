@@ -34,9 +34,12 @@
 
 pub mod io;
 pub mod record;
+pub mod source;
 pub mod stats;
 pub mod synth;
 pub mod trace;
 
+pub use io::{open_source, FileSource};
 pub use record::{AccessKind, BlockId, TraceRecord};
+pub use source::{L1FilterSource, TraceCursor, TraceSource};
 pub use trace::{Trace, TraceMeta};

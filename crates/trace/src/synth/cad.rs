@@ -15,7 +15,7 @@
 //!   last-visited-child rate (68.6%, Table 3);
 //! * `tree` alone reduces the miss rate by up to ~36%.
 
-use crate::synth::{generate, LoopReplay};
+use crate::synth::{LoopReplay, SynthSource, Workload};
 use crate::{Trace, TraceMeta};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -51,8 +51,27 @@ impl Default for CadConfig {
     }
 }
 
-/// Generate the synthetic CAD trace.
+/// Generate the synthetic CAD trace (materialized; see [`stream_cad`] for
+/// the constant-memory streaming path — both are bit-identical).
 pub fn generate_cad(cfg: &CadConfig, seed: u64) -> Trace {
+    stream_cad(cfg, seed).into_trace()
+}
+
+/// Stream the synthetic CAD trace without materializing it.
+pub fn stream_cad(cfg: &CadConfig, seed: u64) -> SynthSource {
+    let meta = TraceMeta {
+        name: "cad".into(),
+        description: "Synthetic: object references from a CAD tool".into(),
+        l1_cache_bytes: None,
+        seed: None,
+    };
+    let cfg = cfg.clone();
+    SynthSource::new(cfg.refs, seed, meta, Box::new(move || build_workload(&cfg, seed)))
+}
+
+/// Build the CAD workload; deterministic in `(cfg, seed)` so the streaming
+/// source can rebuild it on rewind.
+fn build_workload(cfg: &CadConfig, seed: u64) -> Box<dyn Workload + Send> {
     let mut setup_rng = SmallRng::seed_from_u64(seed ^ 0xCAD);
     let library = LoopReplay::random_library(
         &mut setup_rng,
@@ -64,19 +83,9 @@ pub fn generate_cad(cfg: &CadConfig, seed: u64) -> Trace {
     );
     // CAD users iterate: the same traversal is often re-run back to back,
     // which is what drives the paper's high last-visited-child rate.
-    let workload =
+    Box::new(
         LoopReplay::new(library, cfg.popularity_skew, cfg.mutation_rate, 0, cfg.object_space)
-            .with_persistence(0.45);
-    generate(
-        workload,
-        cfg.refs,
-        seed,
-        TraceMeta {
-            name: "cad".into(),
-            description: "Synthetic: object references from a CAD tool".into(),
-            l1_cache_bytes: None,
-            seed: None,
-        },
+            .with_persistence(0.45),
     )
 }
 

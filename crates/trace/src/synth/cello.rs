@@ -14,7 +14,7 @@
 //! * tree-based prefetching helps only modestly.
 
 use crate::synth::{
-    generate, Interleave, L1Filter, LoopReplay, SequentialRuns, UniformRandom, Workload,
+    Interleave, L1Filter, LoopReplay, SequentialRuns, SynthSource, UniformRandom, Workload,
     ZipfRandom, BLOCK_BYTES,
 };
 use crate::{Trace, TraceMeta};
@@ -48,8 +48,27 @@ impl Default for CelloConfig {
     }
 }
 
-/// Generate the synthetic cello trace.
+/// Generate the synthetic cello trace (materialized; see [`stream_cello`]
+/// for the constant-memory streaming path — both are bit-identical).
 pub fn generate_cello(cfg: &CelloConfig, seed: u64) -> Trace {
+    stream_cello(cfg, seed).into_trace()
+}
+
+/// Stream the synthetic cello trace without materializing it.
+pub fn stream_cello(cfg: &CelloConfig, seed: u64) -> SynthSource {
+    let meta = TraceMeta {
+        name: "cello".into(),
+        description: "Synthetic: disk block traces from a timesharing system (post-30MB L1)".into(),
+        l1_cache_bytes: Some(cfg.l1_bytes),
+        seed: None,
+    };
+    let cfg = cfg.clone();
+    SynthSource::new(cfg.refs, seed, meta, Box::new(move || build_workload(&cfg, seed)))
+}
+
+/// Build the cello workload pipeline; deterministic in `(cfg, seed)` so
+/// the streaming source can rebuild it on rewind.
+fn build_workload(cfg: &CelloConfig, seed: u64) -> Box<dyn Workload + Send> {
     let mut setup_rng = SmallRng::seed_from_u64(seed ^ 0xCE110);
     let mut streams: Vec<(Box<dyn Workload + Send>, f64, u32)> = Vec::new();
 
@@ -92,20 +111,9 @@ pub fn generate_cello(cfg: &CelloConfig, seed: u64) -> Trace {
 
     let l1_blocks = (cfg.l1_bytes / BLOCK_BYTES).max(1) as usize;
     // Timesharing I/O is bursty: a scheduled process issues a run of
-    // requests before yielding the disk.
-    let workload = L1Filter::new(Interleave::new(streams).with_burst(24.0), l1_blocks);
-    generate(
-        workload,
-        cfg.refs,
-        seed,
-        TraceMeta {
-            name: "cello".into(),
-            description: "Synthetic: disk block traces from a timesharing system (post-30MB L1)"
-                .into(),
-            l1_cache_bytes: Some(cfg.l1_bytes),
-            seed: None,
-        },
-    )
+    // requests before yielding the disk. The L1 filter is part of the
+    // streaming pipeline: only misses are emitted, as captured.
+    Box::new(L1Filter::new(Interleave::new(streams).with_burst(24.0), l1_blocks))
 }
 
 #[cfg(test)]

@@ -33,15 +33,15 @@ mod sitar;
 mod snake;
 mod zipf;
 
-pub use cad::{generate_cad, CadConfig};
-pub use cello::{generate_cello, CelloConfig};
+pub use cad::{generate_cad, stream_cad, CadConfig};
+pub use cello::{generate_cello, stream_cello, CelloConfig};
 pub use interleave::Interleave;
 pub use l1filter::{L1Filter, LruSet};
 pub use loops::LoopReplay;
 pub use markov::MarkovPatterns;
 pub use primitives::{SequentialRuns, UniformRandom, ZipfRandom};
-pub use sitar::{generate_sitar, SitarConfig};
-pub use snake::{generate_snake, SnakeConfig};
+pub use sitar::{generate_sitar, stream_sitar, SitarConfig};
+pub use snake::{generate_snake, stream_snake, SnakeConfig};
 pub use zipf::ZipfSampler;
 
 use crate::{Trace, TraceMeta, TraceRecord};
@@ -70,6 +70,11 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
 
 /// Drive `workload` for `refs` references into a [`Trace`] with the given
 /// metadata and seed.
+///
+/// This materializes the whole trace; for constant-memory streaming use a
+/// [`SynthSource`] (the named generators expose one via `stream_*` /
+/// [`TraceKind::stream`]). Both paths draw records identically: a
+/// `SmallRng` seeded with `seed` drives the workload one record at a time.
 pub fn generate(mut workload: impl Workload, refs: usize, seed: u64, meta: TraceMeta) -> Trace {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut trace = Trace::new(TraceMeta { seed: Some(seed), ..meta });
@@ -79,6 +84,78 @@ pub fn generate(mut workload: impl Workload, refs: usize, seed: u64, meta: Trace
         trace.push(r);
     }
     trace
+}
+
+/// Builds a fresh, deterministic [`Workload`] instance; [`SynthSource`]
+/// invokes it on construction and on every rewind, so one factory call
+/// must always produce the same workload state.
+pub type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload + Send> + Send + Sync>;
+
+/// A streaming [`crate::source::TraceSource`] over a synthetic workload:
+/// records are drawn on the fly (memory independent of `refs`), and
+/// rewinding rebuilds the workload from its factory and reseeds the RNG,
+/// reproducing the stream bit for bit.
+///
+/// The stream is identical to what [`generate`] materializes from the same
+/// workload, seed, and reference count.
+pub struct SynthSource {
+    factory: WorkloadFactory,
+    workload: Box<dyn Workload + Send>,
+    rng: SmallRng,
+    seed: u64,
+    refs: u64,
+    emitted: u64,
+    meta: TraceMeta,
+}
+
+impl SynthSource {
+    /// A source yielding `refs` records from the workload the factory
+    /// builds, seeded with `seed` (stamped into the metadata, as
+    /// [`generate`] does).
+    pub fn new(refs: usize, seed: u64, meta: TraceMeta, factory: WorkloadFactory) -> Self {
+        let workload = factory();
+        SynthSource {
+            factory,
+            workload,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+            refs: refs as u64,
+            emitted: 0,
+            meta: TraceMeta { seed: Some(seed), ..meta },
+        }
+    }
+
+    /// Materialize the remaining records into a [`Trace`] (infallible,
+    /// unlike the generic [`crate::source::TraceSource::materialize`]).
+    pub fn into_trace(mut self) -> Trace {
+        use crate::source::TraceSource as _;
+        self.materialize().expect("synthetic sources cannot fail")
+    }
+}
+
+impl crate::source::TraceSource for SynthSource {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.refs)
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, crate::io::TraceIoError> {
+        if self.emitted == self.refs {
+            return Ok(None);
+        }
+        self.emitted += 1;
+        Ok(Some(self.workload.next_record(&mut self.rng)))
+    }
+
+    fn rewind(&mut self) -> Result<(), crate::io::TraceIoError> {
+        self.workload = (self.factory)();
+        self.rng = SmallRng::seed_from_u64(self.seed);
+        self.emitted = 0;
+        Ok(())
+    }
 }
 
 /// Which of the paper's four traces to synthesize.
@@ -111,17 +188,17 @@ impl TraceKind {
 
     /// Generate this trace with `refs` references from `seed`.
     pub fn generate(self, refs: usize, seed: u64) -> Trace {
+        self.stream(refs, seed).into_trace()
+    }
+
+    /// Stream this trace with `refs` references from `seed` without
+    /// materializing it; bit-identical to [`TraceKind::generate`].
+    pub fn stream(self, refs: usize, seed: u64) -> SynthSource {
         match self {
-            TraceKind::Cello => {
-                generate_cello(&CelloConfig { refs, ..CelloConfig::default() }, seed)
-            }
-            TraceKind::Snake => {
-                generate_snake(&SnakeConfig { refs, ..SnakeConfig::default() }, seed)
-            }
-            TraceKind::Cad => generate_cad(&CadConfig { refs, ..CadConfig::default() }, seed),
-            TraceKind::Sitar => {
-                generate_sitar(&SitarConfig { refs, ..SitarConfig::default() }, seed)
-            }
+            TraceKind::Cello => stream_cello(&CelloConfig { refs, ..CelloConfig::default() }, seed),
+            TraceKind::Snake => stream_snake(&SnakeConfig { refs, ..SnakeConfig::default() }, seed),
+            TraceKind::Cad => stream_cad(&CadConfig { refs, ..CadConfig::default() }, seed),
+            TraceKind::Sitar => stream_sitar(&SitarConfig { refs, ..SitarConfig::default() }, seed),
         }
     }
 }

@@ -16,7 +16,7 @@
 //!   the tree has never seen;
 //! * high last-visited-child rate (paper: 73.6%).
 
-use crate::synth::Workload;
+use crate::synth::{SynthSource, Workload};
 use crate::{BlockId, Trace, TraceMeta, TraceRecord};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -146,21 +146,29 @@ impl Workload for SitarWorkload {
     }
 }
 
-/// Generate the synthetic sitar trace.
+/// Generate the synthetic sitar trace (materialized; see [`stream_sitar`]
+/// for the constant-memory streaming path — both are bit-identical).
 pub fn generate_sitar(cfg: &SitarConfig, seed: u64) -> Trace {
+    stream_sitar(cfg, seed).into_trace()
+}
+
+/// Stream the synthetic sitar trace without materializing it.
+pub fn stream_sitar(cfg: &SitarConfig, seed: u64) -> SynthSource {
+    let meta = TraceMeta {
+        name: "sitar".into(),
+        description: "Synthetic: file block traces of normal daily usage of students".into(),
+        l1_cache_bytes: None,
+        seed: None,
+    };
+    let cfg = cfg.clone();
+    SynthSource::new(cfg.refs, seed, meta, Box::new(move || build_workload(&cfg, seed)))
+}
+
+/// Build the sitar workload; deterministic in `(cfg, seed)` so the
+/// streaming source can rebuild it on rewind.
+fn build_workload(cfg: &SitarConfig, seed: u64) -> Box<dyn Workload + Send> {
     let mut setup_rng = SmallRng::seed_from_u64(seed ^ 0x517A2);
-    let workload = SitarWorkload::new(cfg.clone(), &mut setup_rng);
-    crate::synth::generate(
-        workload,
-        cfg.refs,
-        seed,
-        TraceMeta {
-            name: "sitar".into(),
-            description: "Synthetic: file block traces of normal daily usage of students".into(),
-            l1_cache_bytes: None,
-            seed: None,
-        },
-    )
+    Box::new(SitarWorkload::new(cfg.clone(), &mut setup_rng))
 }
 
 #[cfg(test)]

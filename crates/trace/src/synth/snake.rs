@@ -13,7 +13,7 @@
 //!   additive and best.
 
 use crate::synth::{
-    generate, Interleave, L1Filter, LoopReplay, SequentialRuns, UniformRandom, Workload,
+    Interleave, L1Filter, LoopReplay, SequentialRuns, SynthSource, UniformRandom, Workload,
     BLOCK_BYTES,
 };
 use crate::{Trace, TraceMeta};
@@ -49,8 +49,27 @@ impl Default for SnakeConfig {
     }
 }
 
-/// Generate the synthetic snake trace.
+/// Generate the synthetic snake trace (materialized; see [`stream_snake`]
+/// for the constant-memory streaming path — both are bit-identical).
 pub fn generate_snake(cfg: &SnakeConfig, seed: u64) -> Trace {
+    stream_snake(cfg, seed).into_trace()
+}
+
+/// Stream the synthetic snake trace without materializing it.
+pub fn stream_snake(cfg: &SnakeConfig, seed: u64) -> SynthSource {
+    let meta = TraceMeta {
+        name: "snake".into(),
+        description: "Synthetic: disk block traces from a file server (post-5MB L1)".into(),
+        l1_cache_bytes: Some(cfg.l1_bytes),
+        seed: None,
+    };
+    let cfg = cfg.clone();
+    SynthSource::new(cfg.refs, seed, meta, Box::new(move || build_workload(&cfg, seed)))
+}
+
+/// Build the snake workload pipeline; deterministic in `(cfg, seed)` so
+/// the streaming source can rebuild it on rewind.
+fn build_workload(cfg: &SnakeConfig, seed: u64) -> Box<dyn Workload + Send> {
     let mut setup_rng = SmallRng::seed_from_u64(seed ^ 0x57ABE);
     let mut streams: Vec<(Box<dyn Workload + Send>, f64, u32)> = Vec::new();
 
@@ -90,19 +109,9 @@ pub fn generate_snake(cfg: &SnakeConfig, seed: u64) -> Trace {
     ));
 
     let l1_blocks = (cfg.l1_bytes / BLOCK_BYTES).max(1) as usize;
-    // Server request streams are bursty per client.
-    let workload = L1Filter::new(Interleave::new(streams).with_burst(32.0), l1_blocks);
-    generate(
-        workload,
-        cfg.refs,
-        seed,
-        TraceMeta {
-            name: "snake".into(),
-            description: "Synthetic: disk block traces from a file server (post-5MB L1)".into(),
-            l1_cache_bytes: Some(cfg.l1_bytes),
-            seed: None,
-        },
-    )
+    // Server request streams are bursty per client. The L1 filter is part
+    // of the streaming pipeline: only misses are emitted, as captured.
+    Box::new(L1Filter::new(Interleave::new(streams).with_burst(32.0), l1_blocks))
 }
 
 #[cfg(test)]

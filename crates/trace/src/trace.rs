@@ -116,6 +116,11 @@ impl Trace {
     pub fn into_records(self) -> Vec<TraceRecord> {
         self.records
     }
+
+    /// A streaming [`crate::source::TraceSource`] view over this trace.
+    pub fn source(&self) -> crate::source::TraceCursor<'_> {
+        crate::source::TraceCursor::new(self)
+    }
 }
 
 impl FromIterator<TraceRecord> for Trace {

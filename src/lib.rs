@@ -51,11 +51,14 @@ pub mod prelude {
     };
     pub use prefetch_sim::experiments::{run_all, run_experiment, ExperimentOpts, TraceSet};
     pub use prefetch_sim::{
-        run_simulation, FaultConfig, PolicySpec, SimConfig, SimConfigError, SimMetrics, SimResult,
+        run_simulation, run_simulation_named, run_source, DiskSummary, FaultConfig, IoSubsystem,
+        NullObserver, PolicySpec, SimConfig, SimConfigError, SimEvent, SimMetrics, SimObserver,
+        SimResult, Simulator, VirtualClock,
     };
+    pub use prefetch_trace::io::{open_source, FileSource};
     pub use prefetch_trace::stats::{ReuseDistances, TraceStats};
-    pub use prefetch_trace::synth::TraceKind;
-    pub use prefetch_trace::{BlockId, Trace, TraceMeta, TraceRecord};
+    pub use prefetch_trace::synth::{SynthSource, TraceKind};
+    pub use prefetch_trace::{BlockId, Trace, TraceCursor, TraceMeta, TraceRecord, TraceSource};
     pub use prefetch_tree::{PrefetchTree, TreeStats};
 }
 

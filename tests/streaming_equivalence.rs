@@ -1,0 +1,98 @@
+//! Streaming/materialized equivalence (property-based).
+//!
+//! The streaming pipeline's contract is that it changes *where records
+//! live*, never *what the simulator sees*: for the same (kind, refs,
+//! seed), driving the simulator from a [`SynthSource`] generator must
+//! produce bit-identical `SimMetrics` to materializing the whole trace
+//! first — for every synthetic workload, every headline policy, and with
+//! fault injection active.
+
+use predictive_prefetch::prelude::*;
+use proptest::prelude::*;
+
+fn assert_stream_matches_batch(kind: TraceKind, refs: usize, seed: u64, cfg: &SimConfig) {
+    cfg.validate().unwrap();
+    let trace = kind.generate(refs, seed);
+    let batch = run_simulation(&trace, cfg);
+    let mut stream = kind.stream(refs, seed);
+    let streamed = run_source(&mut stream, cfg).unwrap();
+    assert_eq!(
+        batch.metrics, streamed.metrics,
+        "{kind} × {:?} diverged between batch and stream",
+        cfg.policy
+    );
+    assert_eq!(batch.trace, streamed.trace, "{kind} name diverged");
+    // And the source rewinds to an identical second pass.
+    stream.rewind().unwrap();
+    let again = run_source(&mut stream, cfg).unwrap();
+    assert_eq!(streamed.metrics, again.metrics, "{kind} rewind diverged");
+}
+
+/// Exhaustive: every workload × every headline policy, plain config.
+#[test]
+fn every_kind_and_headline_policy_streams_identically() {
+    for kind in TraceKind::ALL {
+        for &spec in &PolicySpec::HEADLINE {
+            assert_stream_matches_batch(kind, 3000, 7, &SimConfig::new(128, spec));
+        }
+    }
+}
+
+/// Exhaustive: same matrix with a finite disk array and fault injection
+/// live (the `--fault-rate` path of `pfsim`).
+#[test]
+fn every_kind_and_headline_policy_streams_identically_under_faults() {
+    for kind in TraceKind::ALL {
+        for &spec in &PolicySpec::HEADLINE {
+            let cfg = SimConfig::new(128, spec).with_disks(2).with_fault_rate(13, 0.1);
+            assert_stream_matches_batch(kind, 3000, 7, &cfg);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random (kind, seed, refs, cache, policy): streaming == batch.
+    #[test]
+    fn streaming_equivalence_random(
+        kind_idx in 0usize..4,
+        policy_idx in 0usize..4,
+        seed in any::<u64>(),
+        refs in 1usize..2500,
+        cache in 8usize..256,
+    ) {
+        let kind = TraceKind::ALL[kind_idx];
+        let spec = PolicySpec::HEADLINE[policy_idx];
+        let cfg = SimConfig::new(cache, spec);
+        cfg.validate().unwrap();
+        let trace = kind.generate(refs, seed);
+        let batch = run_simulation(&trace, &cfg);
+        let mut stream = kind.stream(refs, seed);
+        let streamed = run_source(&mut stream, &cfg).unwrap();
+        prop_assert_eq!(batch.metrics, streamed.metrics);
+    }
+
+    /// Same, with a finite array and a random fault rate (including 0).
+    #[test]
+    fn streaming_equivalence_random_under_faults(
+        kind_idx in 0usize..4,
+        policy_idx in 0usize..4,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        rate_millis in 0u32..250,
+        disks in 1usize..4,
+    ) {
+        let kind = TraceKind::ALL[kind_idx];
+        let spec = PolicySpec::HEADLINE[policy_idx];
+        let cfg = SimConfig::new(64, spec)
+            .with_disks(disks)
+            .with_fault_rate(fault_seed, rate_millis as f64 / 1000.0);
+        cfg.validate().unwrap();
+        let trace = kind.generate(1500, seed);
+        let batch = run_simulation(&trace, &cfg);
+        let mut stream = kind.stream(1500, seed);
+        let streamed = run_source(&mut stream, &cfg).unwrap();
+        prop_assert_eq!(batch.metrics, streamed.metrics);
+    }
+}
