@@ -7,7 +7,12 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use prefetch_sim::experiments::{run_experiment, ExperimentOpts, TraceSet, ALL_IDS};
 
 fn bench_each_artifact(c: &mut Criterion) {
-    let opts = ExperimentOpts { refs: 4_000, seed: 1999, cache_sizes: vec![64, 256] };
+    let opts = ExperimentOpts {
+        refs: 4_000,
+        seed: 1999,
+        cache_sizes: vec![64, 256],
+        ..ExperimentOpts::default()
+    };
     let traces = TraceSet::generate(&opts);
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);

@@ -4,13 +4,23 @@
 //!
 //! ```text
 //! figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv]
+//!         [--checkpoint DIR] [--resume] [--deadline-ms N] [--retries N]
 //! ```
 //!
 //! `<id>` is one of `table1 table2 table3 table4 fig6 fig7 fig8 fig9 fig10
 //! fig11 fig12 fig13 fig14 fig15 fig16 fig17`. Markdown renderings go to
 //! stdout; with `--out DIR` each report is also written as
 //! `DIR/<report-id>.csv`.
+//!
+//! With `--checkpoint DIR` every completed sweep cell is journalled to
+//! `DIR/journal.jsonl`, so a killed run can be relaunched with `--resume`
+//! and only recompute the cells it lost. Without `--resume` any existing
+//! journal is discarded so a fresh run cannot pick up stale results. Cells
+//! that panic, time out (`--deadline-ms`), or exhaust their retries are
+//! reported at the end and render as `NA` in the affected tables; the
+//! process then exits with code 2 instead of aborting the whole sweep.
 
+use prefetch_sim::checkpoint::JOURNAL_FILE;
 use prefetch_sim::experiments::{run_all, run_experiment, ExperimentOpts, TraceSet, ALL_IDS};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +30,7 @@ struct Args {
     opts: ExperimentOpts,
     out: Option<PathBuf>,
     csv_stdout: bool,
+    resume: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,16 +39,19 @@ fn parse_args() -> Result<Args, String> {
     let mut opts = ExperimentOpts::default();
     let mut out = None;
     let mut csv_stdout = false;
+    let mut resume = false;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--quick" => {
                 let refs = opts.refs;
+                let harness = std::mem::take(&mut opts.harness);
                 opts = ExperimentOpts::quick();
-                // --refs before --quick should still win; keep any
-                // explicitly-set value if it differs from the default.
+                // Flags before --quick should still win; keep any
+                // explicitly-set values that differ from the default.
                 if refs != ExperimentOpts::default().refs {
                     opts.refs = refs;
                 }
+                opts.harness = harness;
             }
             "--refs" => {
                 let v = argv.next().ok_or("--refs needs a value")?;
@@ -52,8 +66,26 @@ fn parse_args() -> Result<Args, String> {
                 out = Some(PathBuf::from(v));
             }
             "--csv" => csv_stdout = true,
+            "--checkpoint" => {
+                let v = argv.next().ok_or("--checkpoint needs a directory")?;
+                opts.harness.checkpoint_dir = Some(PathBuf::from(v));
+            }
+            "--resume" => resume = true,
+            "--deadline-ms" => {
+                let v = argv.next().ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms {v:?}"))?;
+                opts.harness.deadline_ms = Some(ms);
+            }
+            "--retries" => {
+                let v = argv.next().ok_or("--retries needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad --retries {v:?}"))?;
+                opts.harness.max_attempts = n.max(1);
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
+    }
+    if resume && opts.harness.checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint DIR".to_string());
     }
     const EXTENSIONS: [&str; 3] = ["ablation", "disks", "resilience"];
     if id != "all" && !EXTENSIONS.contains(&id.as_str()) && !ALL_IDS.contains(&id.as_str()) {
@@ -63,11 +95,13 @@ fn parse_args() -> Result<Args, String> {
             ALL_IDS.join(", ")
         ));
     }
-    Ok(Args { id, opts, out, csv_stdout })
+    Ok(Args { id, opts, out, csv_stdout, resume })
 }
 
 fn usage() -> String {
-    "usage: figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv]".to_string()
+    "usage: figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv] \
+     [--checkpoint DIR] [--resume] [--deadline-ms N] [--retries N]"
+        .to_string()
 }
 
 fn main() -> ExitCode {
@@ -78,6 +112,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(dir) = &args.opts.harness.checkpoint_dir {
+        let journal = dir.join(JOURNAL_FILE);
+        if args.resume {
+            eprintln!("resuming from checkpoint journal {journal:?}");
+        } else if journal.exists() {
+            // A fresh run must not silently adopt another run's results.
+            if let Err(e) = std::fs::remove_file(&journal) {
+                eprintln!("cannot discard stale journal {journal:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("discarded stale journal {journal:?} (pass --resume to keep it)");
+        }
+    }
 
     eprintln!(
         "generating traces (refs={}, seed={}) and running {} ...",
@@ -112,5 +160,36 @@ fn main() -> ExitCode {
         }
     }
     eprintln!("done in {:.1}s ({} report(s))", t0.elapsed().as_secs_f64(), reports.len());
-    ExitCode::SUCCESS
+
+    // Partial-result report: the experiments above absorb every cell
+    // outcome into the shared sweep log instead of panicking, so surface
+    // what (if anything) went wrong and fail the run visibly.
+    let log = &args.opts.harness.log;
+    for note in log.notes() {
+        eprintln!("note: {note}");
+    }
+    let s = log.summary();
+    if s.restored > 0 || s.retries > 0 {
+        eprintln!(
+            "checkpoint: {} cell(s) restored from the journal, {} retry attempt(s)",
+            s.restored, s.retries
+        );
+    }
+    let failures = log.failures();
+    if failures.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "WARNING: {} of {} cell(s) did not complete ({} failed, {} timed out, {} skipped); \
+         affected table entries are rendered as NA",
+        s.incomplete(),
+        s.ok + s.restored + s.incomplete(),
+        s.failed,
+        s.timed_out,
+        s.skipped
+    );
+    for f in &failures {
+        eprintln!("  {} / {}: {}", f.trace, f.cell, f.error);
+    }
+    ExitCode::from(2)
 }

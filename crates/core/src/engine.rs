@@ -48,6 +48,11 @@ pub struct EngineConfig {
     pub stack_decay: f64,
     /// Prefetch-tree node limit (`usize::MAX` = unlimited) — Figure 13.
     pub node_limit: usize,
+    /// With a finite `node_limit`: freeze the tree at the budget instead
+    /// of evicting LRU leaves (see `prefetch_tree::OverflowPolicy`). Off
+    /// by default — eviction is the paper's Section 9.3 scheme, and the
+    /// default keeps every paper figure bit-identical.
+    pub freeze_at_node_limit: bool,
     /// Extension beyond the paper: after an LZ reset, anchor candidate
     /// enumeration at the root's child for the current block (order-1
     /// context) instead of the bare root. Off by default for paper
@@ -66,6 +71,7 @@ impl Default for EngineConfig {
             min_probability: 1e-4,
             stack_decay: 0.99999,
             node_limit: usize::MAX,
+            freeze_at_node_limit: false,
             reanchor_after_reset: false,
         }
     }
@@ -111,7 +117,12 @@ impl CostBenefitEngine {
         let tree = if cfg.node_limit == usize::MAX {
             PrefetchTree::new()
         } else {
-            PrefetchTree::with_node_limit(cfg.node_limit)
+            let overflow = if cfg.freeze_at_node_limit {
+                prefetch_tree::OverflowPolicy::Freeze
+            } else {
+                prefetch_tree::OverflowPolicy::Evict
+            };
+            PrefetchTree::with_node_budget(cfg.node_limit, overflow)
         };
         CostBenefitEngine {
             tree,
@@ -514,6 +525,19 @@ mod tests {
         // s must have been updated away from its prior at least once.
         assert_ne!(e.model().s(), s0);
         assert!(e.period() > 0);
+    }
+
+    #[test]
+    fn freeze_flag_reaches_the_tree() {
+        let cfg =
+            EngineConfig { node_limit: 4, freeze_at_node_limit: true, ..EngineConfig::default() };
+        let mut e = CostBenefitEngine::new(SystemParams::patterson(), cfg);
+        for b in 0..50u64 {
+            e.record_reference(BlockId(b));
+        }
+        assert_eq!(e.tree().node_count(), 4);
+        assert!(e.tree().stats().nodes_capped > 0, "budget refusals must be counted");
+        assert_eq!(e.tree().stats().nodes_evicted, 0, "frozen trees never evict");
     }
 
     #[test]

@@ -39,18 +39,31 @@ impl SystemParams {
         self.t_driver + self.t_disk + self.t_hit
     }
 
-    /// Validate that all parameters are finite and non-negative.
-    ///
-    /// # Panics
-    /// Panics on invalid parameters; call at configuration boundaries.
-    pub fn validate(&self) {
+    /// Check that all parameters are finite and non-negative, reporting
+    /// the first offender. Non-panicking form for callers that want a
+    /// typed configuration error.
+    pub fn check(&self) -> Result<(), String> {
         for (name, v) in [
             ("t_hit", self.t_hit),
             ("t_driver", self.t_driver),
             ("t_disk", self.t_disk),
             ("t_cpu", self.t_cpu),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and >= 0, got {v}");
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be finite and >= 0, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate that all parameters are finite and non-negative.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; call at configuration boundaries.
+    /// Prefer [`SystemParams::check`] where a recoverable error is wanted.
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
     }
 }

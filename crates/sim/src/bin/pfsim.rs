@@ -14,8 +14,22 @@
 //! from the generator and file records decoded incrementally as the run
 //! consumes them — so memory use is independent of `--refs` (paper-scale
 //! runs like cello's 3.5 M references need no trace buffer at all).
+//!
+//! Runs go through the guarded harness: a policy bug that panics, a trace
+//! that stops decoding, or a run that blows past `--deadline-ms` becomes a
+//! one-line diagnostic and a structured exit code instead of an abort:
+//!
+//! | exit | meaning                                                   |
+//! |------|-----------------------------------------------------------|
+//! | 0    | all runs completed                                        |
+//! | 1    | a simulation panicked (bug — please report)               |
+//! | 2    | usage error                                               |
+//! | 3    | invalid configuration                                     |
+//! | 4    | trace I/O error                                           |
+//! | 5    | `--deadline-ms` exceeded                                  |
+//! | 6    | lossy trace skipped more records than `--max-skipped`     |
 
-use prefetch_sim::{run_source, PolicySpec, SimConfig};
+use prefetch_sim::{run_source_guarded, PolicySpec, SimConfig, SweepError};
 use prefetch_trace::io::{open_source, FileSource, ReadOptions, TraceIoError};
 use prefetch_trace::synth::{SynthSource, TraceKind};
 use prefetch_trace::{TraceMeta, TraceRecord, TraceSource};
@@ -32,7 +46,17 @@ struct Args {
     fault_rate: Option<f64>,
     fault_seed: u64,
     lenient: bool,
+    deadline_ms: Option<u64>,
+    max_skipped: Option<u64>,
 }
+
+/// Structured exit codes (see the module docs).
+const EXIT_PANIC: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_INVALID_CONFIG: u8 = 3;
+const EXIT_TRACE_IO: u8 = 4;
+const EXIT_DEADLINE: u8 = 5;
+const EXIT_CORRUPT: u8 = 6;
 
 enum TraceInput {
     Synthetic(TraceKind),
@@ -45,7 +69,7 @@ enum StreamInput {
     File(FileSource),
 }
 
-impl StreamInput {
+impl TraceSource for StreamInput {
     /// Records a lossy file pass skipped (0 for synthetic sources).
     fn skipped(&self) -> u64 {
         match self {
@@ -53,9 +77,7 @@ impl StreamInput {
             StreamInput::File(f) => f.skipped(),
         }
     }
-}
 
-impl TraceSource for StreamInput {
     fn meta(&self) -> &TraceMeta {
         match self {
             StreamInput::Synth(s) => s.meta(),
@@ -136,6 +158,8 @@ fn parse_args() -> Result<Args, String> {
     let mut fault_rate = None;
     let mut fault_seed = 1u64;
     let mut lenient = false;
+    let mut deadline_ms = None;
+    let mut max_skipped = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -158,18 +182,37 @@ fn parse_args() -> Result<Args, String> {
                 fault_seed = val()?.parse().map_err(|e| format!("bad --fault-seed: {e}"))?
             }
             "--lenient" => lenient = true,
+            "--deadline-ms" => {
+                deadline_ms = Some(val()?.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?)
+            }
+            "--max-skipped" => {
+                max_skipped = Some(val()?.parse().map_err(|e| format!("bad --max-skipped: {e}"))?)
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
     let trace = trace.ok_or_else(|| format!("--trace or --trace-file required\n{}", usage()))?;
-    Ok(Args { trace, refs, seed, cache, policies, t_cpu, disks, fault_rate, fault_seed, lenient })
+    Ok(Args {
+        trace,
+        refs,
+        seed,
+        cache,
+        policies,
+        t_cpu,
+        disks,
+        fault_rate,
+        fault_seed,
+        lenient,
+        deadline_ms,
+        max_skipped,
+    })
 }
 
 fn usage() -> String {
     "usage: pfsim --trace <cello|snake|cad|sitar> | --trace-file <path> [--lenient] \
      [--refs N] [--seed S] [--cache BLOCKS] [--policy NAME|all] [--t-cpu MS] [--disks N] \
-     [--fault-rate P] [--fault-seed S]"
+     [--fault-rate P] [--fault-seed S] [--deadline-ms N] [--max-skipped N]"
         .to_string()
 }
 
@@ -178,7 +221,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
 
@@ -188,7 +231,7 @@ fn main() -> ExitCode {
             Ok(f) => StreamInput::File(f),
             Err(e) => {
                 eprintln!("cannot open {path:?}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_TRACE_IO);
             }
         },
     };
@@ -238,23 +281,36 @@ fn main() -> ExitCode {
         if let Some(r) = args.fault_rate {
             cfg = cfg.with_fault_rate(args.fault_seed, r);
         }
-        if let Err(e) = cfg.validate() {
-            eprintln!("invalid configuration: {e}");
-            return ExitCode::FAILURE;
-        }
         if let Err(e) = source.rewind() {
             eprintln!("cannot rewind trace: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_TRACE_IO);
         }
-        let m = match run_source(&mut source, &cfg) {
-            Ok(r) => r.metrics,
+        let r = match run_source_guarded(&mut source, &cfg, args.deadline_ms) {
+            Ok(r) => r,
             Err(e) => {
-                eprintln!("trace error during {} run: {e}", spec.name());
-                return ExitCode::FAILURE;
+                eprintln!("{} run failed: {e}", spec.name());
+                let code = match e {
+                    SweepError::InvalidConfig(_) => EXIT_INVALID_CONFIG,
+                    SweepError::DeadlineExceeded { .. } => EXIT_DEADLINE,
+                    SweepError::TraceIo { .. } => EXIT_TRACE_IO,
+                    _ => EXIT_PANIC,
+                };
+                return ExitCode::from(code);
             }
         };
-        if !warned_skipped && source.skipped() > 0 {
-            eprintln!("warning: skipped {} malformed records", source.skipped());
+        let m = r.metrics;
+        if let Some(max) = args.max_skipped {
+            if r.skipped_records > max {
+                eprintln!(
+                    "error: trace skipped {} malformed records (limit {max}); metrics \
+                     describe a shorter stream than requested",
+                    r.skipped_records
+                );
+                return ExitCode::from(EXIT_CORRUPT);
+            }
+        }
+        if !warned_skipped && r.skipped_records > 0 {
+            eprintln!("warning: skipped {} malformed records", r.skipped_records);
             warned_skipped = true;
         }
         if faults_on {

@@ -1,0 +1,735 @@
+//! Crash-safe sweep checkpointing.
+//!
+//! A [`CheckpointJournal`] records every completed sweep cell as one JSONL
+//! line in `<dir>/journal.jsonl`. Cells are keyed by a deterministic
+//! [`cell_fingerprint`] over the trace identity (name, seed, length) and
+//! the *complete* [`SimConfig`], so a relaunched run recomputes the same
+//! fingerprints, restores every journaled cell without re-simulating it,
+//! and re-executes only the missing ones — yielding a bit-identical grid
+//! (see `crate::harness`).
+//!
+//! Durability is write-then-rename: the whole journal is written to a
+//! sibling `journal.jsonl.tmp`, fsync'd, and atomically renamed over the
+//! live file, so a crash at any instant leaves either the previous journal
+//! or the new one — never a torn file. Loading is lenient anyway: a
+//! corrupt or truncated line (e.g. from a different filesystem's rename
+//! semantics) is skipped, and its cell simply re-runs.
+//!
+//! Floating-point metrics are encoded as IEEE-754 bit patterns
+//! ([`f64::to_bits`]) rather than decimal text, so a resumed cell restores
+//! *exactly* the value the original run produced.
+
+use crate::config::{FaultConfig, PolicySpec, SimConfig};
+use crate::metrics::SimMetrics;
+use prefetch_trace::Trace;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal line-format version; bumped on any encoding change so stale
+/// journals are ignored rather than misread.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Fingerprint-schema version, folded into every fingerprint: bump it when
+/// the set of hashed fields changes and every old journal entry silently
+/// misses (re-runs) instead of aliasing a different configuration.
+const FINGERPRINT_VERSION: u64 = 1;
+
+/// File name of the journal inside a checkpoint directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms and
+/// runs (unlike `std`'s `DefaultHasher`, whose output is unspecified).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Floats hash by bit pattern: distinct values (incl. `-0.0` vs `0.0`)
+    /// are distinct configurations.
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    /// Length-prefixed so `("ab", "c")` and `("a", "bc")` differ.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Presence tag so `None` and `Some(default)` differ.
+    fn opt(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u64(0),
+            Some(x) => {
+                self.u64(1);
+                self.u64(x);
+            }
+        }
+    }
+}
+
+fn hash_policy(h: &mut Fnv, policy: &PolicySpec) {
+    match *policy {
+        PolicySpec::NoPrefetch => h.u64(0),
+        PolicySpec::NextLimit => h.u64(1),
+        PolicySpec::Tree => h.u64(2),
+        PolicySpec::TreeNextLimit => h.u64(3),
+        PolicySpec::TreeLvc => h.u64(4),
+        PolicySpec::TreeThreshold(t) => {
+            h.u64(5);
+            h.f64(t);
+        }
+        PolicySpec::TreeChildren(k) => {
+            h.u64(6);
+            h.usize(k);
+        }
+        PolicySpec::PerfectSelector => h.u64(7),
+        PolicySpec::TreeReanchor => h.u64(8),
+        PolicySpec::PanicProbe { after } => {
+            h.u64(9);
+            h.u64(after);
+        }
+    }
+}
+
+fn hash_config(h: &mut Fnv, config: &SimConfig) {
+    h.usize(config.cache_blocks);
+
+    let p = &config.params;
+    h.f64(p.t_hit);
+    h.f64(p.t_driver);
+    h.f64(p.t_disk);
+    h.f64(p.t_cpu);
+
+    let e = &config.engine;
+    h.u64(u64::from(e.model.x));
+    h.f64(e.model.s_alpha);
+    h.f64(e.model.s_initial);
+    h.u64(u64::from(e.max_depth));
+    h.u64(u64::from(e.max_per_period));
+    h.u64(u64::from(e.max_considered_per_period));
+    h.f64(e.min_probability);
+    h.f64(e.stack_decay);
+    h.usize(e.node_limit);
+    h.bool(e.freeze_at_node_limit);
+    h.bool(e.reanchor_after_reset);
+
+    hash_policy(h, &config.policy);
+
+    match &config.disks {
+        None => h.u64(0),
+        Some(d) => {
+            h.u64(1);
+            h.usize(d.num_disks);
+            h.f64(d.service_ms);
+            match d.striping {
+                prefetch_disk::Striping::RoundRobin { stripe_unit } => {
+                    h.u64(0);
+                    h.u64(stripe_unit);
+                }
+                prefetch_disk::Striping::Hashed => h.u64(1),
+            }
+        }
+    }
+
+    match &config.faults {
+        None => h.u64(0),
+        Some(FaultConfig { plan, retry }) => {
+            h.u64(1);
+            h.u64(plan.seed);
+            h.f64(plan.transient_error_rate);
+            h.f64(plan.slow_episode_rate);
+            h.f64(plan.slow_factor);
+            h.f64(plan.slow_episode_ms);
+            h.f64(plan.unavailable_rate);
+            h.f64(plan.unavailable_ms);
+            h.u64(u64::from(retry.max_attempts));
+            h.f64(retry.backoff_base_ms);
+            h.f64(retry.backoff_cap_ms);
+            h.f64(retry.give_up_penalty_ms);
+        }
+    }
+}
+
+/// Deterministic identity of one sweep cell, from the trace's identity
+/// (name, generator seed, record count) and every field of its config.
+/// Stable across runs, platforms, and thread schedules — the journal key.
+pub fn cell_fingerprint(trace: &Trace, config: &SimConfig) -> u64 {
+    fingerprint_parts(&trace.meta().name, trace.meta().seed, trace.len() as u64, config)
+}
+
+/// [`cell_fingerprint`] from the trace's identifying parts, for callers
+/// that stream a source instead of holding a materialized [`Trace`].
+pub fn fingerprint_parts(name: &str, seed: Option<u64>, records: u64, config: &SimConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(FINGERPRINT_VERSION);
+    h.str(name);
+    h.opt(seed);
+    h.u64(records);
+    hash_config(&mut h, config);
+    h.0
+}
+
+// ---------------------------------------------------------------------------
+// Metric codec: positional u64 words, floats as IEEE-754 bits
+// ---------------------------------------------------------------------------
+
+/// Number of [`SimMetrics`] fields; a journal entry whose metric array has
+/// a different length was written by a different `SimMetrics` layout and
+/// is ignored (the cell re-runs).
+const METRIC_WORDS: usize = 28;
+
+fn metrics_to_words(m: &SimMetrics) -> [u64; METRIC_WORDS] {
+    [
+        m.refs,
+        m.demand_hits,
+        m.prefetch_hits,
+        m.misses,
+        m.prefetches_issued,
+        m.candidates_considered,
+        m.candidates_already_cached,
+        m.prefetch_evictions,
+        m.demand_evictions_for_prefetch,
+        m.prefetch_probability_sum.to_bits(),
+        m.predictable,
+        m.predictable_missed,
+        m.lvc_opportunities,
+        m.lvc_repeats,
+        m.lvc_cached,
+        m.elapsed_ms.to_bits(),
+        m.stall_ms.to_bits(),
+        m.disk_queue_ms.to_bits(),
+        m.disk_queued_requests,
+        m.disk_mean_utilization.to_bits(),
+        m.demand_faults,
+        m.demand_retries,
+        m.demand_read_failures,
+        m.retry_backoff_ms.to_bits(),
+        m.prefetch_faults,
+        m.blocks_quarantined,
+        m.candidates_quarantined,
+        m.disk_slowed_requests,
+    ]
+}
+
+fn metrics_from_words(words: &[u64]) -> Option<SimMetrics> {
+    if words.len() != METRIC_WORDS {
+        return None;
+    }
+    Some(SimMetrics {
+        refs: words[0],
+        demand_hits: words[1],
+        prefetch_hits: words[2],
+        misses: words[3],
+        prefetches_issued: words[4],
+        candidates_considered: words[5],
+        candidates_already_cached: words[6],
+        prefetch_evictions: words[7],
+        demand_evictions_for_prefetch: words[8],
+        prefetch_probability_sum: f64::from_bits(words[9]),
+        predictable: words[10],
+        predictable_missed: words[11],
+        lvc_opportunities: words[12],
+        lvc_repeats: words[13],
+        lvc_cached: words[14],
+        elapsed_ms: f64::from_bits(words[15]),
+        stall_ms: f64::from_bits(words[16]),
+        disk_queue_ms: f64::from_bits(words[17]),
+        disk_queued_requests: words[18],
+        disk_mean_utilization: f64::from_bits(words[19]),
+        demand_faults: words[20],
+        demand_retries: words[21],
+        demand_read_failures: words[22],
+        retry_backoff_ms: f64::from_bits(words[23]),
+        prefetch_faults: words[24],
+        blocks_quarantined: words[25],
+        candidates_quarantined: words[26],
+        disk_slowed_requests: words[27],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// JSONL codec (hand-rolled: the vendored serde stubs are inert)
+// ---------------------------------------------------------------------------
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_json(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// `"key":` position *of the key itself* (first occurrence; every numeric
+/// key precedes the only free-form string, the trailing trace name, so the
+/// first occurrence is always the real key).
+fn field_start<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)?;
+    Some(&line[at + needle.len()..])
+}
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let rest = field_start(line, key)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let rest = field_start(line, key)?.strip_prefix('"')?;
+    // Scan to the closing quote, honouring escapes.
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            '"' => {
+                end = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    unescape_json(&rest[..end?])
+}
+
+fn u64_array_field(line: &str, key: &str) -> Option<Vec<u64>> {
+    let rest = field_start(line, key)?.strip_prefix('[')?;
+    let body = &rest[..rest.find(']')?];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|n| n.trim().parse().ok()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Journal entries
+// ---------------------------------------------------------------------------
+
+/// One journaled cell: everything needed to reconstruct its
+/// [`crate::runner::SimResult`] besides the config (which the resuming run
+/// recomputes and verifies via the fingerprint).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// Trace name, for human inspection of the journal.
+    pub trace: String,
+    /// Malformed records the trace reader skipped during the original run.
+    pub skipped_records: u64,
+    /// The run's full metrics, bit-exact.
+    pub metrics: SimMetrics,
+}
+
+fn entry_to_line(fingerprint: u64, entry: &JournalEntry) -> String {
+    let words = metrics_to_words(&entry.metrics);
+    let mut m = String::with_capacity(words.len() * 8);
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            m.push(',');
+        }
+        m.push_str(&w.to_string());
+    }
+    format!(
+        "{{\"v\":{JOURNAL_VERSION},\"fp\":\"{fingerprint:016x}\",\"skipped\":{},\"m\":[{m}],\"trace\":\"{}\"}}",
+        entry.skipped_records,
+        escape_json(&entry.trace),
+    )
+}
+
+fn entry_from_line(line: &str) -> Option<(u64, JournalEntry)> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    if u64_field(line, "v")? != JOURNAL_VERSION {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(&str_field(line, "fp")?, 16).ok()?;
+    let skipped_records = u64_field(line, "skipped")?;
+    let metrics = metrics_from_words(&u64_array_field(line, "m")?)?;
+    let trace = str_field(line, "trace")?;
+    Some((fingerprint, JournalEntry { trace, skipped_records, metrics }))
+}
+
+// ---------------------------------------------------------------------------
+// The journal
+// ---------------------------------------------------------------------------
+
+/// A checkpoint I/O failure. Carries the path and a rendered cause; the
+/// harness treats it as degradation (run without checkpointing), never as
+/// a reason to lose simulation work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointError {
+    /// The file or directory the operation touched.
+    pub path: PathBuf,
+    /// Rendered I/O error.
+    pub message: String,
+}
+
+impl CheckpointError {
+    fn new(path: &Path, err: &std::io::Error) -> Self {
+        CheckpointError { path: path.to_path_buf(), message: err.to_string() }
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint journal {}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+#[derive(Debug, Default)]
+struct JournalState {
+    /// Fingerprint → entry, for O(1) resume lookups.
+    entries: HashMap<u64, JournalEntry>,
+    /// Every well-formed line, in arrival order — what a flush writes.
+    lines: Vec<String>,
+    /// Records appended since the last durable flush.
+    dirty: usize,
+}
+
+/// Crash-safe journal of completed sweep cells (see the module docs).
+///
+/// Thread-safe: `record`/`lookup` take `&self` so rayon workers can share
+/// one journal.
+#[derive(Debug)]
+pub struct CheckpointJournal {
+    path: PathBuf,
+    tmp_path: PathBuf,
+    flush_every: usize,
+    state: Mutex<JournalState>,
+}
+
+impl CheckpointJournal {
+    /// Open (creating `dir` if needed) the journal at
+    /// `dir/`[`JOURNAL_FILE`], loading any entries a previous run left
+    /// behind. Corrupt or torn lines are dropped silently — their cells
+    /// re-run. A durable flush happens automatically every `flush_every`
+    /// records (and on [`CheckpointJournal::flush`]).
+    pub fn open(dir: &Path, flush_every: usize) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(dir).map_err(|e| CheckpointError::new(dir, &e))?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut state = JournalState::default();
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    if let Some((fp, entry)) = entry_from_line(line) {
+                        // Last write wins, but keep one line per fingerprint.
+                        if state.entries.insert(fp, entry).is_none() {
+                            state.lines.push(line.to_string());
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(CheckpointError::new(&path, &e)),
+        }
+        let tmp_path = dir.join(format!("{JOURNAL_FILE}.tmp"));
+        Ok(CheckpointJournal {
+            path,
+            tmp_path,
+            flush_every: flush_every.max(1),
+            state: Mutex::new(state),
+        })
+    }
+
+    /// Number of entries restored from disk at open time.
+    pub fn loaded(&self) -> usize {
+        self.state.lock().unwrap().entries.len()
+    }
+
+    /// The journal file this journal persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The entry for `fingerprint`, if a previous (or this) run completed
+    /// that cell.
+    pub fn lookup(&self, fingerprint: u64) -> Option<JournalEntry> {
+        self.state.lock().unwrap().entries.get(&fingerprint).cloned()
+    }
+
+    /// Record a completed cell; durably flushed at the configured cadence.
+    pub fn record(&self, fingerprint: u64, entry: JournalEntry) -> Result<(), CheckpointError> {
+        let flush_now = {
+            let mut state = self.state.lock().unwrap();
+            if state.entries.insert(fingerprint, entry.clone()).is_none() {
+                state.lines.push(entry_to_line(fingerprint, &entry));
+                state.dirty += 1;
+            }
+            state.dirty >= self.flush_every
+        };
+        if flush_now {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Durably persist every recorded entry: write the full journal to a
+    /// temporary sibling, fsync it, and atomically rename it over the live
+    /// file, so a crash mid-flush can never tear the journal.
+    pub fn flush(&self) -> Result<(), CheckpointError> {
+        let text = {
+            let mut state = self.state.lock().unwrap();
+            if state.dirty == 0 {
+                return Ok(());
+            }
+            state.dirty = 0;
+            let mut text = state.lines.join("\n");
+            text.push('\n');
+            text
+        };
+        let write = |path: &Path| -> std::io::Result<()> {
+            let mut f = fs::File::create(path)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()
+        };
+        write(&self.tmp_path).map_err(|e| CheckpointError::new(&self.tmp_path, &e))?;
+        fs::rename(&self.tmp_path, &self.path).map_err(|e| CheckpointError::new(&self.path, &e))?;
+        // Make the rename itself durable where the platform allows it;
+        // failure here only risks replaying work, never corruption.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for CheckpointJournal {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefetch_trace::synth::TraceKind;
+
+    fn sample_metrics() -> SimMetrics {
+        SimMetrics {
+            refs: 100,
+            demand_hits: 50,
+            prefetch_hits: 20,
+            misses: 30,
+            prefetches_issued: 40,
+            prefetch_probability_sum: 0.1 + 0.2, // deliberately non-representable
+            elapsed_ms: 1234.567,
+            stall_ms: 89.0125,
+            ..SimMetrics::default()
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("prefetch-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let trace = TraceKind::Cad.generate(500, 7);
+        let cfg = SimConfig::new(64, PolicySpec::Tree);
+        let fp = cell_fingerprint(&trace, &cfg);
+        assert_eq!(fp, cell_fingerprint(&trace, &cfg), "not deterministic");
+
+        // Every identity component must matter.
+        assert_ne!(fp, cell_fingerprint(&trace, &SimConfig::new(65, PolicySpec::Tree)));
+        assert_ne!(fp, cell_fingerprint(&trace, &SimConfig::new(64, PolicySpec::TreeLvc)));
+        assert_ne!(fp, cell_fingerprint(&trace, &cfg.with_t_cpu(51.0)));
+        assert_ne!(fp, cell_fingerprint(&trace, &cfg.with_node_limit(10)));
+        assert_ne!(fp, cell_fingerprint(&trace, &cfg.with_disks(4)));
+        assert_ne!(fp, cell_fingerprint(&trace, &cfg.with_disks(4).with_fault_rate(1, 0.1)));
+        let mut frozen = cfg.with_node_limit(10);
+        frozen.engine.freeze_at_node_limit = true;
+        assert_ne!(
+            cell_fingerprint(&trace, &cfg.with_node_limit(10)),
+            cell_fingerprint(&trace, &frozen)
+        );
+
+        let other = TraceKind::Cad.generate(501, 7);
+        assert_ne!(fp, cell_fingerprint(&other, &cfg), "trace length ignored");
+        let reseeded = TraceKind::Cad.generate(500, 8);
+        assert_ne!(fp, cell_fingerprint(&reseeded, &cfg), "trace seed ignored");
+    }
+
+    #[test]
+    fn parameterized_policies_hash_their_parameter() {
+        let trace = TraceKind::Sitar.generate(100, 1);
+        let a = cell_fingerprint(&trace, &SimConfig::new(64, PolicySpec::TreeThreshold(0.05)));
+        let b = cell_fingerprint(&trace, &SimConfig::new(64, PolicySpec::TreeThreshold(0.06)));
+        assert_ne!(a, b);
+        let a = cell_fingerprint(&trace, &SimConfig::new(64, PolicySpec::TreeChildren(2)));
+        let b = cell_fingerprint(&trace, &SimConfig::new(64, PolicySpec::TreeChildren(3)));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn entry_round_trips_bit_exactly_through_the_line_codec() {
+        let entry = JournalEntry {
+            trace: "weird \"name\"\\with\nescapes".into(),
+            skipped_records: 17,
+            metrics: sample_metrics(),
+        };
+        let line = entry_to_line(0xdead_beef_0bad_f00d, &entry);
+        let (fp, back) = entry_from_line(&line).expect("round trip");
+        assert_eq!(fp, 0xdead_beef_0bad_f00d);
+        assert_eq!(back, entry);
+        // Bit-exactness of the floats, not approximate equality.
+        assert_eq!(
+            back.metrics.prefetch_probability_sum.to_bits(),
+            entry.metrics.prefetch_probability_sum.to_bits()
+        );
+    }
+
+    #[test]
+    fn corrupt_lines_are_rejected_not_misread() {
+        let entry =
+            JournalEntry { trace: "cad".into(), skipped_records: 0, metrics: sample_metrics() };
+        let line = entry_to_line(42, &entry);
+        assert!(entry_from_line("").is_none());
+        assert!(entry_from_line("not json").is_none());
+        assert!(entry_from_line(&line[..line.len() / 2]).is_none(), "torn line accepted");
+        let wrong_version = line.replacen("\"v\":1", "\"v\":999", 1);
+        assert!(entry_from_line(&wrong_version).is_none());
+        // A metric array of the wrong arity means a different layout.
+        let short = line.replacen(",\"m\":[", ",\"m\":[1,2,3],\"old\":[", 1);
+        assert!(entry_from_line(&short).is_none());
+    }
+
+    #[test]
+    fn journal_persists_and_reloads_across_instances() {
+        let dir = tmp_dir("reload");
+        let entry =
+            JournalEntry { trace: "cad".into(), skipped_records: 3, metrics: sample_metrics() };
+        {
+            let j = CheckpointJournal::open(&dir, 100).unwrap();
+            assert_eq!(j.loaded(), 0);
+            j.record(1, entry.clone()).unwrap();
+            j.record(2, JournalEntry { trace: "snake".into(), ..entry.clone() }).unwrap();
+            j.flush().unwrap();
+        }
+        let j = CheckpointJournal::open(&dir, 100).unwrap();
+        assert_eq!(j.loaded(), 2);
+        assert_eq!(j.lookup(1), Some(entry));
+        assert_eq!(j.lookup(2).unwrap().trace, "snake");
+        assert_eq!(j.lookup(3), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn periodic_flush_hits_disk_without_an_explicit_flush() {
+        let dir = tmp_dir("periodic");
+        let entry =
+            JournalEntry { trace: "cad".into(), skipped_records: 0, metrics: sample_metrics() };
+        let j = CheckpointJournal::open(&dir, 2).unwrap();
+        j.record(1, entry.clone()).unwrap();
+        j.record(2, entry.clone()).unwrap(); // second record crosses flush_every=2
+        let on_disk = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(on_disk.lines().count(), 2);
+        drop(j);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_and_the_rest_survive() {
+        let dir = tmp_dir("torn");
+        let entry =
+            JournalEntry { trace: "cad".into(), skipped_records: 0, metrics: sample_metrics() };
+        {
+            let j = CheckpointJournal::open(&dir, 100).unwrap();
+            j.record(1, entry.clone()).unwrap();
+            j.record(2, entry.clone()).unwrap();
+            j.flush().unwrap();
+        }
+        // Simulate a crash that tore the last line in half.
+        let path = dir.join(JOURNAL_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 30]).unwrap();
+
+        let j = CheckpointJournal::open(&dir, 100).unwrap();
+        assert_eq!(j.loaded(), 1, "torn journal should keep exactly the intact lines");
+        assert_eq!(j.lookup(1), Some(entry));
+        assert_eq!(j.lookup(2), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_fingerprints_keep_one_line() {
+        let dir = tmp_dir("dup");
+        let entry =
+            JournalEntry { trace: "cad".into(), skipped_records: 0, metrics: sample_metrics() };
+        let j = CheckpointJournal::open(&dir, 1).unwrap();
+        j.record(7, entry.clone()).unwrap();
+        j.record(7, entry).unwrap();
+        let on_disk = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(on_disk.lines().count(), 1);
+        drop(j);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

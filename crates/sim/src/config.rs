@@ -2,8 +2,8 @@
 //! constants.
 
 use prefetch_core::policy::{
-    NextLimit, NoPrefetch, PerfectSelector, PrefetchPolicy, TreeChildren, TreeLvc, TreeNextLimit,
-    TreePolicy, TreeThreshold,
+    NextLimit, NoPrefetch, PerfectSelector, PeriodActivity, PrefetchPolicy, RefContext,
+    TreeChildren, TreeLvc, TreeNextLimit, TreePolicy, TreeThreshold, Victim,
 };
 use prefetch_core::{EngineConfig, RetryPolicy, SystemParams};
 use prefetch_disk::FaultPlan;
@@ -34,6 +34,14 @@ pub enum PolicySpec {
     /// LZ resets (see `EngineConfig::reanchor_after_reset`), a step toward
     /// closing the tree↔perfect-selector gap of Section 9.5.
     TreeReanchor,
+    /// Test-only fault injector for the harness: panics after `after`
+    /// references, standing in for a policy bug so the sweep harness's
+    /// panic isolation can be exercised deterministically.
+    #[doc(hidden)]
+    PanicProbe {
+        /// References served before the probe panics.
+        after: u64,
+    },
 }
 
 impl PolicySpec {
@@ -57,6 +65,7 @@ impl PolicySpec {
             PolicySpec::TreeChildren(k) => format!("tree-children({k})"),
             PolicySpec::PerfectSelector => "perfect-selector".into(),
             PolicySpec::TreeReanchor => "tree-reanchor".into(),
+            PolicySpec::PanicProbe { after } => format!("panic-probe({after})"),
         }
     }
 
@@ -75,6 +84,7 @@ impl PolicySpec {
                 let cfg = prefetch_core::EngineConfig { reanchor_after_reset: true, ..engine };
                 Box::new(TreePolicy::new(params, cfg))
             }
+            PolicySpec::PanicProbe { after } => Box::new(PanicProbePolicy { after, seen: 0 }),
         }
     }
 
@@ -83,6 +93,35 @@ impl PolicySpec {
     /// assert the flow).
     pub fn uses_lookahead(&self) -> bool {
         matches!(self, PolicySpec::PerfectSelector)
+    }
+}
+
+/// See [`PolicySpec::PanicProbe`]: a stand-in for a buggy policy.
+#[derive(Debug)]
+struct PanicProbePolicy {
+    after: u64,
+    seen: u64,
+}
+
+impl PrefetchPolicy for PanicProbePolicy {
+    fn name(&self) -> &'static str {
+        "panic-probe"
+    }
+
+    fn choose_demand_victim(&mut self, _cache: &prefetch_cache::BufferCache) -> Victim {
+        Victim::DemandLru
+    }
+
+    fn after_reference(
+        &mut self,
+        _ctx: &RefContext,
+        _cache: &mut prefetch_cache::BufferCache,
+        _act: &mut PeriodActivity,
+    ) {
+        self.seen += 1;
+        if self.seen >= self.after.max(1) {
+            panic!("panic probe fired after {} references", self.seen);
+        }
     }
 }
 
@@ -110,6 +149,8 @@ pub enum SimConfigError {
     FaultsWithoutDisks,
     /// The cache must hold at least one block.
     ZeroCacheBlocks,
+    /// A system timing constant is non-finite or negative.
+    Params(String),
 }
 
 impl std::fmt::Display for SimConfigError {
@@ -122,6 +163,7 @@ impl std::fmt::Display for SimConfigError {
                 write!(f, "fault injection requires a finite disk array (--disks N)")
             }
             SimConfigError::ZeroCacheBlocks => write!(f, "cache must hold at least one block"),
+            SimConfigError::Params(e) => write!(f, "system parameters: {e}"),
         }
     }
 }
@@ -198,6 +240,7 @@ impl SimConfig {
         if self.cache_blocks == 0 {
             return Err(SimConfigError::ZeroCacheBlocks);
         }
+        self.params.check().map_err(SimConfigError::Params)?;
         if let Some(d) = &self.disks {
             d.validate().map_err(SimConfigError::Disk)?;
         }

@@ -14,7 +14,6 @@
 use crate::config::{PolicySpec, SimConfig};
 use crate::experiments::{ExperimentOpts, TraceSet};
 use crate::report::{pct, Report};
-use crate::sweep::run_cells;
 
 /// Cache size for the ablations.
 pub const ABLATION_CACHE: usize = 1024;
@@ -48,7 +47,7 @@ pub fn ablation(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
             cells.push((ti, *cfg));
         }
     }
-    let results = run_cells(&traces.traces, &cells);
+    let results = opts.run_cells(&traces.traces, &cells);
 
     let mut cols = vec!["trace".to_string()];
     cols.extend(variants.iter().map(|(n, _)| format!("miss%_{n}")));
@@ -64,10 +63,11 @@ pub fn ablation(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
     };
     for (ti, (kind, _)) in traces.iter().enumerate() {
         let mut row = vec![kind.name().to_string()];
-        for (vi, _) in variants.iter().enumerate() {
-            let cell = &results[ti * variants.len() + vi];
-            debug_assert_eq!(cell.trace_index, ti);
-            row.push(pct(cell.result.metrics.miss_rate()));
+        for (_, cfg) in &variants {
+            // Look cells up by configuration, not position: with the
+            // resilient harness a failed cell is simply absent.
+            let cell = results.iter().find(|c| c.trace_index == ti && c.result.config == *cfg);
+            row.push(cell.map_or_else(|| "NA".into(), |c| pct(c.result.metrics.miss_rate())));
         }
         r.rows.push(row);
     }

@@ -13,7 +13,6 @@
 use crate::config::{PolicySpec, SimConfig};
 use crate::experiments::{ExperimentOpts, TraceSet};
 use crate::report::{f3, Report};
-use crate::sweep::run_cells;
 use prefetch_trace::synth::TraceKind;
 
 /// Disk counts swept (`0` encodes the paper's infinite-disk model).
@@ -47,7 +46,7 @@ pub fn disks(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             }
         }
     }
-    let results = run_cells(&traces.traces, &cells);
+    let results = opts.run_cells(&traces.traces, &cells);
 
     kinds
         .iter()
@@ -80,16 +79,15 @@ pub fn disks(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             for &p in &policies {
                 let mut row = vec![p.name()];
                 for &n in &DISK_COUNTS {
-                    let cell = results
-                        .iter()
-                        .find(|c| {
-                            c.trace_index == ti
-                                && c.result.config.policy == p
-                                && c.result.config.disks.map_or(0, |d| d.num_disks) == n
-                        })
-                        .expect("cell exists");
-                    let m = &cell.result.metrics;
-                    row.push(f3(m.elapsed_ms / m.refs as f64));
+                    let cell = results.iter().find(|c| {
+                        c.trace_index == ti
+                            && c.result.config.policy == p
+                            && c.result.config.disks.map_or(0, |d| d.num_disks) == n
+                    });
+                    row.push(cell.map_or_else(
+                        || "NA".into(),
+                        |c| f3(c.result.metrics.elapsed_ms / c.result.metrics.refs as f64),
+                    ));
                 }
                 r.rows.push(row);
             }

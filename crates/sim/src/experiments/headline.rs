@@ -5,7 +5,6 @@
 use crate::config::{PolicySpec, SimConfig};
 use crate::experiments::{ExperimentOpts, TraceSet};
 use crate::report::{pct, Report};
-use crate::sweep::run_cells;
 
 /// One report per trace, columns: cache size then the four policies'
 /// miss rates in percent.
@@ -19,7 +18,7 @@ pub fn fig6(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             }
         }
     }
-    let results = run_cells(&traces.traces, &cells);
+    let results = opts.run_cells(&traces.traces, &cells);
 
     let mut reports = Vec::new();
     for (ti, (kind, _)) in traces.iter().enumerate() {
@@ -31,15 +30,12 @@ pub fn fig6(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
         for &cache in &opts.cache_sizes {
             let mut row = vec![cache.to_string()];
             for &p in &policies {
-                let cell = results
-                    .iter()
-                    .find(|c| {
-                        c.trace_index == ti
-                            && c.result.config.cache_blocks == cache
-                            && c.result.config.policy == p
-                    })
-                    .expect("cell exists");
-                row.push(pct(cell.result.metrics.miss_rate()));
+                let cell = results.iter().find(|c| {
+                    c.trace_index == ti
+                        && c.result.config.cache_blocks == cache
+                        && c.result.config.policy == p
+                });
+                row.push(cell.map_or_else(|| "NA".into(), |c| pct(c.result.metrics.miss_rate())));
             }
             r.push_row(row);
         }

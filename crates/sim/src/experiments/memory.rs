@@ -6,7 +6,6 @@
 use crate::config::{PolicySpec, SimConfig};
 use crate::experiments::{ExperimentOpts, TraceSet};
 use crate::report::{f3, Report};
-use crate::sweep::run_cells;
 use prefetch_trace::synth::TraceKind;
 
 /// Node limits swept (the paper's x-axis, 1 K to 128 K nodes, plus
@@ -34,7 +33,7 @@ pub fn fig13(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
         }
         cells.push((ti, SimConfig::new(cache, PolicySpec::Tree))); // unlimited
     }
-    let results = run_cells(&traces.traces, &cells);
+    let results = opts.run_cells(&traces.traces, &cells);
     let find = |cache: usize, policy: PolicySpec, limit: usize| {
         results
             .iter()
@@ -43,10 +42,7 @@ pub fn fig13(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
                     && c.result.config.policy == policy
                     && c.result.config.engine.node_limit == limit
             })
-            .expect("cell exists")
-            .result
-            .metrics
-            .miss_rate()
+            .map(|c| c.result.metrics.miss_rate())
     };
 
     let mut cols = vec!["node_limit".to_string(), "approx_memory_kb".to_string()];
@@ -70,7 +66,11 @@ pub fn fig13(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
         for &cache in &caches {
             let base = find(cache, PolicySpec::NoPrefetch, usize::MAX);
             let tree = find(cache, PolicySpec::Tree, limit);
-            row.push(if base > 0.0 { f3(tree / base) } else { "-".into() });
+            row.push(match (base, tree) {
+                (Some(base), Some(tree)) if base > 0.0 => f3(tree / base),
+                (Some(_), Some(_)) => "-".into(),
+                _ => "NA".into(),
+            });
         }
         r.rows.push(row);
     }

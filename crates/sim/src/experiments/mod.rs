@@ -16,7 +16,10 @@ pub mod tables;
 pub mod tcpu;
 pub mod tree_behavior;
 
+use crate::config::SimConfig;
+use crate::harness::{run_cells_checkpointed, HarnessOpts};
 use crate::report::Report;
+use crate::sweep::SweepCell;
 use prefetch_trace::synth::TraceKind;
 use prefetch_trace::Trace;
 
@@ -31,6 +34,10 @@ pub struct ExperimentOpts {
     pub seed: u64,
     /// Cache sizes (blocks) to sweep.
     pub cache_sizes: Vec<usize>,
+    /// Resilient-harness knobs: checkpointing, deadlines, retries, and the
+    /// shared outcome log. Cloning shares the log, so every experiment of
+    /// one invocation reports into the same tally.
+    pub harness: HarnessOpts,
 }
 
 impl Default for ExperimentOpts {
@@ -39,6 +46,7 @@ impl Default for ExperimentOpts {
             refs: 400_000,
             seed: 1999,
             cache_sizes: crate::sweep::PAPER_CACHE_SIZES.to_vec(),
+            harness: HarnessOpts::default(),
         }
     }
 }
@@ -46,7 +54,12 @@ impl Default for ExperimentOpts {
 impl ExperimentOpts {
     /// A scaled-down configuration for tests and smoke runs.
     pub fn quick() -> Self {
-        ExperimentOpts { refs: 8_000, seed: 1999, cache_sizes: vec![64, 256, 1024] }
+        ExperimentOpts {
+            refs: 8_000,
+            seed: 1999,
+            cache_sizes: vec![64, 256, 1024],
+            harness: HarnessOpts::default(),
+        }
     }
 
     /// References for a given trace (CAD is capped at its original
@@ -56,6 +69,17 @@ impl ExperimentOpts {
             TraceKind::Cad => self.refs.min(150_000),
             _ => self.refs,
         }
+    }
+
+    /// Run a cell list through the resilient harness with this
+    /// experiment's options. Cells that fail, time out, or are skipped are
+    /// simply absent from the output (experiments render them as `NA`);
+    /// the details land in [`HarnessOpts::log`]. The only hard error — a
+    /// malformed cell list — is an experiment bug, so it panics here.
+    pub fn run_cells(&self, traces: &[Trace], cells: &[(usize, SimConfig)]) -> Vec<SweepCell> {
+        run_cells_checkpointed(traces, cells, &self.harness)
+            .expect("experiment built an invalid cell list")
+            .completed_cells()
     }
 }
 

@@ -6,7 +6,6 @@
 use crate::config::{PolicySpec, SimConfig};
 use crate::experiments::{ExperimentOpts, TraceSet};
 use crate::report::{pct, Report};
-use crate::sweep::run_cells;
 use prefetch_trace::synth::TraceKind;
 
 /// Thresholds swept (the paper varies 0.4 down to 0.001).
@@ -37,7 +36,7 @@ pub fn fig17(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             }
         }
     }
-    let results = run_cells(&traces.traces, &cells);
+    let results = opts.run_cells(&traces.traces, &cells);
 
     kinds
         .iter()
@@ -60,10 +59,7 @@ pub fn fig17(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
                             && c.result.config.cache_blocks == cache
                             && c.result.config.policy == PolicySpec::Tree
                     })
-                    .expect("tree cell")
-                    .result
-                    .metrics
-                    .miss_rate();
+                    .map(|c| c.result.metrics.miss_rate());
                 let best_thresh = results
                     .iter()
                     .filter(|c| {
@@ -82,11 +78,14 @@ pub fn fig17(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
                     })
                     .map(|c| c.result.metrics.miss_rate())
                     .fold(f64::INFINITY, f64::min);
+                // A best-of fold over zero surviving cells is +∞ — render
+                // it as the same NA as a missing tree cell.
+                let finite_pct = |v: f64| if v.is_finite() { pct(v) } else { "NA".into() };
                 r.push_row(vec![
                     cache.to_string(),
-                    pct(tree),
-                    pct(best_thresh),
-                    pct(best_children),
+                    tree.map_or_else(|| "NA".into(), pct),
+                    finite_pct(best_thresh),
+                    finite_pct(best_children),
                 ]);
             }
             r.note(
@@ -108,7 +107,7 @@ pub fn table4(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
             cells.push((ti, SimConfig::new(cache, PolicySpec::TreeThreshold(t))));
         }
     }
-    let results = run_cells(&traces.traces, &cells);
+    let results = opts.run_cells(&traces.traces, &cells);
 
     let mut r = Report::new(
         "table4",
@@ -138,8 +137,17 @@ pub fn table4(traces: &TraceSet, opts: &ExperimentOpts) -> Report {
                 worst = Some((m, t));
             }
         }
-        let (bm, bt) = best.expect("swept");
-        let (wm, wt) = worst.expect("swept");
+        let (Some((bm, bt)), Some((wm, wt))) = (best, worst) else {
+            r.push_row(vec![
+                kind.name().into(),
+                "NA".into(),
+                "NA".into(),
+                "NA".into(),
+                "NA".into(),
+                "NA".into(),
+            ]);
+            continue;
+        };
         let diff = if bm > 0.0 { (wm - bm) / bm * 100.0 } else { 0.0 };
         r.push_row(vec![
             kind.name().into(),

@@ -19,7 +19,6 @@
 use crate::config::{PolicySpec, SimConfig};
 use crate::experiments::{ExperimentOpts, TraceSet};
 use crate::report::{f3, Report};
-use crate::sweep::run_cells;
 use prefetch_trace::synth::TraceKind;
 
 /// Fault rates swept (probability of a transient error per submission;
@@ -58,7 +57,7 @@ pub fn resilience(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             }
         }
     }
-    let results = run_cells(&traces.traces, &cells);
+    let results = opts.run_cells(&traces.traces, &cells);
 
     let mut out = Vec::new();
     for &kind in &kinds {
@@ -98,18 +97,23 @@ pub fn resilience(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             let mut elapsed_row = vec![p.name()];
             let mut wasted_row = vec![p.name()];
             for &rate in &FAULT_RATES {
-                let cell = results
-                    .iter()
-                    .find(|c| {
-                        c.trace_index == ti
-                            && c.result.config.policy == p
-                            && c.result.config.faults.map_or(0.0, |f| f.plan.transient_error_rate)
-                                == rate
-                    })
-                    .expect("cell exists");
-                let m = &cell.result.metrics;
-                elapsed_row.push(f3(m.elapsed_ms / m.refs as f64));
-                wasted_row.push(f3(m.wasted_prefetch_frac()));
+                let cell = results.iter().find(|c| {
+                    c.trace_index == ti
+                        && c.result.config.policy == p
+                        && c.result.config.faults.map_or(0.0, |f| f.plan.transient_error_rate)
+                            == rate
+                });
+                match cell {
+                    Some(c) => {
+                        let m = &c.result.metrics;
+                        elapsed_row.push(f3(m.elapsed_ms / m.refs as f64));
+                        wasted_row.push(f3(m.wasted_prefetch_frac()));
+                    }
+                    None => {
+                        elapsed_row.push("NA".into());
+                        wasted_row.push("NA".into());
+                    }
+                }
             }
             elapsed.rows.push(elapsed_row);
             wasted.rows.push(wasted_row);

@@ -7,7 +7,7 @@
 use crate::config::{PolicySpec, SimConfig};
 use crate::experiments::{ExperimentOpts, TraceSet};
 use crate::report::{f3, pct, Report};
-use crate::sweep::{run_cells, PAPER_T_CPU_VALUES};
+use crate::sweep::PAPER_T_CPU_VALUES;
 
 /// Cache size the paper fixes for this sweep.
 pub const FIG11_CACHE: usize = 1024;
@@ -21,14 +21,12 @@ pub fn reports(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             cells.push((ti, SimConfig::new(cache, PolicySpec::Tree).with_t_cpu(t_cpu)));
         }
     }
-    let results = run_cells(&traces.traces, &cells);
+    let results = opts.run_cells(&traces.traces, &cells);
     let metric = |ti: usize, t_cpu: f64| {
-        &results
+        results
             .iter()
             .find(|c| c.trace_index == ti && c.result.config.params.t_cpu == t_cpu)
-            .expect("cell exists")
-            .result
-            .metrics
+            .map(|c| &c.result.metrics)
     };
 
     let mut cols = vec!["t_cpu_ms".to_string()];
@@ -63,9 +61,16 @@ pub fn reports(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
         let mut r11 = vec![format!("{t_cpu:.0}")];
         let mut r12 = vec![format!("{t_cpu:.0}")];
         for ti in 0..traces.traces.len() {
-            let m = metric(ti, t_cpu);
-            r11.push(f3(m.prefetches_per_period()));
-            r12.push(pct(m.prefetch_hit_rate()));
+            match metric(ti, t_cpu) {
+                Some(m) => {
+                    r11.push(f3(m.prefetches_per_period()));
+                    r12.push(pct(m.prefetch_hit_rate()));
+                }
+                None => {
+                    r11.push("NA".into());
+                    r12.push("NA".into());
+                }
+            }
         }
         fig11.rows.push(r11);
         fig12.rows.push(r12);

@@ -13,7 +13,6 @@ use crate::config::{PolicySpec, SimConfig};
 use crate::experiments::{ExperimentOpts, TraceSet};
 use crate::metrics::SimMetrics;
 use crate::report::{f3, pct, Report};
-use crate::sweep::run_cells;
 
 /// The six reports (fig7, fig8, fig9, fig10, fig14, fig16). Columns: cache
 /// size, then one column per trace.
@@ -24,15 +23,13 @@ pub fn reports(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             cells.push((ti, SimConfig::new(cache, PolicySpec::Tree)));
         }
     }
-    let results = run_cells(&traces.traces, &cells);
+    let results = opts.run_cells(&traces.traces, &cells);
 
-    let metric_of = |ti: usize, cache: usize| -> &SimMetrics {
-        &results
+    let metric_of = |ti: usize, cache: usize| -> Option<&SimMetrics> {
+        results
             .iter()
             .find(|c| c.trace_index == ti && c.result.config.cache_blocks == cache)
-            .expect("cell exists")
-            .result
-            .metrics
+            .map(|c| &c.result.metrics)
     };
 
     struct Spec {
@@ -97,7 +94,7 @@ pub fn reports(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
             for &cache in &opts.cache_sizes {
                 let mut row = vec![cache.to_string()];
                 for ti in 0..traces.traces.len() {
-                    row.push((spec.extract)(metric_of(ti, cache)));
+                    row.push(metric_of(ti, cache).map_or_else(|| "NA".into(), spec.extract));
                 }
                 r.rows.push(row);
             }

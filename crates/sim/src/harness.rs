@@ -1,0 +1,836 @@
+//! Resilient sweep orchestration: panic isolation, deadlines, retries,
+//! and crash-safe resume.
+//!
+//! The plain sweeps in [`crate::sweep`] assume every cell succeeds; for
+//! paper-scale grids (hundreds of cells, hours of wall-clock) that
+//! assumption makes the whole run as fragile as its weakest cell. This
+//! module wraps each cell in its own fault domain:
+//!
+//! * a panicking cell (simulator invariant violation, policy bug) is
+//!   caught with [`std::panic::catch_unwind`] and reported as
+//!   [`CellStatus::Failed`] while its siblings run to completion;
+//! * a cell exceeding the per-cell wall-clock deadline is cut off
+//!   cooperatively by [`DeadlineGuard`] and reported as
+//!   [`CellStatus::TimedOut`];
+//! * an invalid configuration is [`CellStatus::Skipped`] without burning
+//!   a retry;
+//! * transient failures are retried up to [`HarnessOpts::max_attempts`]
+//!   times with exponential backoff;
+//! * completed cells are journaled through a
+//!   [`crate::checkpoint::CheckpointJournal`], so a killed run resumes
+//!   where it stopped and reproduces the full grid bit-identically.
+//!
+//! The only hard error is [`SweepError::BadTraceIndex`] — a malformed
+//! cell list is a caller bug, detected up front before any work runs.
+
+use crate::checkpoint::{cell_fingerprint, CheckpointError, CheckpointJournal, JournalEntry};
+use crate::config::{SimConfig, SimConfigError};
+use crate::metrics::SimMetrics;
+use crate::observer::{SimEvent, SimObserver};
+use crate::runner::SimResult;
+use crate::simulator::Simulator;
+use crate::sweep::SweepCell;
+use prefetch_trace::{Trace, TraceSource};
+use rayon::prelude::*;
+use std::any::Any;
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------------
+
+/// Why a sweep — or one of its cells — could not produce a result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepError {
+    /// A cell named a trace index outside the trace list. Caller bug;
+    /// detected before any cell runs (the sweep-level hard error).
+    BadTraceIndex {
+        /// The offending index.
+        index: usize,
+        /// Length of the trace list.
+        traces: usize,
+    },
+    /// The cell's configuration failed [`SimConfig::validate`].
+    InvalidConfig(SimConfigError),
+    /// The cell's simulation panicked (simulator or policy bug).
+    Panicked {
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The cell exceeded its per-cell wall-clock deadline.
+    DeadlineExceeded {
+        /// The deadline it exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The cell's trace source failed (I/O error, corrupt stream).
+    TraceIo {
+        /// Rendered source error.
+        message: String,
+    },
+    /// The checkpoint journal failed (checkpointing degrades to off; this
+    /// surfaces only in logs, never aborts a sweep).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::BadTraceIndex { index, traces } => {
+                write!(f, "trace index {index} out of range (sweep has {traces} traces)")
+            }
+            SweepError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            SweepError::Panicked { message } => write!(f, "simulation panicked: {message}"),
+            SweepError::DeadlineExceeded { limit_ms } => {
+                write!(f, "cell exceeded its {limit_ms} ms deadline")
+            }
+            SweepError::TraceIo { message } => write!(f, "trace source failed: {message}"),
+            SweepError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Terminal state of one sweep cell.
+#[derive(Clone, Debug)]
+pub enum CellStatus {
+    /// The cell completed (possibly restored from a checkpoint). Boxed:
+    /// a result is an order of magnitude larger than any error variant,
+    /// and sweeps hold one `CellStatus` per cell.
+    Ok(Box<SimResult>),
+    /// Every attempt failed; the error of the last attempt.
+    Failed {
+        /// What the final attempt died of.
+        error: SweepError,
+    },
+    /// Every attempt exceeded the per-cell deadline.
+    TimedOut {
+        /// The configured deadline in milliseconds.
+        limit_ms: u64,
+    },
+    /// The cell was not attempted (invalid configuration — deterministic,
+    /// so retrying would be pointless).
+    Skipped {
+        /// Why, rendered for reports.
+        reason: String,
+    },
+}
+
+/// One cell's outcome with its execution provenance.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// Index of the cell's trace in the sweep's trace list.
+    pub trace_index: usize,
+    /// The configuration the cell ran.
+    pub config: SimConfig,
+    /// How the cell ended.
+    pub status: CellStatus,
+    /// Simulation attempts spent (0 when restored or skipped).
+    pub attempts: u32,
+    /// Whether the result came from the checkpoint journal instead of a
+    /// fresh simulation.
+    pub restored: bool,
+}
+
+impl CellOutcome {
+    /// The completed result, if any.
+    pub fn result(&self) -> Option<&SimResult> {
+        match &self.status {
+            CellStatus::Ok(r) => Some(r.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a whole resilient sweep: one [`CellOutcome`] per input
+/// cell, in input order.
+#[derive(Clone, Debug)]
+pub struct SweepRun {
+    /// Per-cell outcomes, parallel to the input cell list.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl SweepRun {
+    /// The completed cells as plain [`SweepCell`]s (failed, timed-out and
+    /// skipped cells are absent — callers render those as `NA`).
+    pub fn completed_cells(&self) -> Vec<SweepCell> {
+        self.cells
+            .iter()
+            .filter_map(|c| {
+                c.result().map(|r| SweepCell { trace_index: c.trace_index, result: r.clone() })
+            })
+            .collect()
+    }
+
+    /// Cells that did not complete (failed, timed out, or skipped).
+    pub fn incomplete(&self) -> impl Iterator<Item = &CellOutcome> {
+        self.cells.iter().filter(|c| c.result().is_none())
+    }
+
+    /// Whether every cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.cells.iter().all(|c| c.result().is_some())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run log: cross-experiment tally of what went wrong (and what resumed)
+// ---------------------------------------------------------------------------
+
+/// Aggregate counters over one or more resilient sweeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Cells that completed by simulation.
+    pub ok: u64,
+    /// Cells restored from the checkpoint journal without re-running.
+    pub restored: u64,
+    /// Cells that failed every attempt.
+    pub failed: u64,
+    /// Cells that exceeded their deadline on every attempt.
+    pub timed_out: u64,
+    /// Cells skipped (invalid configuration).
+    pub skipped: u64,
+    /// Extra attempts spent on retries (attempts beyond the first).
+    pub retries: u64,
+}
+
+impl SweepSummary {
+    /// Cells that produced no result.
+    pub fn incomplete(&self) -> u64 {
+        self.failed + self.timed_out + self.skipped
+    }
+}
+
+/// One failed/timed-out/skipped cell, rendered for reports.
+#[derive(Clone, Debug)]
+pub struct FailureRecord {
+    /// Trace name of the cell.
+    pub trace: String,
+    /// Cell description (policy, cache size).
+    pub cell: String,
+    /// Rendered error.
+    pub error: String,
+}
+
+#[derive(Debug, Default)]
+struct SweepLogInner {
+    summary: SweepSummary,
+    failures: Vec<FailureRecord>,
+    notes: Vec<String>,
+}
+
+/// Shared, thread-safe log that accumulates sweep outcomes across the
+/// experiments of one invocation (the `figures` binary reports it at the
+/// end and derives its exit code from it).
+#[derive(Debug, Default)]
+pub struct SweepLog {
+    inner: Mutex<SweepLogInner>,
+}
+
+impl SweepLog {
+    /// Fold one sweep's outcomes into the log.
+    pub fn absorb(&self, run: &SweepRun, trace_names: &[Arc<str>]) {
+        let mut inner = self.inner.lock().unwrap();
+        for cell in &run.cells {
+            let trace = trace_names
+                .get(cell.trace_index)
+                .map_or_else(|| format!("trace#{}", cell.trace_index), |n| n.to_string());
+            let describe = |error: String| FailureRecord {
+                trace: trace.clone(),
+                cell: format!(
+                    "{} @ {} blocks",
+                    cell.config.policy.name(),
+                    cell.config.cache_blocks
+                ),
+                error,
+            };
+            inner.summary.retries += u64::from(cell.attempts.saturating_sub(1));
+            match &cell.status {
+                CellStatus::Ok(_) if cell.restored => inner.summary.restored += 1,
+                CellStatus::Ok(_) => inner.summary.ok += 1,
+                CellStatus::Failed { error } => {
+                    inner.summary.failed += 1;
+                    let record = describe(error.to_string());
+                    inner.failures.push(record);
+                }
+                CellStatus::TimedOut { limit_ms } => {
+                    inner.summary.timed_out += 1;
+                    let record = describe(format!("exceeded {limit_ms} ms deadline"));
+                    inner.failures.push(record);
+                }
+                CellStatus::Skipped { reason } => {
+                    inner.summary.skipped += 1;
+                    let record = describe(format!("skipped: {reason}"));
+                    inner.failures.push(record);
+                }
+            }
+        }
+    }
+
+    /// Record an operational note (checkpoint degradation, resume counts).
+    pub fn note(&self, message: String) {
+        self.inner.lock().unwrap().notes.push(message);
+    }
+
+    /// Snapshot of the counters.
+    pub fn summary(&self) -> SweepSummary {
+        self.inner.lock().unwrap().summary
+    }
+
+    /// Snapshot of the per-cell failure records.
+    pub fn failures(&self) -> Vec<FailureRecord> {
+        self.inner.lock().unwrap().failures.clone()
+    }
+
+    /// Snapshot of the operational notes.
+    pub fn notes(&self) -> Vec<String> {
+        self.inner.lock().unwrap().notes.clone()
+    }
+
+    /// Whether any cell anywhere failed to produce a result.
+    pub fn has_failures(&self) -> bool {
+        self.inner.lock().unwrap().summary.incomplete() > 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness options
+// ---------------------------------------------------------------------------
+
+/// Knobs of the resilient harness. `Default` runs exactly like the plain
+/// sweep (no checkpointing, no deadline) plus one retry and panic
+/// isolation.
+#[derive(Clone, Debug)]
+pub struct HarnessOpts {
+    /// Directory for the checkpoint journal; `None` disables
+    /// checkpointing. A journal already present there is resumed from.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Per-cell wall-clock deadline in milliseconds; `None` means
+    /// unlimited.
+    pub deadline_ms: Option<u64>,
+    /// Simulation attempts per cell, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry (doubles per retry), in ms.
+    pub backoff_base_ms: u64,
+    /// Journal flush cadence, in completed cells.
+    pub flush_every: usize,
+    /// Shared outcome log (cloned handles append to the same log).
+    pub log: Arc<SweepLog>,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            checkpoint_dir: None,
+            deadline_ms: None,
+            max_attempts: 2,
+            backoff_base_ms: 25,
+            flush_every: 16,
+            log: Arc::new(SweepLog::default()),
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Options with checkpointing into `dir`.
+    pub fn checkpointed(dir: impl Into<PathBuf>) -> Self {
+        HarnessOpts { checkpoint_dir: Some(dir.into()), ..HarnessOpts::default() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic isolation
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// True while this thread runs a cell under `quiet_catch`: the panic
+    /// hook stays silent (the panic becomes a typed `SweepError`, so the
+    /// default hook's backtrace spam would only obscure real output).
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Payload thrown by [`DeadlineGuard`]; recognized by `classify_panic` so
+/// a deadline cut-off is not misreported as a crash.
+struct DeadlinePayload {
+    limit_ms: u64,
+}
+
+fn classify_panic(payload: Box<dyn Any + Send>) -> SweepError {
+    if let Some(d) = payload.downcast_ref::<DeadlinePayload>() {
+        return SweepError::DeadlineExceeded { limit_ms: d.limit_ms };
+    }
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    SweepError::Panicked { message }
+}
+
+/// Run `f` in its own panic domain: a panic (including the deadline
+/// payload) comes back as a typed [`SweepError`] instead of unwinding
+/// into — and aborting — the sweep.
+fn quiet_catch<T>(f: impl FnOnce() -> T) -> Result<T, SweepError> {
+    install_quiet_panic_hook();
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    outcome.map_err(classify_panic)
+}
+
+// ---------------------------------------------------------------------------
+// Deadline guard
+// ---------------------------------------------------------------------------
+
+/// Cooperative per-cell deadline: an observer that checks the wall clock
+/// every [`DeadlineGuard::CHECK_EVERY`] events and aborts the simulation
+/// (with a typed payload, caught by the harness) once the budget is
+/// spent. Cooperative, so it adds one decrement per event and needs no
+/// watcher thread; a cell is cut off within `CHECK_EVERY` events of its
+/// deadline rather than at the exact instant.
+#[derive(Debug)]
+pub struct DeadlineGuard {
+    deadline: Option<(Instant, u64)>,
+    countdown: u32,
+}
+
+impl DeadlineGuard {
+    /// Events between clock reads (reading `Instant` per event would
+    /// dominate small-cell runtime).
+    pub const CHECK_EVERY: u32 = 4096;
+
+    /// A guard enforcing `limit_ms` from now; `None` never fires.
+    pub fn new(limit_ms: Option<u64>) -> Self {
+        DeadlineGuard {
+            deadline: limit_ms.map(|ms| (Instant::now(), ms)),
+            countdown: Self::CHECK_EVERY,
+        }
+    }
+
+    /// A guard that never fires (one code path for both cases).
+    pub fn unlimited() -> Self {
+        Self::new(None)
+    }
+
+    fn check(&mut self) {
+        let Some((started, limit_ms)) = self.deadline else { return };
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return;
+        }
+        self.countdown = Self::CHECK_EVERY;
+        if started.elapsed() >= Duration::from_millis(limit_ms) {
+            std::panic::panic_any(DeadlinePayload { limit_ms });
+        }
+    }
+}
+
+impl SimObserver for DeadlineGuard {
+    fn on_event(&mut self, _event: &SimEvent<'_>) {
+        self.check();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guarded execution
+// ---------------------------------------------------------------------------
+
+/// Run a streaming source with panic isolation and an optional deadline:
+/// the single-run counterpart of the sweep harness, used by `pfsim` to
+/// turn every failure mode into a structured exit instead of an abort.
+pub fn run_source_guarded<S: TraceSource>(
+    source: &mut S,
+    config: &SimConfig,
+    deadline_ms: Option<u64>,
+) -> Result<SimResult, SweepError> {
+    config.validate().map_err(SweepError::InvalidConfig)?;
+    let io_error: Mutex<Option<String>> = Mutex::new(None);
+    let metrics = quiet_catch(|| {
+        let mut obs = (SimMetrics::default(), DeadlineGuard::new(deadline_ms));
+        match Simulator::run(&mut *source, config, &mut obs) {
+            Ok(()) => {
+                obs.0.check_invariants();
+                Some(obs.0)
+            }
+            Err(e) => {
+                *io_error.lock().unwrap() = Some(e.to_string());
+                None
+            }
+        }
+    })?;
+    match metrics {
+        Some(metrics) => Ok(SimResult {
+            config: *config,
+            trace: Arc::from(source.meta().name.as_str()),
+            metrics,
+            skipped_records: source.skipped(),
+        }),
+        None => {
+            let message = io_error.lock().unwrap().take().unwrap_or_default();
+            Err(SweepError::TraceIo { message })
+        }
+    }
+}
+
+fn attempt_cell(
+    trace: &Trace,
+    name: &Arc<str>,
+    config: &SimConfig,
+    opts: &HarnessOpts,
+) -> (Result<SimResult, SweepError>, u32) {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let outcome = quiet_catch(|| {
+            let mut source = trace.source();
+            let mut obs = (SimMetrics::default(), DeadlineGuard::new(opts.deadline_ms));
+            Simulator::run(&mut source, config, &mut obs).expect("in-memory sources cannot fail");
+            obs.0.check_invariants();
+            obs.0
+        });
+        match outcome {
+            Ok(metrics) => {
+                let result =
+                    SimResult { config: *config, trace: name.clone(), metrics, skipped_records: 0 };
+                return (Ok(result), attempt);
+            }
+            Err(error) => {
+                if attempt >= opts.max_attempts.max(1) {
+                    return (Err(error), attempt);
+                }
+                // Exponential backoff: in-process failures are
+                // deterministic, but the deadline races the machine's
+                // load, so give the machine a breather before retrying.
+                let backoff = opts.backoff_base_ms.saturating_mul(1 << (attempt - 1).min(16));
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+        }
+    }
+}
+
+/// Run an explicit cell list through the resilient harness (the
+/// checkpointed, panic-isolated counterpart of [`crate::sweep::run_cells`]).
+///
+/// Every cell terminates in one of the four [`CellStatus`] states; the
+/// only `Err` is [`SweepError::BadTraceIndex`], raised before any work.
+pub fn run_cells_checkpointed(
+    traces: &[Trace],
+    cells: &[(usize, SimConfig)],
+    opts: &HarnessOpts,
+) -> Result<SweepRun, SweepError> {
+    if let Some(&(index, _)) = cells.iter().find(|&&(ti, _)| ti >= traces.len()) {
+        return Err(SweepError::BadTraceIndex { index, traces: traces.len() });
+    }
+    let names: Vec<Arc<str>> = traces.iter().map(|t| Arc::from(t.meta().name.as_str())).collect();
+
+    let journal = opts.checkpoint_dir.as_deref().and_then(|dir| {
+        match CheckpointJournal::open(dir, opts.flush_every) {
+            Ok(journal) => {
+                if journal.loaded() > 0 {
+                    opts.log.note(format!(
+                        "resumed from {} with {} journaled cells",
+                        journal.path().display(),
+                        journal.loaded()
+                    ));
+                }
+                Some(journal)
+            }
+            Err(e) => {
+                // Graceful degradation: a broken journal must not cost the
+                // sweep — run uncheckpointed and say so.
+                opts.log.note(format!("checkpointing disabled: {e}"));
+                None
+            }
+        }
+    });
+
+    let fingerprints: Vec<u64> =
+        cells.iter().map(|(ti, config)| cell_fingerprint(&traces[*ti], config)).collect();
+
+    let outcomes: Vec<CellOutcome> = (0..cells.len())
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|i| {
+            let (trace_index, config) = cells[i];
+            if let Some(entry) = journal.as_ref().and_then(|j| j.lookup(fingerprints[i])) {
+                let result = SimResult {
+                    config,
+                    trace: names[trace_index].clone(),
+                    metrics: entry.metrics,
+                    skipped_records: entry.skipped_records,
+                };
+                return CellOutcome {
+                    trace_index,
+                    config,
+                    status: CellStatus::Ok(Box::new(result)),
+                    attempts: 0,
+                    restored: true,
+                };
+            }
+            if let Err(e) = config.validate() {
+                return CellOutcome {
+                    trace_index,
+                    config,
+                    status: CellStatus::Skipped { reason: e.to_string() },
+                    attempts: 0,
+                    restored: false,
+                };
+            }
+            let (outcome, attempts) =
+                attempt_cell(&traces[trace_index], &names[trace_index], &config, opts);
+            let status = match outcome {
+                Ok(result) => {
+                    if let Some(j) = &journal {
+                        let entry = JournalEntry {
+                            trace: names[trace_index].to_string(),
+                            skipped_records: result.skipped_records,
+                            metrics: result.metrics,
+                        };
+                        if let Err(e) = j.record(fingerprints[i], entry) {
+                            opts.log.note(format!("checkpoint write failed: {e}"));
+                        }
+                    }
+                    CellStatus::Ok(Box::new(result))
+                }
+                Err(SweepError::DeadlineExceeded { limit_ms }) => CellStatus::TimedOut { limit_ms },
+                Err(error) => CellStatus::Failed { error },
+            };
+            CellOutcome { trace_index, config, status, attempts, restored: false }
+        })
+        .collect();
+
+    if let Some(j) = &journal {
+        if let Err(e) = j.flush() {
+            opts.log.note(format!("checkpoint flush failed: {e}"));
+        }
+    }
+    let run = SweepRun { cells: outcomes };
+    opts.log.absorb(&run, &names);
+    Ok(run)
+}
+
+/// Every (trace × config) combination through the resilient harness (the
+/// checkpointed counterpart of [`crate::sweep::run_grid`]).
+pub fn run_grid_checkpointed(
+    traces: &[Trace],
+    configs: &[SimConfig],
+    opts: &HarnessOpts,
+) -> Result<SweepRun, SweepError> {
+    let cells: Vec<(usize, SimConfig)> =
+        (0..traces.len()).flat_map(|ti| configs.iter().map(move |c| (ti, *c))).collect();
+    run_cells_checkpointed(traces, &cells, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicySpec;
+    use crate::sweep;
+    use prefetch_trace::synth::TraceKind;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("prefetch-harness-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn uncheckpointed_run_matches_the_plain_sweep_bit_for_bit() {
+        let traces = vec![TraceKind::Cad.generate(2000, 1), TraceKind::Snake.generate(2000, 2)];
+        let configs =
+            vec![SimConfig::new(64, PolicySpec::NoPrefetch), SimConfig::new(64, PolicySpec::Tree)];
+        let plain = sweep::run_grid(&traces, &configs);
+        let resilient = run_grid_checkpointed(&traces, &configs, &HarnessOpts::default()).unwrap();
+        assert!(resilient.is_complete());
+        let cells = resilient.completed_cells();
+        assert_eq!(cells.len(), plain.len());
+        for (a, b) in plain.iter().zip(&cells) {
+            assert_eq!(a.trace_index, b.trace_index);
+            assert_eq!(a.result.metrics, b.result.metrics);
+        }
+    }
+
+    #[test]
+    fn bad_trace_index_is_a_typed_error_before_any_work() {
+        let traces = vec![TraceKind::Cad.generate(100, 3)];
+        let err = run_cells_checkpointed(
+            &traces,
+            &[
+                (0, SimConfig::new(32, PolicySpec::NoPrefetch)),
+                (2, SimConfig::new(32, PolicySpec::Tree)),
+            ],
+            &HarnessOpts::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SweepError::BadTraceIndex { index: 2, traces: 1 });
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn a_panicking_cell_fails_alone_while_siblings_complete() {
+        let traces = vec![TraceKind::Cad.generate(1500, 5)];
+        let cells = vec![
+            (0, SimConfig::new(64, PolicySpec::Tree)),
+            (0, SimConfig::new(64, PolicySpec::PanicProbe { after: 100 })),
+            (0, SimConfig::new(128, PolicySpec::Tree)),
+        ];
+        let opts = HarnessOpts { max_attempts: 1, ..HarnessOpts::default() };
+        let run = run_cells_checkpointed(&traces, &cells, &opts).unwrap();
+        assert_eq!(run.cells.len(), 3);
+        assert!(run.cells[0].result().is_some());
+        assert!(run.cells[2].result().is_some());
+        match &run.cells[1].status {
+            CellStatus::Failed { error: SweepError::Panicked { message } } => {
+                assert!(message.contains("panic probe"), "unexpected message: {message}");
+            }
+            other => panic!("expected Failed(Panicked), got {other:?}"),
+        }
+        assert_eq!(opts.log.summary().ok, 2);
+        assert_eq!(opts.log.summary().failed, 1);
+        assert_eq!(opts.log.failures().len(), 1);
+    }
+
+    #[test]
+    fn persistent_panics_burn_every_attempt() {
+        let traces = vec![TraceKind::Cad.generate(500, 5)];
+        let cells = vec![(0, SimConfig::new(64, PolicySpec::PanicProbe { after: 1 }))];
+        let opts = HarnessOpts { max_attempts: 3, backoff_base_ms: 0, ..HarnessOpts::default() };
+        let run = run_cells_checkpointed(&traces, &cells, &opts).unwrap();
+        assert_eq!(run.cells[0].attempts, 3);
+        assert!(matches!(run.cells[0].status, CellStatus::Failed { .. }));
+        assert_eq!(opts.log.summary().retries, 2);
+    }
+
+    #[test]
+    fn invalid_configs_are_skipped_without_attempts() {
+        let traces = vec![TraceKind::Cad.generate(500, 5)];
+        // Active faults without disks: fails validation deterministically.
+        let bad = SimConfig::new(64, PolicySpec::Tree).with_fault_rate(1, 0.5);
+        let run = run_cells_checkpointed(
+            &traces,
+            &[(0, bad), (0, SimConfig::new(64, PolicySpec::Tree))],
+            &HarnessOpts::default(),
+        )
+        .unwrap();
+        assert!(
+            matches!(&run.cells[0].status, CellStatus::Skipped { reason } if reason.contains("disk"))
+        );
+        assert_eq!(run.cells[0].attempts, 0);
+        assert!(run.cells[1].result().is_some());
+    }
+
+    #[test]
+    fn a_one_ms_deadline_times_out_a_large_cell() {
+        // 300k references through the tree policy takes well over 1 ms.
+        let traces = vec![TraceKind::Cad.generate(300_000, 5)];
+        let cells = vec![(0, SimConfig::new(4096, PolicySpec::TreeNextLimit))];
+        let opts = HarnessOpts { deadline_ms: Some(1), max_attempts: 1, ..HarnessOpts::default() };
+        let run = run_cells_checkpointed(&traces, &cells, &opts).unwrap();
+        match run.cells[0].status {
+            CellStatus::TimedOut { limit_ms } => assert_eq!(limit_ms, 1),
+            ref other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert_eq!(opts.log.summary().timed_out, 1);
+    }
+
+    #[test]
+    fn checkpointed_rerun_restores_instead_of_recomputing() {
+        let dir = tmp_dir("restore");
+        let traces = vec![TraceKind::Sitar.generate(2000, 9)];
+        let configs =
+            vec![SimConfig::new(64, PolicySpec::Tree), SimConfig::new(128, PolicySpec::Tree)];
+        let first =
+            run_grid_checkpointed(&traces, &configs, &HarnessOpts::checkpointed(&dir)).unwrap();
+        assert!(first.is_complete());
+        assert!(first.cells.iter().all(|c| !c.restored));
+
+        let opts = HarnessOpts::checkpointed(&dir);
+        let second = run_grid_checkpointed(&traces, &configs, &opts).unwrap();
+        assert!(second.is_complete());
+        assert!(second.cells.iter().all(|c| c.restored), "second run should restore everything");
+        assert_eq!(opts.log.summary().restored, 2);
+        for (a, b) in first.completed_cells().iter().zip(&second.completed_cells()) {
+            assert_eq!(a.result.metrics, b.result.metrics, "restore must be bit-identical");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_cells_are_not_journaled_and_rerun_on_resume() {
+        let dir = tmp_dir("failrerun");
+        let traces = vec![TraceKind::Cad.generate(800, 4)];
+        let probe = SimConfig::new(64, PolicySpec::PanicProbe { after: 10 });
+        let good = SimConfig::new(64, PolicySpec::Tree);
+        let opts = HarnessOpts { max_attempts: 1, ..HarnessOpts::checkpointed(&dir) };
+        let first = run_cells_checkpointed(&traces, &[(0, probe), (0, good)], &opts).unwrap();
+        assert!(matches!(first.cells[0].status, CellStatus::Failed { .. }));
+        assert!(first.cells[1].result().is_some());
+
+        // On resume the good cell restores; the failed one is attempted
+        // again (and fails again — the probe is deterministic).
+        let second = run_cells_checkpointed(&traces, &[(0, probe), (0, good)], &opts).unwrap();
+        assert!(!second.cells[0].restored);
+        assert!(matches!(second.cells[0].status, CellStatus::Failed { .. }));
+        assert!(second.cells[1].restored);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_checkpoint_dir_degrades_to_uncheckpointed() {
+        // A file where the directory should be makes the journal unopenable.
+        let dir = tmp_dir("degrade");
+        fs::create_dir_all(dir.parent().unwrap()).unwrap();
+        fs::write(&dir, b"not a directory").unwrap();
+        let traces = vec![TraceKind::Cad.generate(500, 2)];
+        let opts = HarnessOpts::checkpointed(&dir);
+        let run =
+            run_cells_checkpointed(&traces, &[(0, SimConfig::new(64, PolicySpec::Tree))], &opts)
+                .unwrap();
+        assert!(run.is_complete(), "sweep must survive a broken checkpoint dir");
+        assert!(
+            opts.log.notes().iter().any(|n| n.contains("checkpointing disabled")),
+            "degradation must be reported: {:?}",
+            opts.log.notes()
+        );
+        let _ = fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn guarded_source_run_matches_plain_and_reports_panics() {
+        let trace = TraceKind::Cad.generate(2000, 3);
+        let cfg = SimConfig::new(128, PolicySpec::Tree);
+        let plain = crate::runner::run_simulation(&trace, &cfg);
+        let guarded = run_source_guarded(&mut trace.source(), &cfg, None).unwrap();
+        assert_eq!(plain.metrics, guarded.metrics);
+
+        let probe = SimConfig::new(128, PolicySpec::PanicProbe { after: 5 });
+        let err = run_source_guarded(&mut trace.source(), &probe, None).unwrap_err();
+        assert!(matches!(err, SweepError::Panicked { .. }));
+
+        let bad = SimConfig { cache_blocks: 0, ..cfg };
+        let err = run_source_guarded(&mut trace.source(), &bad, None).unwrap_err();
+        assert!(matches!(err, SweepError::InvalidConfig(_)));
+    }
+}

@@ -19,9 +19,11 @@
 //! assert!(result.metrics.miss_rate() < 1.0);
 //! ```
 
+pub mod checkpoint;
 pub mod clock;
 pub mod config;
 pub mod experiments;
+pub mod harness;
 pub mod io_subsystem;
 pub mod metrics;
 pub mod observer;
@@ -30,8 +32,13 @@ pub mod runner;
 pub mod simulator;
 pub mod sweep;
 
+pub use checkpoint::{cell_fingerprint, CheckpointError, CheckpointJournal, JournalEntry};
 pub use clock::VirtualClock;
 pub use config::{FaultConfig, PolicySpec, SimConfig, SimConfigError};
+pub use harness::{
+    run_cells_checkpointed, run_grid_checkpointed, run_source_guarded, CellOutcome, CellStatus,
+    DeadlineGuard, HarnessOpts, SweepError, SweepLog, SweepRun, SweepSummary,
+};
 pub use io_subsystem::IoSubsystem;
 pub use metrics::SimMetrics;
 pub use observer::{DiskSummary, NullObserver, SimEvent, SimObserver};

@@ -23,6 +23,10 @@ pub struct SimResult {
     pub trace: Arc<str>,
     /// Collected metrics.
     pub metrics: SimMetrics,
+    /// Malformed records the trace reader skipped (lossy file sources
+    /// only; always zero for in-memory and synthetic traces). Nonzero
+    /// means the metrics describe a *shorter* stream than the file holds.
+    pub skipped_records: u64,
 }
 
 /// Run `trace` under `config` and collect metrics.
@@ -37,7 +41,7 @@ pub fn run_simulation_named(trace: &Trace, name: Arc<str>, config: &SimConfig) -
     let mut metrics = SimMetrics::default();
     Simulator::run(&mut source, config, &mut metrics).expect("in-memory sources cannot fail");
     metrics.check_invariants();
-    SimResult { config: *config, trace: name, metrics }
+    SimResult { config: *config, trace: name, metrics, skipped_records: 0 }
 }
 
 /// Run a streaming source under `config`. The source is consumed to its
@@ -52,7 +56,12 @@ pub fn run_source<S: TraceSource>(
     metrics.check_invariants();
     // Read the name after the run: file sources may refine their metadata
     // while streaming.
-    Ok(SimResult { config: *config, trace: Arc::from(source.meta().name.as_str()), metrics })
+    Ok(SimResult {
+        config: *config,
+        trace: Arc::from(source.meta().name.as_str()),
+        metrics,
+        skipped_records: source.skipped(),
+    })
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! identical regardless of thread count or schedule.
 
 use crate::config::SimConfig;
+use crate::harness::SweepError;
 use crate::runner::{run_simulation_named, SimResult};
 use prefetch_trace::Trace;
 use rayon::prelude::*;
@@ -48,22 +49,26 @@ pub fn run_grid(traces: &[Trace], configs: &[SimConfig]) -> Vec<SweepCell> {
 }
 
 /// Run an explicit list of (trace index, config) cells in parallel.
-pub fn run_cells(traces: &[Trace], cells: &[(usize, SimConfig)]) -> Vec<SweepCell> {
+///
+/// A cell naming a trace index outside `traces` is a caller bug, reported
+/// as [`SweepError::BadTraceIndex`] before any cell runs (it used to be a
+/// mid-sweep panic). For panic isolation, deadlines, and crash-safe
+/// resume on top of this, see [`crate::harness::run_cells_checkpointed`].
+pub fn run_cells(
+    traces: &[Trace],
+    cells: &[(usize, SimConfig)],
+) -> Result<Vec<SweepCell>, SweepError> {
+    if let Some(&(index, _)) = cells.iter().find(|&&(ti, _)| ti >= traces.len()) {
+        return Err(SweepError::BadTraceIndex { index, traces: traces.len() });
+    }
     let names = shared_names(traces);
-    cells
+    Ok(cells
         .par_iter()
-        .map(|&(trace_index, config)| {
-            assert!(trace_index < traces.len(), "trace index out of range");
-            SweepCell {
-                trace_index,
-                result: run_simulation_named(
-                    &traces[trace_index],
-                    names[trace_index].clone(),
-                    &config,
-                ),
-            }
+        .map(|&(trace_index, config)| SweepCell {
+            trace_index,
+            result: run_simulation_named(&traces[trace_index], names[trace_index].clone(), &config),
         })
-        .collect()
+        .collect())
 }
 
 /// The cache sizes (in blocks) the paper sweeps in its figures.
@@ -106,7 +111,7 @@ mod tests {
             (0usize, SimConfig::new(32, PolicySpec::NextLimit)),
             (0usize, SimConfig::new(64, PolicySpec::NextLimit)),
         ];
-        let out = run_cells(&traces, &cells);
+        let out = run_cells(&traces, &cells).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].result.config.cache_blocks, 32);
         assert_eq!(out[1].result.config.cache_blocks, 64);
@@ -127,9 +132,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_trace_index_panics() {
+    fn bad_trace_index_is_a_typed_error() {
         let traces = vec![TraceKind::Cad.generate(100, 3)];
-        run_cells(&traces, &[(1, SimConfig::new(32, PolicySpec::NoPrefetch))]);
+        let err =
+            run_cells(&traces, &[(1, SimConfig::new(32, PolicySpec::NoPrefetch))]).unwrap_err();
+        assert_eq!(err, SweepError::BadTraceIndex { index: 1, traces: 1 });
     }
 }

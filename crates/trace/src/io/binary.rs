@@ -301,6 +301,10 @@ impl<R: Read + Seek> TraceSource for BinarySource<R> {
         self.fused = false;
         Ok(())
     }
+
+    fn skipped(&self) -> u64 {
+        self.skipped
+    }
 }
 
 #[inline]

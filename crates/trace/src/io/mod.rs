@@ -80,6 +80,10 @@ impl TraceSource for FileSource {
             FileSource::Binary(s) => s.rewind(),
         }
     }
+
+    fn skipped(&self) -> u64 {
+        FileSource::skipped(self)
+    }
 }
 
 /// Open a trace file as a streaming [`FileSource`], picking the format

@@ -241,6 +241,10 @@ impl<R: BufRead + Seek> TraceSource for TextSource<R> {
         self.fused = false;
         Ok(())
     }
+
+    fn skipped(&self) -> u64 {
+        self.skipped
+    }
 }
 
 fn parse_line(s: &str, line_no: usize) -> Result<TraceRecord, TraceIoError> {

@@ -46,6 +46,14 @@ pub trait TraceSource {
     /// the first record again, bit-identically.
     fn rewind(&mut self) -> Result<(), TraceIoError>;
 
+    /// Malformed records skipped so far by a lossy reader (this pass;
+    /// counters reset on rewind). Sources that cannot lose records —
+    /// in-memory, synthetic, strict file readers — report `0`, the
+    /// default.
+    fn skipped(&self) -> u64 {
+        0
+    }
+
     /// Drain the source into an in-memory [`Trace`] (the bridge back to
     /// the materialized world; the inverse of [`Trace::source`]).
     fn materialize(&mut self) -> Result<Trace, TraceIoError>
@@ -78,6 +86,9 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     fn rewind(&mut self) -> Result<(), TraceIoError> {
         (**self).rewind()
     }
+    fn skipped(&self) -> u64 {
+        (**self).skipped()
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
@@ -92,6 +103,9 @@ impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
     }
     fn rewind(&mut self) -> Result<(), TraceIoError> {
         (**self).rewind()
+    }
+    fn skipped(&self) -> u64 {
+        (**self).skipped()
     }
 }
 
@@ -181,6 +195,10 @@ impl<S: TraceSource> TraceSource for L1FilterSource<S> {
         self.inner.rewind()?;
         self.cache = LruSet::new(self.capacity_blocks);
         Ok(())
+    }
+
+    fn skipped(&self) -> u64 {
+        self.inner.skipped()
     }
 }
 

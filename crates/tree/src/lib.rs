@@ -51,4 +51,4 @@ pub use candidates::Candidate;
 pub use io::{read_tree, to_dot, write_tree, TreeIoError};
 pub use node::NodeId;
 pub use stats::TreeStats;
-pub use tree::{AccessOutcome, PrefetchTree};
+pub use tree::{AccessOutcome, OverflowPolicy, PrefetchTree};

@@ -19,6 +19,10 @@ pub struct TreeStats {
     pub nodes_created: u64,
     /// Nodes evicted by the LRU node limit.
     pub nodes_evicted: u64,
+    /// Node creations refused because the tree was at its budget under
+    /// [`crate::tree::OverflowPolicy::Freeze`] (always zero when evicting
+    /// or unlimited).
+    pub nodes_capped: u64,
     /// Parse resets (completed substrings).
     pub resets: u64,
 }

@@ -23,6 +23,23 @@ pub struct AccessOutcome {
     pub reset: bool,
 }
 
+/// What a node-budgeted tree does when a novel access would push it past
+/// its limit (Section 9.3 memory study; the budget guards the one
+/// unbounded structure in the system).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Evict least-recently-visited leaves to make room (the paper's
+    /// scheme: substrings are kept in an LRU list and the least recently
+    /// used discarded).
+    #[default]
+    Evict,
+    /// Stop learning: refuse the node creation (counting it in
+    /// [`TreeStats::nodes_capped`]) and keep the existing structure
+    /// intact. The parse still resets, so prediction over the frozen
+    /// structure continues to work.
+    Freeze,
+}
+
 /// The LZ prefetch tree.
 ///
 /// See the crate docs for semantics. All operations are O(1) amortized
@@ -41,6 +58,8 @@ pub struct PrefetchTree {
     fresh_substring: bool,
     /// maximum live node count (root exempt); `usize::MAX` = unlimited
     node_limit: usize,
+    /// what to do when a creation would exceed `node_limit`
+    overflow: OverflowPolicy,
     /// intrusive LRU list over non-root nodes: head = MRU, tail = LRU
     lru_head: u32,
     lru_tail: u32,
@@ -66,6 +85,16 @@ impl PrefetchTree {
     /// # Panics
     /// Panics if `node_limit == 0`.
     pub fn with_node_limit(node_limit: usize) -> Self {
+        Self::with_node_budget(node_limit, OverflowPolicy::Evict)
+    }
+
+    /// A tree that holds at most `node_limit` non-root nodes, with an
+    /// explicit [`OverflowPolicy`] deciding what happens when a novel
+    /// access would exceed the budget.
+    ///
+    /// # Panics
+    /// Panics if `node_limit == 0`.
+    pub fn with_node_budget(node_limit: usize, overflow: OverflowPolicy) -> Self {
         assert!(node_limit > 0, "node limit must be positive");
         let root = Node::new(BlockId(u64::MAX), NIL, NIL);
         PrefetchTree {
@@ -75,6 +104,7 @@ impl PrefetchTree {
             cursor: 0,
             fresh_substring: true,
             node_limit,
+            overflow,
             lru_head: NIL,
             lru_tail: NIL,
             stats: TreeStats::default(),
@@ -211,6 +241,21 @@ impl PrefetchTree {
                 AccessOutcome { predictable, lvc_repeat, created_node: false, reset: false }
             }
             None => {
+                if self.overflow == OverflowPolicy::Freeze && self.node_count() >= self.node_limit {
+                    // At budget and frozen: refuse the creation but keep
+                    // the parse semantics — the novel access still ends
+                    // the substring.
+                    self.stats.nodes_capped += 1;
+                    self.cursor = 0;
+                    self.fresh_substring = true;
+                    self.stats.resets += 1;
+                    return AccessOutcome {
+                        predictable,
+                        lvc_repeat,
+                        created_node: false,
+                        reset: true,
+                    };
+                }
                 let child = self.create_child(cur, block);
                 self.nodes[child as usize].weight = 1;
                 self.nodes[cur as usize].last_visited_child = child;
@@ -729,5 +774,52 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_node_limit_panics() {
         PrefetchTree::with_node_limit(0);
+    }
+
+    #[test]
+    fn frozen_tree_stops_growing_and_counts_refusals() {
+        let mut t = PrefetchTree::with_node_budget(8, OverflowPolicy::Freeze);
+        for b in 0..100u64 {
+            t.record_access(BlockId(b));
+        }
+        t.check_invariants();
+        assert_eq!(t.node_count(), 8, "frozen tree must stay at its budget");
+        assert_eq!(t.stats().nodes_created, 8);
+        assert_eq!(t.stats().nodes_evicted, 0, "freeze must not evict");
+        assert_eq!(t.stats().nodes_capped, 92);
+        assert_eq!(t.stats().resets, 100, "every unique access still ends a substring");
+        // The survivors are the *first* blocks (the opposite of eviction).
+        for b in 0..8u64 {
+            assert!(t.child_by_block(t.root(), BlockId(b)).is_some(), "early block {b} lost");
+        }
+        assert!(t.child_by_block(t.root(), BlockId(99)).is_none());
+    }
+
+    #[test]
+    fn frozen_tree_still_predicts_learned_structure() {
+        let mut t = PrefetchTree::with_node_budget(4, OverflowPolicy::Freeze);
+        // Learn a 2-block pattern, then flood with unique noise.
+        for _ in 0..4 {
+            t.record_access(BlockId(1));
+            t.record_access(BlockId(2));
+        }
+        for b in 100..200u64 {
+            t.record_access(BlockId(b));
+        }
+        // The learned root children survive and keep predicting.
+        let out = t.record_access(BlockId(1));
+        assert!(out.predictable, "frozen structure should still predict block 1");
+        assert!(t.stats().nodes_capped > 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn unlimited_trees_never_cap_or_evict() {
+        let mut t = PrefetchTree::new();
+        for b in 0..1000u64 {
+            t.record_access(BlockId(b));
+        }
+        assert_eq!(t.stats().nodes_capped, 0);
+        assert_eq!(t.stats().nodes_evicted, 0);
     }
 }

@@ -31,7 +31,7 @@ fn main() {
         .flat_map(|ti| specs.iter().map(move |&s| (ti, SimConfig::new(cache, s))))
         .collect();
     println!("running {} simulations in parallel ({cache}-block cache) ...\n", cells.len());
-    let results = run_cells(&traces, &cells);
+    let results = run_cells(&traces, &cells).expect("cell list indexes the traces above");
 
     print!("{:<22}", "miss rate (%)");
     for k in TraceKind::ALL {

@@ -51,9 +51,11 @@ pub mod prelude {
     };
     pub use prefetch_sim::experiments::{run_all, run_experiment, ExperimentOpts, TraceSet};
     pub use prefetch_sim::{
-        run_simulation, run_simulation_named, run_source, DiskSummary, FaultConfig, IoSubsystem,
+        cell_fingerprint, run_cells_checkpointed, run_grid_checkpointed, run_simulation,
+        run_simulation_named, run_source, run_source_guarded, CellOutcome, CellStatus,
+        CheckpointJournal, DiskSummary, FaultConfig, HarnessOpts, IoSubsystem, JournalEntry,
         NullObserver, PolicySpec, SimConfig, SimConfigError, SimEvent, SimMetrics, SimObserver,
-        SimResult, Simulator, VirtualClock,
+        SimResult, Simulator, SweepError, SweepLog, SweepRun, VirtualClock,
     };
     pub use prefetch_trace::io::{open_source, FileSource};
     pub use prefetch_trace::stats::{ReuseDistances, TraceStats};

@@ -6,7 +6,12 @@ use prefetch_sim::experiments::ALL_IDS;
 
 #[test]
 fn every_experiment_id_runs_and_renders() {
-    let opts = ExperimentOpts { refs: 3_000, seed: 1, cache_sizes: vec![64, 256] };
+    let opts = ExperimentOpts {
+        refs: 3_000,
+        seed: 1,
+        cache_sizes: vec![64, 256],
+        ..ExperimentOpts::default()
+    };
     let traces = TraceSet::generate(&opts);
     for id in ALL_IDS {
         let reports = run_experiment(id, &traces, &opts);
@@ -24,7 +29,12 @@ fn every_experiment_id_runs_and_renders() {
 
 #[test]
 fn run_all_covers_every_artifact_in_order() {
-    let opts = ExperimentOpts { refs: 3_000, seed: 2, cache_sizes: vec![64, 256] };
+    let opts = ExperimentOpts {
+        refs: 3_000,
+        seed: 2,
+        cache_sizes: vec![64, 256],
+        ..ExperimentOpts::default()
+    };
     let traces = TraceSet::generate(&opts);
     let reports = run_all(&traces, &opts);
     // Every id appears at least once (figures with per-trace reports
@@ -49,7 +59,8 @@ fn run_all_covers_every_artifact_in_order() {
 
 #[test]
 fn experiments_are_deterministic() {
-    let opts = ExperimentOpts { refs: 2_000, seed: 3, cache_sizes: vec![64] };
+    let opts =
+        ExperimentOpts { refs: 2_000, seed: 3, cache_sizes: vec![64], ..ExperimentOpts::default() };
     let t1 = TraceSet::generate(&opts);
     let t2 = TraceSet::generate(&opts);
     let a = run_experiment("fig6", &t1, &opts);
@@ -61,7 +72,12 @@ fn experiments_are_deterministic() {
 
 #[test]
 fn fig13_memory_column_matches_paper_node_size() {
-    let opts = ExperimentOpts { refs: 2_000, seed: 4, cache_sizes: vec![64, 256] };
+    let opts = ExperimentOpts {
+        refs: 2_000,
+        seed: 4,
+        cache_sizes: vec![64, 256],
+        ..ExperimentOpts::default()
+    };
     let traces = TraceSet::generate(&opts);
     let r = &run_experiment("fig13", &traces, &opts)[0];
     // 32768 nodes × 40 bytes = 1.25 MB, the paper's headline number.
