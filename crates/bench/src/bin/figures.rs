@@ -5,7 +5,15 @@
 //! ```text
 //! figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv]
 //!         [--checkpoint DIR] [--resume] [--deadline-ms N] [--retries N]
+//!         [--bench-json PATH] [--log-json PATH]
 //! ```
+//!
+//! `--bench-json PATH` profiles every sweep cell and writes a
+//! machine-readable perf artifact (wall time, refs/sec, cell count, and
+//! per-phase breakdown per experiment); with id `all` the experiments run
+//! individually so each gets its own attribution. `--log-json PATH`
+//! mirrors the structured run log (JSONL) for archiving alongside the
+//! artifact.
 //!
 //! `<id>` is one of `table1 table2 table3 table4 fig6 fig7 fig8 fig9 fig10
 //! fig11 fig12 fig13 fig14 fig15 fig16 fig17`. Markdown renderings go to
@@ -20,10 +28,13 @@
 //! reported at the end and render as `NA` in the affected tables; the
 //! process then exits with code 2 instead of aborting the whole sweep.
 
+use prefetch_bench::perf::{render_bench_json, ExperimentPerf};
 use prefetch_sim::checkpoint::JOURNAL_FILE;
 use prefetch_sim::experiments::{run_all, run_experiment, ExperimentOpts, TraceSet, ALL_IDS};
+use prefetch_telemetry::log as tlog;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     id: String,
@@ -31,6 +42,8 @@ struct Args {
     out: Option<PathBuf>,
     csv_stdout: bool,
     resume: bool,
+    bench_json: Option<PathBuf>,
+    log_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
     let mut out = None;
     let mut csv_stdout = false;
     let mut resume = false;
+    let mut bench_json = None;
+    let mut log_json = None;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--quick" => {
@@ -81,6 +96,14 @@ fn parse_args() -> Result<Args, String> {
                 let n: u32 = v.parse().map_err(|_| format!("bad --retries {v:?}"))?;
                 opts.harness.max_attempts = n.max(1);
             }
+            "--bench-json" => {
+                let v = argv.next().ok_or("--bench-json needs a path")?;
+                bench_json = Some(PathBuf::from(v));
+            }
+            "--log-json" => {
+                let v = argv.next().ok_or("--log-json needs a path")?;
+                log_json = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -95,12 +118,17 @@ fn parse_args() -> Result<Args, String> {
             ALL_IDS.join(", ")
         ));
     }
-    Ok(Args { id, opts, out, csv_stdout, resume })
+    if bench_json.is_some() {
+        // Per-phase attribution needs profiled cells.
+        opts.harness.profile = true;
+    }
+    Ok(Args { id, opts, out, csv_stdout, resume, bench_json, log_json })
 }
 
 fn usage() -> String {
     "usage: figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv] \
-     [--checkpoint DIR] [--resume] [--deadline-ms N] [--retries N]"
+     [--checkpoint DIR] [--resume] [--deadline-ms N] [--retries N] \
+     [--bench-json PATH] [--log-json PATH]"
         .to_string()
 }
 
@@ -113,29 +141,74 @@ fn main() -> ExitCode {
         }
     };
 
-    if let Some(dir) = &args.opts.harness.checkpoint_dir {
-        let journal = dir.join(JOURNAL_FILE);
-        if args.resume {
-            eprintln!("resuming from checkpoint journal {journal:?}");
-        } else if journal.exists() {
-            // A fresh run must not silently adopt another run's results.
-            if let Err(e) = std::fs::remove_file(&journal) {
-                eprintln!("cannot discard stale journal {journal:?}: {e}");
-                return ExitCode::FAILURE;
-            }
-            eprintln!("discarded stale journal {journal:?} (pass --resume to keep it)");
+    if let Some(path) = &args.log_json {
+        if let Err(e) = tlog::set_json_path(path) {
+            eprintln!("cannot open --log-json {path:?}: {e}");
+            return ExitCode::FAILURE;
         }
     }
 
-    eprintln!(
-        "generating traces (refs={}, seed={}) and running {} ...",
-        args.opts.refs, args.opts.seed, args.id
-    );
-    let t0 = std::time::Instant::now();
-    let traces = TraceSet::generate(&args.opts);
-    eprintln!("traces ready in {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(dir) = &args.opts.harness.checkpoint_dir {
+        let journal = dir.join(JOURNAL_FILE);
+        if args.resume {
+            tlog::info("checkpoint_resume").str("path", journal.display().to_string()).emit();
+        } else if journal.exists() {
+            // A fresh run must not silently adopt another run's results.
+            if let Err(e) = std::fs::remove_file(&journal) {
+                tlog::error("journal_discard_failed")
+                    .str("path", journal.display().to_string())
+                    .str("error", e.to_string())
+                    .emit();
+                tlog::flush();
+                return ExitCode::FAILURE;
+            }
+            tlog::warn("journal_discarded")
+                .str("path", journal.display().to_string())
+                .str("hint", "pass --resume to keep it")
+                .emit();
+        }
+    }
 
-    let reports = if args.id == "all" {
+    tlog::info("run_start")
+        .str("id", args.id.clone())
+        .u64("refs", args.opts.refs as u64)
+        .u64("seed", args.opts.seed)
+        .bool("profile", args.opts.harness.profile)
+        .emit();
+    let t0 = Instant::now();
+    let traces = TraceSet::generate(&args.opts);
+    tlog::info("traces_ready").f64("elapsed_s", t0.elapsed().as_secs_f64()).emit();
+
+    // With --bench-json every experiment runs individually (even under
+    // `all`) so wall time, throughput, and phase totals attribute cleanly;
+    // the per-experiment snapshot deltas of the shared sweep log isolate
+    // each experiment's contribution.
+    let mut perfs: Vec<ExperimentPerf> = Vec::new();
+    let reports = if args.bench_json.is_some() {
+        let ids: Vec<&str> =
+            if args.id == "all" { ALL_IDS.to_vec() } else { vec![args.id.as_str()] };
+        let log = args.opts.harness.log.clone();
+        let mut reports = Vec::new();
+        for id in ids {
+            let refs0 = log.refs_simulated();
+            let phases0 = log.phases();
+            let s0 = log.summary();
+            let te = Instant::now();
+            reports.extend(run_experiment(id, &traces, &args.opts));
+            let wall_ms = te.elapsed().as_secs_f64() * 1e3;
+            let s1 = log.summary();
+            let cells =
+                (s1.ok + s1.restored + s1.incomplete()) - (s0.ok + s0.restored + s0.incomplete());
+            perfs.push(ExperimentPerf {
+                id: id.to_string(),
+                wall_ms,
+                refs: log.refs_simulated() - refs0,
+                cells,
+                phases: log.phases().minus(&phases0),
+            });
+        }
+        reports
+    } else if args.id == "all" {
         run_all(&traces, &args.opts)
     } else {
         run_experiment(&args.id, &traces, &args.opts)
@@ -149,47 +222,78 @@ fn main() -> ExitCode {
         }
         if let Some(dir) = &args.out {
             if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("cannot create {dir:?}: {e}");
+                tlog::error("out_dir_failed")
+                    .str("path", dir.display().to_string())
+                    .str("error", e.to_string())
+                    .emit();
+                tlog::flush();
                 return ExitCode::FAILURE;
             }
             let path = dir.join(format!("{}.csv", r.id));
             if let Err(e) = std::fs::write(&path, r.to_csv()) {
-                eprintln!("cannot write {path:?}: {e}");
+                tlog::error("csv_write_failed")
+                    .str("path", path.display().to_string())
+                    .str("error", e.to_string())
+                    .emit();
+                tlog::flush();
                 return ExitCode::FAILURE;
             }
         }
     }
-    eprintln!("done in {:.1}s ({} report(s))", t0.elapsed().as_secs_f64(), reports.len());
+    if let Some(path) = &args.bench_json {
+        let json = render_bench_json(args.opts.refs, args.opts.seed, &perfs);
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            tlog::error("bench_json_failed")
+                .str("path", path.display().to_string())
+                .str("error", e.to_string())
+                .emit();
+            tlog::flush();
+            return ExitCode::FAILURE;
+        }
+        tlog::info("bench_json_written")
+            .str("path", path.display().to_string())
+            .u64("experiments", perfs.len() as u64)
+            .emit();
+    }
+    tlog::info("run_done")
+        .f64("elapsed_s", t0.elapsed().as_secs_f64())
+        .u64("reports", reports.len() as u64)
+        .emit();
 
     // Partial-result report: the experiments above absorb every cell
     // outcome into the shared sweep log instead of panicking, so surface
     // what (if anything) went wrong and fail the run visibly.
     let log = &args.opts.harness.log;
     for note in log.notes() {
-        eprintln!("note: {note}");
+        tlog::warn("note").str("note", note).emit();
     }
     let s = log.summary();
     if s.restored > 0 || s.retries > 0 {
-        eprintln!(
-            "checkpoint: {} cell(s) restored from the journal, {} retry attempt(s)",
-            s.restored, s.retries
-        );
+        tlog::info("checkpoint_summary")
+            .u64("restored", s.restored)
+            .u64("retries", s.retries)
+            .emit();
     }
     let failures = log.failures();
     if failures.is_empty() {
+        tlog::flush();
         return ExitCode::SUCCESS;
     }
-    eprintln!(
-        "WARNING: {} of {} cell(s) did not complete ({} failed, {} timed out, {} skipped); \
-         affected table entries are rendered as NA",
-        s.incomplete(),
-        s.ok + s.restored + s.incomplete(),
-        s.failed,
-        s.timed_out,
-        s.skipped
-    );
+    tlog::warn("cells_incomplete")
+        .u64("incomplete", s.incomplete())
+        .u64("total", s.ok + s.restored + s.incomplete())
+        .u64("failed", s.failed)
+        .u64("timed_out", s.timed_out)
+        .u64("skipped", s.skipped)
+        .str("effect", "affected table entries are rendered as NA")
+        .emit();
     for f in &failures {
-        eprintln!("  {} / {}: {}", f.trace, f.cell, f.error);
+        tlog::error("cell_incomplete")
+            .str("trace", f.trace.clone())
+            .str("cell", f.cell.clone())
+            .str("error", f.error.clone())
+            .emit();
     }
+    tlog::flush();
     ExitCode::from(2)
 }

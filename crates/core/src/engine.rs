@@ -24,6 +24,7 @@ use crate::params::SystemParams;
 use crate::policy::{PeriodActivity, Victim};
 use crate::resilience::Quarantine;
 use prefetch_cache::{BufferCache, PrefetchMeta, StackDistanceEstimator};
+use prefetch_telemetry::{Phase, PhaseTimer, PhaseTimes};
 use prefetch_trace::BlockId;
 use prefetch_tree::{AccessOutcome, Candidate, PrefetchTree};
 use serde::{Deserialize, Serialize};
@@ -109,6 +110,7 @@ pub struct CostBenefitEngine {
     period: u64,
     scratch: Vec<Candidate>,
     quarantine: Quarantine,
+    timer: PhaseTimer,
 }
 
 impl CostBenefitEngine {
@@ -132,7 +134,19 @@ impl CostBenefitEngine {
             period: 0,
             scratch: Vec::new(),
             quarantine: Quarantine::default(),
+            timer: PhaseTimer::null(),
         }
+    }
+
+    /// Turn on per-phase profiling (off by default — the NullTelemetry
+    /// path costs one branch per probe).
+    pub fn enable_profiling(&mut self) {
+        self.timer.enable();
+    }
+
+    /// Accumulated per-phase times (all zero unless profiling is on).
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.timer.times()
     }
 
     /// The underlying tree (read access for policies and diagnostics).
@@ -176,8 +190,11 @@ impl CostBenefitEngine {
     /// Record the reference in the H(n) estimator and the prefetch tree.
     /// Call once per reference, before [`Self::prefetch_round`].
     pub fn record_reference(&mut self, block: BlockId) -> AccessOutcome {
+        let tok = self.timer.begin();
         self.stack.record(block.0);
-        self.tree.record_access(block)
+        let out = self.tree.record_access(block);
+        self.timer.end(Phase::TreeUpdate, tok);
+        out
     }
 
     /// Observe whether the cursor node's last-visited child is already
@@ -229,6 +246,15 @@ impl CostBenefitEngine {
         }
     }
 
+    /// [`Self::demand_victim`] with the time charged to the cost-benefit
+    /// phase when profiling is on.
+    pub fn demand_victim_timed(&mut self, cache: &BufferCache) -> Victim {
+        let tok = self.timer.begin();
+        let v = self.demand_victim(cache);
+        self.timer.end(Phase::CostBenefit, tok);
+        v
+    }
+
     /// Victim for a *demand* fetch: same comparison, but the demand LRU is
     /// always available as a fallback (the incoming block will immediately
     /// occupy a demand buffer anyway).
@@ -275,12 +301,14 @@ impl CostBenefitEngine {
         // Enumerate only children that could possibly have positive net
         // benefit (children are weight-sorted, so this is O(useful), not
         // O(fan-out) — the root can have tens of thousands of children).
+        let tok = self.timer.begin();
         let cutoff = self.model.min_useful_probability(1.0, 1).max(self.cfg.min_probability);
         self.tree.child_candidates_pruned(anchor, 1.0, 0, cutoff, &mut self.scratch);
         for cand in self.scratch.drain(..) {
             let net = self.model.net_benefit(cand.probability, cand.depth, cand.parent_probability);
             frontier.push(FrontierEntry { net, cand });
         }
+        self.timer.end(Phase::CandidateSelection, tok);
 
         let mut issued: u32 = 0;
         let mut considered: u32 = 0;
@@ -322,7 +350,9 @@ impl CostBenefitEngine {
             }
 
             // Step 2/3: cheapest replacement vs. net benefit.
+            let tok = self.timer.begin();
             let (victim, cost) = self.cheapest_victim(cache);
+            self.timer.end(Phase::CostBenefit, tok);
             if entry.net < cost {
                 break;
             }
@@ -356,6 +386,7 @@ impl CostBenefitEngine {
         if cand.depth >= self.cfg.max_depth {
             return;
         }
+        let tok = self.timer.begin();
         self.scratch.clear();
         let cutoff = self
             .model
@@ -372,6 +403,7 @@ impl CostBenefitEngine {
             let net = self.model.net_benefit(c.probability, c.depth, c.parent_probability);
             frontier.push(FrontierEntry { net, cand: c });
         }
+        self.timer.end(Phase::CandidateSelection, tok);
     }
 }
 

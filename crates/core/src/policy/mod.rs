@@ -143,6 +143,17 @@ pub trait PrefetchPolicy {
     /// A disk read of `block` succeeded; policies tracking fault history
     /// may clear it. Default: no-op.
     fn note_read_success(&mut self, _block: BlockId) {}
+
+    /// Turn on per-phase profiling inside the policy (tree update,
+    /// candidate selection, cost-benefit). Default: stateless policies
+    /// have nothing to profile.
+    fn enable_profiling(&mut self) {}
+
+    /// Per-phase times accumulated by the policy's internals. Default:
+    /// all zero.
+    fn phase_times(&self) -> prefetch_telemetry::PhaseTimes {
+        prefetch_telemetry::PhaseTimes::default()
+    }
 }
 
 /// Apply a victim choice, freeing exactly one buffer. Returns whether the

@@ -44,7 +44,7 @@ impl PrefetchPolicy for TreePolicy {
     }
 
     fn choose_demand_victim(&mut self, cache: &BufferCache) -> Victim {
-        self.engine.demand_victim(cache)
+        self.engine.demand_victim_timed(cache)
     }
 
     fn after_reference(
@@ -70,6 +70,14 @@ impl PrefetchPolicy for TreePolicy {
 
     fn note_read_success(&mut self, block: prefetch_trace::BlockId) {
         self.engine.note_read_success(block);
+    }
+
+    fn enable_profiling(&mut self) {
+        self.engine.enable_profiling();
+    }
+
+    fn phase_times(&self) -> prefetch_telemetry::PhaseTimes {
+        self.engine.phase_times()
     }
 }
 

@@ -45,7 +45,7 @@ impl TreeLvc {
             return;
         }
         if cache.is_full() {
-            let victim = self.engine.demand_victim(cache);
+            let victim = self.engine.demand_victim_timed(cache);
             match crate::policy::apply_victim(victim, cache) {
                 true => act.prefetch_evictions += 1,
                 false => act.demand_evictions_for_prefetch += 1,
@@ -72,7 +72,7 @@ impl PrefetchPolicy for TreeLvc {
     }
 
     fn choose_demand_victim(&mut self, cache: &BufferCache) -> Victim {
-        self.engine.demand_victim(cache)
+        self.engine.demand_victim_timed(cache)
     }
 
     fn after_reference(
@@ -99,6 +99,14 @@ impl PrefetchPolicy for TreeLvc {
 
     fn note_read_success(&mut self, block: prefetch_trace::BlockId) {
         self.engine.note_read_success(block);
+    }
+
+    fn enable_profiling(&mut self) {
+        self.engine.enable_profiling();
+    }
+
+    fn phase_times(&self) -> prefetch_telemetry::PhaseTimes {
+        self.engine.phase_times()
     }
 }
 

@@ -39,7 +39,7 @@ impl PrefetchPolicy for TreeNextLimit {
     }
 
     fn choose_demand_victim(&mut self, cache: &BufferCache) -> Victim {
-        self.engine.demand_victim(cache)
+        self.engine.demand_victim_timed(cache)
     }
 
     fn after_reference(
@@ -69,6 +69,14 @@ impl PrefetchPolicy for TreeNextLimit {
 
     fn note_read_success(&mut self, block: prefetch_trace::BlockId) {
         self.engine.note_read_success(block);
+    }
+
+    fn enable_profiling(&mut self) {
+        self.engine.enable_profiling();
+    }
+
+    fn phase_times(&self) -> prefetch_telemetry::PhaseTimes {
+        self.engine.phase_times()
     }
 }
 

@@ -79,6 +79,9 @@ impl DiskArrayConfig {
 pub struct Completion {
     /// Virtual time at which the data is in memory.
     pub completion_ms: f64,
+    /// Virtual time at which the disk began servicing the read; the gap
+    /// from submission to `start_ms` is the queue delay.
+    pub start_ms: f64,
     /// Disk that served the read.
     pub disk: usize,
     /// Was a slow-episode latency multiplier applied?
@@ -183,6 +186,7 @@ impl DiskArray {
         self.stats.record(d, now_ms, start, completion);
         Ok(Completion {
             completion_ms: completion,
+            start_ms: start,
             disk: d,
             slowed: service_ms > self.config.service_ms,
         })

@@ -6,7 +6,15 @@
 //! pfsim --trace-file mytrace.trc --policy tree --cache 4096 --t-cpu 20
 //! pfsim --trace snake --policy all --cache 1024 --disks 4
 //! pfsim --trace cad --policy tree --cache 1024 --disks 4 --fault-rate 0.05 --fault-seed 7
+//! pfsim --trace cello --policy tree --histograms --profile --log-json run.jsonl
 //! ```
+//!
+//! Telemetry flags: `--histograms` prints per-policy stall, demand-fetch
+//! latency, queue-delay, and prefetch-depth percentile tables;
+//! `--profile` prints a per-phase wall-clock breakdown; `--events-out
+//! PATH` streams every [`prefetch_sim::SimEvent`] as JSONL (all policy
+//! runs append to one file, each terminated by an `end` record);
+//! `--log-json PATH` mirrors the structured run log to a JSONL file.
 //!
 //! `--trace` takes a synthetic workload name (cello|snake|cad|sitar);
 //! `--trace-file` loads a `.trc` (binary) or text trace from disk. Traces
@@ -29,11 +37,16 @@
 //! | 5    | `--deadline-ms` exceeded                                  |
 //! | 6    | lossy trace skipped more records than `--max-skipped`     |
 
-use prefetch_sim::{run_source_guarded, PolicySpec, SimConfig, SweepError};
+use prefetch_sim::{
+    run_source_guarded_with, JsonlEventSink, PolicySpec, QueueDelayObserver, SimConfig,
+    StallHistogramObserver, SweepError,
+};
+use prefetch_telemetry::{log as tlog, Histogram, Phase};
 use prefetch_trace::io::{open_source, FileSource, ReadOptions, TraceIoError};
 use prefetch_trace::synth::{SynthSource, TraceKind};
 use prefetch_trace::{TraceMeta, TraceRecord, TraceSource};
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     trace: TraceInput,
@@ -48,6 +61,10 @@ struct Args {
     lenient: bool,
     deadline_ms: Option<u64>,
     max_skipped: Option<u64>,
+    histograms: bool,
+    profile: bool,
+    events_out: Option<std::path::PathBuf>,
+    log_json: Option<std::path::PathBuf>,
 }
 
 /// Structured exit codes (see the module docs).
@@ -160,6 +177,10 @@ fn parse_args() -> Result<Args, String> {
     let mut lenient = false;
     let mut deadline_ms = None;
     let mut max_skipped = None;
+    let mut histograms = false;
+    let mut profile = false;
+    let mut events_out = None;
+    let mut log_json = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -188,6 +209,10 @@ fn parse_args() -> Result<Args, String> {
             "--max-skipped" => {
                 max_skipped = Some(val()?.parse().map_err(|e| format!("bad --max-skipped: {e}"))?)
             }
+            "--histograms" => histograms = true,
+            "--profile" => profile = true,
+            "--events-out" => events_out = Some(std::path::PathBuf::from(val()?)),
+            "--log-json" => log_json = Some(std::path::PathBuf::from(val()?)),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -206,14 +231,64 @@ fn parse_args() -> Result<Args, String> {
         lenient,
         deadline_ms,
         max_skipped,
+        histograms,
+        profile,
+        events_out,
+        log_json,
     })
 }
 
 fn usage() -> String {
     "usage: pfsim --trace <cello|snake|cad|sitar> | --trace-file <path> [--lenient] \
      [--refs N] [--seed S] [--cache BLOCKS] [--policy NAME|all] [--t-cpu MS] [--disks N] \
-     [--fault-rate P] [--fault-seed S] [--deadline-ms N] [--max-skipped N]"
+     [--fault-rate P] [--fault-seed S] [--deadline-ms N] [--max-skipped N] \
+     [--histograms] [--profile] [--events-out PATH] [--log-json PATH]"
         .to_string()
+}
+
+/// One percentile row of a `--histograms` table. Latency histograms hold
+/// integer microseconds; display converts to milliseconds.
+fn hist_row(label: &str, h: &Histogram, scale_us: bool) {
+    if h.is_empty() {
+        println!("  {label:<18} (no samples)");
+        return;
+    }
+    let f = |v: u64| if scale_us { v as f64 / 1000.0 } else { v as f64 };
+    println!(
+        "  {label:<18} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+        h.count(),
+        f(h.p50()),
+        f(h.p90()),
+        f(h.p99()),
+        f(h.max()),
+        if scale_us { h.mean() / 1000.0 } else { h.mean() },
+    );
+}
+
+fn print_histograms(stalls: &StallHistogramObserver, queues: &QueueDelayObserver) {
+    println!(
+        "  {:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "distribution", "samples", "p50", "p90", "p99", "max", "mean"
+    );
+    hist_row("stall ms", &stalls.stall_us, true);
+    hist_row("demand fetch ms", &stalls.demand_fetch_us, true);
+    hist_row("demand queue ms", &queues.demand_queue_us, true);
+    hist_row("prefetch queue ms", &queues.prefetch_queue_us, true);
+    hist_row("prefetch depth", &stalls.prefetch_depth, false);
+}
+
+fn print_phases(phases: &prefetch_telemetry::PhaseTimes) {
+    let total = phases.total_ns().max(1) as f64;
+    println!("  {:<22} {:>10} {:>7}", "phase", "ms", "%");
+    for phase in Phase::ALL {
+        let ns = phases.get(phase);
+        println!(
+            "  {:<22} {:>10.3} {:>6.1}%",
+            phase.name(),
+            ns as f64 / 1e6,
+            100.0 * ns as f64 / total
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -225,29 +300,51 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &args.log_json {
+        if let Err(e) = tlog::set_json_path(path) {
+            eprintln!("cannot open --log-json {path:?}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+
     let mut source = match &args.trace {
         TraceInput::Synthetic(kind) => StreamInput::Synth(kind.stream(args.refs, args.seed)),
         TraceInput::File(path) => match open_source(path, ReadOptions { strict: !args.lenient }) {
             Ok(f) => StreamInput::File(f),
             Err(e) => {
-                eprintln!("cannot open {path:?}: {e}");
+                tlog::error("trace_open_failed")
+                    .str("path", path.display().to_string())
+                    .str("error", e.to_string())
+                    .emit();
+                tlog::flush();
                 return ExitCode::from(EXIT_TRACE_IO);
             }
         },
     };
-    match source.len_hint() {
-        Some(n) => eprintln!(
-            "trace '{}': {} references (streaming); cache {} blocks",
-            source.meta().name,
-            n,
-            args.cache
-        ),
-        None => eprintln!(
-            "trace '{}': streaming (length unknown until read); cache {} blocks",
-            source.meta().name,
-            args.cache
-        ),
+    {
+        let mut rec = tlog::info("trace_open")
+            .str("trace", source.meta().name.clone())
+            .u64("cache_blocks", args.cache as u64);
+        if let Some(n) = source.len_hint() {
+            rec = rec.u64("refs", n);
+        }
+        rec.emit();
     }
+
+    let mut sink = match &args.events_out {
+        Some(path) => match JsonlEventSink::create(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                tlog::error("events_out_failed")
+                    .str("path", path.display().to_string())
+                    .str("error", e.to_string())
+                    .emit();
+                tlog::flush();
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+        None => None,
+    };
 
     let faults_on = args.fault_rate.is_some_and(|r| r > 0.0);
     if faults_on {
@@ -281,14 +378,26 @@ fn main() -> ExitCode {
         if let Some(r) = args.fault_rate {
             cfg = cfg.with_fault_rate(args.fault_seed, r);
         }
+        if args.profile {
+            cfg = cfg.with_profiling();
+        }
         if let Err(e) = source.rewind() {
-            eprintln!("cannot rewind trace: {e}");
+            tlog::error("trace_rewind_failed").str("error", e.to_string()).emit();
+            tlog::flush();
             return ExitCode::from(EXIT_TRACE_IO);
         }
-        let r = match run_source_guarded(&mut source, &cfg, args.deadline_ms) {
+        let mut stalls = args.histograms.then(StallHistogramObserver::new);
+        let mut queues = args.histograms.then(QueueDelayObserver::new);
+        let mut extra = (stalls.as_mut(), queues.as_mut(), sink.as_mut());
+        let wall = Instant::now();
+        let r = match run_source_guarded_with(&mut source, &cfg, args.deadline_ms, &mut extra) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("{} run failed: {e}", spec.name());
+                tlog::error("run_failed")
+                    .str("policy", spec.name())
+                    .str("error", e.to_string())
+                    .emit();
+                tlog::flush();
                 let code = match e {
                     SweepError::InvalidConfig(_) => EXIT_INVALID_CONFIG,
                     SweepError::DeadlineExceeded { .. } => EXIT_DEADLINE,
@@ -298,19 +407,26 @@ fn main() -> ExitCode {
                 return ExitCode::from(code);
             }
         };
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
         let m = r.metrics;
+        tlog::info("run_complete")
+            .str("policy", spec.name())
+            .u64("refs", m.refs)
+            .f64("miss_pct", 100.0 * m.miss_rate())
+            .f64("wall_ms", wall_ms)
+            .emit();
         if let Some(max) = args.max_skipped {
             if r.skipped_records > max {
-                eprintln!(
-                    "error: trace skipped {} malformed records (limit {max}); metrics \
-                     describe a shorter stream than requested",
-                    r.skipped_records
-                );
+                tlog::error("trace_corrupt")
+                    .u64("skipped_records", r.skipped_records)
+                    .u64("limit", max)
+                    .emit();
+                tlog::flush();
                 return ExitCode::from(EXIT_CORRUPT);
             }
         }
         if !warned_skipped && r.skipped_records > 0 {
-            eprintln!("warning: skipped {} malformed records", r.skipped_records);
+            tlog::warn("trace_lossy").u64("skipped_records", r.skipped_records).emit();
             warned_skipped = true;
         }
         if faults_on {
@@ -337,6 +453,20 @@ fn main() -> ExitCode {
                 m.elapsed_ms / m.refs.max(1) as f64,
             );
         }
+        if let (Some(stalls), Some(queues)) = (&stalls, &queues) {
+            print_histograms(stalls, queues);
+        }
+        if args.profile {
+            print_phases(&r.phases);
+        }
     }
+    if let Some(sink) = sink {
+        if let Err(e) = sink.finish() {
+            tlog::error("events_out_failed").str("error", e.to_string()).emit();
+            tlog::flush();
+            return ExitCode::from(EXIT_TRACE_IO);
+        }
+    }
+    tlog::flush();
     ExitCode::SUCCESS
 }

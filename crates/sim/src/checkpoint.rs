@@ -121,6 +121,9 @@ fn hash_policy(h: &mut Fnv, policy: &PolicySpec) {
     }
 }
 
+// `config.profile` is deliberately NOT hashed: profiling measures wall
+// clock without touching simulated metrics, so a profiled cell must hit
+// the same checkpoint fingerprint as the plain run it restores.
 fn hash_config(h: &mut Fnv, config: &SimConfig) {
     h.usize(config.cache_blocks);
 

@@ -192,6 +192,11 @@ pub struct SimConfig {
     /// Optional deterministic fault injection (requires `disks`). `None`
     /// reproduces the fault-free model bit for bit.
     pub faults: Option<FaultConfig>,
+    /// Collect per-phase wall-clock profiling ([`crate::SimResult::phases`]).
+    /// Off by default: the disabled path costs one branch per probe. The
+    /// flag never changes simulated metrics and is deliberately excluded
+    /// from the checkpoint fingerprint.
+    pub profile: bool,
 }
 
 impl SimConfig {
@@ -204,7 +209,14 @@ impl SimConfig {
             policy,
             disks: None,
             faults: None,
+            profile: false,
         }
+    }
+
+    /// Collect per-phase profiling during the run.
+    pub fn with_profiling(mut self) -> Self {
+        self.profile = true;
+        self
     }
 
     /// Price I/O with a finite disk array of `num_disks` disks (paper-

@@ -36,8 +36,12 @@ pub const RESILIENCE_CACHE: usize = 1024;
 /// when the workload is I/O-bound.
 pub const RESILIENCE_T_CPU: f64 = 5.0;
 
-/// Two reports per trace in `{snake, cad}`: elapsed ms/ref and the
-/// wasted-prefetch fraction, rows = policies, columns = fault rates.
+/// Three reports per trace in `{snake, cad}`: elapsed ms/ref and the
+/// wasted-prefetch fraction (rows = policies, columns = fault rates),
+/// plus a long-format fault-accounting table (one row per policy × rate)
+/// carrying the raw counters — injected faults, retries, give-ups,
+/// quarantined blocks, and the reader's `skipped_records` — that the
+/// summary CSVs previously dropped.
 pub fn resilience(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
     let kinds = [TraceKind::Snake, TraceKind::Cad];
     let policies = PolicySpec::HEADLINE;
@@ -92,6 +96,25 @@ pub fn resilience(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
                  killed by the injector. no-prefetch rows are 0 by construction."
                 .into()],
         };
+        let mut faults = Report::new(
+            format!("resilience-faults-{}", kind.name()),
+            format!("Extension ({}): fault accounting per policy and rate", kind.name()),
+            &[
+                "policy",
+                "rate",
+                "demand_faults",
+                "demand_retries",
+                "demand_read_failures",
+                "prefetch_faults",
+                "blocks_quarantined",
+                "skipped_records",
+            ],
+        );
+        faults.note(
+            "Raw resilience counters, one row per policy x rate. skipped_records counts \
+             malformed trace records the reader dropped (always 0 for synthetic traces); \
+             nonzero means the other columns describe a shorter stream than requested.",
+        );
 
         for &p in &policies {
             let mut elapsed_row = vec![p.name()];
@@ -108,10 +131,30 @@ pub fn resilience(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
                         let m = &c.result.metrics;
                         elapsed_row.push(f3(m.elapsed_ms / m.refs as f64));
                         wasted_row.push(f3(m.wasted_prefetch_frac()));
+                        faults.push_row(vec![
+                            p.name(),
+                            format!("{rate}"),
+                            m.demand_faults.to_string(),
+                            m.demand_retries.to_string(),
+                            m.demand_read_failures.to_string(),
+                            m.prefetch_faults.to_string(),
+                            m.blocks_quarantined.to_string(),
+                            c.result.skipped_records.to_string(),
+                        ]);
                     }
                     None => {
                         elapsed_row.push("NA".into());
                         wasted_row.push("NA".into());
+                        faults.push_row(vec![
+                            p.name(),
+                            format!("{rate}"),
+                            "NA".into(),
+                            "NA".into(),
+                            "NA".into(),
+                            "NA".into(),
+                            "NA".into(),
+                            "NA".into(),
+                        ]);
                     }
                 }
             }
@@ -120,6 +163,7 @@ pub fn resilience(traces: &TraceSet, opts: &ExperimentOpts) -> Vec<Report> {
         }
         out.push(elapsed);
         out.push(wasted);
+        out.push(faults);
     }
     out
 }
@@ -137,14 +181,14 @@ mod tests {
         let opts = ExperimentOpts::quick();
         let ts = TraceSet::generate(&opts);
         let rs = resilience(&ts, &opts);
-        assert_eq!(rs.len(), 4); // (elapsed, wasted) × (snake, cad)
-        for r in &rs {
+        assert_eq!(rs.len(), 6); // (elapsed, wasted, faults) × (snake, cad)
+        for r in rs.iter().filter(|r| !r.id.contains("faults")) {
             assert_eq!(r.rows.len(), 4); // headline policies
             assert_eq!(r.columns.len(), FAULT_RATES.len() + 1);
         }
         // Faults cost time: for every policy the highest fault rate is
         // no faster than the fault-free baseline.
-        for r in rs.iter().filter(|r| !r.id.contains("wasted")) {
+        for r in rs.iter().filter(|r| !r.id.contains("wasted") && !r.id.contains("faults")) {
             for row in &r.rows {
                 let base: f64 = row[1].parse().unwrap();
                 let worst: f64 = row[FAULT_RATES.len()].parse().unwrap();
@@ -155,6 +199,46 @@ mod tests {
                     row[0]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn fault_counters_reach_the_csv() {
+        // Regression: skipped_records and the fault counters used to be
+        // dropped between SimResult and the figures CSV. The accounting
+        // report must carry them, and the CSV header must name them.
+        let opts = ExperimentOpts::quick();
+        let ts = TraceSet::generate(&opts);
+        let rs = resilience(&ts, &opts);
+        let faults: Vec<_> = rs.iter().filter(|r| r.id.contains("faults")).collect();
+        assert_eq!(faults.len(), 2);
+        for r in &faults {
+            assert_eq!(r.rows.len(), 4 * FAULT_RATES.len()); // policy × rate
+            let csv = r.to_csv();
+            for col in [
+                "demand_faults",
+                "demand_retries",
+                "demand_read_failures",
+                "prefetch_faults",
+                "blocks_quarantined",
+                "skipped_records",
+            ] {
+                assert!(csv.lines().next().unwrap().contains(col), "{}: missing {col}", r.id);
+            }
+            // Fault-free rows report zero faults; the highest rate must
+            // report some. Synthetic traces never skip records.
+            for row in &r.rows {
+                assert_eq!(row.last().unwrap(), "0", "synthetic trace skipped records");
+                if row[1] == "0" {
+                    assert_eq!(row[2], "0", "{}: faults at rate 0", r.id);
+                }
+            }
+            let worst_has_faults = r
+                .rows
+                .iter()
+                .filter(|row| row[1] == format!("{}", FAULT_RATES[FAULT_RATES.len() - 1]))
+                .any(|row| row[2].parse::<u64>().unwrap() > 0);
+            assert!(worst_has_faults, "{}: no faults recorded at the top rate", r.id);
         }
     }
 }

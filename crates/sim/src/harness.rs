@@ -26,10 +26,11 @@
 use crate::checkpoint::{cell_fingerprint, CheckpointError, CheckpointJournal, JournalEntry};
 use crate::config::{SimConfig, SimConfigError};
 use crate::metrics::SimMetrics;
-use crate::observer::{SimEvent, SimObserver};
+use crate::observer::{NullObserver, SimEvent, SimObserver};
 use crate::runner::SimResult;
 use crate::simulator::Simulator;
 use crate::sweep::SweepCell;
+use prefetch_telemetry::{log as tlog, PhaseTimes};
 use prefetch_trace::{Trace, TraceSource};
 use rayon::prelude::*;
 use std::any::Any;
@@ -222,6 +223,11 @@ struct SweepLogInner {
     summary: SweepSummary,
     failures: Vec<FailureRecord>,
     notes: Vec<String>,
+    /// References simulated by freshly-run Ok cells (restored cells did
+    /// no work, so they are excluded — this is a *throughput* counter).
+    refs_simulated: u64,
+    /// Per-phase profile summed over freshly-run Ok cells.
+    phases: PhaseTimes,
 }
 
 /// Shared, thread-safe log that accumulates sweep outcomes across the
@@ -252,7 +258,11 @@ impl SweepLog {
             inner.summary.retries += u64::from(cell.attempts.saturating_sub(1));
             match &cell.status {
                 CellStatus::Ok(_) if cell.restored => inner.summary.restored += 1,
-                CellStatus::Ok(_) => inner.summary.ok += 1,
+                CellStatus::Ok(r) => {
+                    inner.summary.ok += 1;
+                    inner.refs_simulated += r.metrics.refs;
+                    inner.phases.merge(&r.phases);
+                }
                 CellStatus::Failed { error } => {
                     inner.summary.failed += 1;
                     let record = describe(error.to_string());
@@ -296,6 +306,18 @@ impl SweepLog {
     pub fn has_failures(&self) -> bool {
         self.inner.lock().unwrap().summary.incomplete() > 0
     }
+
+    /// References simulated by freshly-run Ok cells (restored cells
+    /// excluded), for throughput reporting.
+    pub fn refs_simulated(&self) -> u64 {
+        self.inner.lock().unwrap().refs_simulated
+    }
+
+    /// Per-phase profile summed over freshly-run Ok cells (all zero
+    /// unless [`HarnessOpts::profile`] was set).
+    pub fn phases(&self) -> PhaseTimes {
+        self.inner.lock().unwrap().phases
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -321,6 +343,11 @@ pub struct HarnessOpts {
     pub flush_every: usize,
     /// Shared outcome log (cloned handles append to the same log).
     pub log: Arc<SweepLog>,
+    /// Collect per-phase profiling for every freshly-run cell. The cell
+    /// runs under a profiled *copy* of its config while the reported
+    /// [`SimResult::config`] (and the checkpoint fingerprint) stay the
+    /// caller's — config-equality lookups are unaffected.
+    pub profile: bool,
 }
 
 impl Default for HarnessOpts {
@@ -332,6 +359,7 @@ impl Default for HarnessOpts {
             backoff_base_ms: 25,
             flush_every: 16,
             log: Arc::new(SweepLog::default()),
+            profile: false,
         }
     }
 }
@@ -462,14 +490,26 @@ pub fn run_source_guarded<S: TraceSource>(
     config: &SimConfig,
     deadline_ms: Option<u64>,
 ) -> Result<SimResult, SweepError> {
+    run_source_guarded_with(source, config, deadline_ms, &mut NullObserver)
+}
+
+/// [`run_source_guarded`] with an extra observer spliced into the event
+/// stream (after metrics and the deadline guard), so front ends can
+/// attach histograms or an event sink without giving up the guard rails.
+pub fn run_source_guarded_with<S: TraceSource>(
+    source: &mut S,
+    config: &SimConfig,
+    deadline_ms: Option<u64>,
+    extra: &mut dyn SimObserver,
+) -> Result<SimResult, SweepError> {
     config.validate().map_err(SweepError::InvalidConfig)?;
     let io_error: Mutex<Option<String>> = Mutex::new(None);
-    let metrics = quiet_catch(|| {
-        let mut obs = (SimMetrics::default(), DeadlineGuard::new(deadline_ms));
+    let run = quiet_catch(|| {
+        let mut obs = (SimMetrics::default(), DeadlineGuard::new(deadline_ms), extra);
         match Simulator::run(&mut *source, config, &mut obs) {
-            Ok(()) => {
+            Ok(phases) => {
                 obs.0.check_invariants();
-                Some(obs.0)
+                Some((obs.0, phases))
             }
             Err(e) => {
                 *io_error.lock().unwrap() = Some(e.to_string());
@@ -477,12 +517,13 @@ pub fn run_source_guarded<S: TraceSource>(
             }
         }
     })?;
-    match metrics {
-        Some(metrics) => Ok(SimResult {
+    match run {
+        Some((metrics, phases)) => Ok(SimResult {
             config: *config,
             trace: Arc::from(source.meta().name.as_str()),
             metrics,
             skipped_records: source.skipped(),
+            phases,
         }),
         None => {
             let message = io_error.lock().unwrap().take().unwrap_or_default();
@@ -495,22 +536,32 @@ fn attempt_cell(
     trace: &Trace,
     name: &Arc<str>,
     config: &SimConfig,
+    fingerprint: u64,
     opts: &HarnessOpts,
 ) -> (Result<SimResult, SweepError>, u32) {
+    // Profile under a *copy* so the reported config (and with it every
+    // config-equality lookup and checkpoint fingerprint) is the caller's.
+    let run_config = if opts.profile { SimConfig { profile: true, ..*config } } else { *config };
     let mut attempt = 0;
     loop {
         attempt += 1;
         let outcome = quiet_catch(|| {
             let mut source = trace.source();
             let mut obs = (SimMetrics::default(), DeadlineGuard::new(opts.deadline_ms));
-            Simulator::run(&mut source, config, &mut obs).expect("in-memory sources cannot fail");
+            let phases = Simulator::run(&mut source, &run_config, &mut obs)
+                .expect("in-memory sources cannot fail");
             obs.0.check_invariants();
-            obs.0
+            (obs.0, phases)
         });
         match outcome {
-            Ok(metrics) => {
-                let result =
-                    SimResult { config: *config, trace: name.clone(), metrics, skipped_records: 0 };
+            Ok((metrics, phases)) => {
+                let result = SimResult {
+                    config: *config,
+                    trace: name.clone(),
+                    metrics,
+                    skipped_records: 0,
+                    phases,
+                };
                 return (Ok(result), attempt);
             }
             Err(error) => {
@@ -521,8 +572,49 @@ fn attempt_cell(
                 // deterministic, but the deadline races the machine's
                 // load, so give the machine a breather before retrying.
                 let backoff = opts.backoff_base_ms.saturating_mul(1 << (attempt - 1).min(16));
+                tlog::warn("cell_retry")
+                    .str("fp", format!("{fingerprint:016x}"))
+                    .u64("attempt", u64::from(attempt))
+                    .u64("backoff_ms", backoff)
+                    .str("error", error.to_string())
+                    .emit();
                 std::thread::sleep(Duration::from_millis(backoff));
             }
+        }
+    }
+}
+
+/// Render one cell's terminal state as a structured log record — the
+/// JSONL schema downstream parsers grep for (`cell_ok`, `cell_failed`,
+/// `cell_timeout`, `cell_skipped`), pinned by the golden-file test.
+pub fn cell_status_record(
+    fingerprint: u64,
+    trace: &str,
+    status: &CellStatus,
+    attempts: u32,
+    restored: bool,
+) -> tlog::Record {
+    let fp = format!("{fingerprint:016x}");
+    match status {
+        CellStatus::Ok(result) => tlog::debug("cell_ok")
+            .str("fp", fp)
+            .str("trace", trace)
+            .u64("attempts", u64::from(attempts))
+            .bool("restored", restored)
+            .u64("refs", result.metrics.refs)
+            .f64("elapsed_ms", result.metrics.elapsed_ms),
+        CellStatus::Failed { error } => tlog::error("cell_failed")
+            .str("fp", fp)
+            .str("trace", trace)
+            .u64("attempts", u64::from(attempts))
+            .str("error", error.to_string()),
+        CellStatus::TimedOut { limit_ms } => tlog::warn("cell_timeout")
+            .str("fp", fp)
+            .str("trace", trace)
+            .u64("attempts", u64::from(attempts))
+            .u64("limit_ms", *limit_ms),
+        CellStatus::Skipped { reason } => {
+            tlog::warn("cell_skipped").str("fp", fp).str("trace", trace).str("reason", reason)
         }
     }
 }
@@ -541,11 +633,20 @@ pub fn run_cells_checkpointed(
         return Err(SweepError::BadTraceIndex { index, traces: traces.len() });
     }
     let names: Vec<Arc<str>> = traces.iter().map(|t| Arc::from(t.meta().name.as_str())).collect();
+    tlog::debug("sweep_start")
+        .u64("cells", cells.len() as u64)
+        .u64("traces", traces.len() as u64)
+        .bool("checkpointed", opts.checkpoint_dir.is_some())
+        .emit();
 
     let journal = opts.checkpoint_dir.as_deref().and_then(|dir| {
         match CheckpointJournal::open(dir, opts.flush_every) {
             Ok(journal) => {
                 if journal.loaded() > 0 {
+                    tlog::debug("checkpoint_resume")
+                        .str("path", journal.path().display().to_string())
+                        .u64("cells", journal.loaded() as u64)
+                        .emit();
                     opts.log.note(format!(
                         "resumed from {} with {} journaled cells",
                         journal.path().display(),
@@ -557,6 +658,7 @@ pub fn run_cells_checkpointed(
             Err(e) => {
                 // Graceful degradation: a broken journal must not cost the
                 // sweep — run uncheckpointed and say so.
+                tlog::warn("checkpoint_disabled").str("error", e.to_string()).emit();
                 opts.log.note(format!("checkpointing disabled: {e}"));
                 None
             }
@@ -571,41 +673,38 @@ pub fn run_cells_checkpointed(
         .into_par_iter()
         .map(|i| {
             let (trace_index, config) = cells[i];
-            if let Some(entry) = journal.as_ref().and_then(|j| j.lookup(fingerprints[i])) {
+            let fp = fingerprints[i];
+            let name = &names[trace_index];
+            if let Some(entry) = journal.as_ref().and_then(|j| j.lookup(fp)) {
                 let result = SimResult {
                     config,
-                    trace: names[trace_index].clone(),
+                    trace: name.clone(),
                     metrics: entry.metrics,
                     skipped_records: entry.skipped_records,
+                    phases: PhaseTimes::default(),
                 };
-                return CellOutcome {
-                    trace_index,
-                    config,
-                    status: CellStatus::Ok(Box::new(result)),
-                    attempts: 0,
-                    restored: true,
-                };
+                let status = CellStatus::Ok(Box::new(result));
+                cell_status_record(fp, name, &status, 0, true).emit();
+                return CellOutcome { trace_index, config, status, attempts: 0, restored: true };
             }
             if let Err(e) = config.validate() {
-                return CellOutcome {
-                    trace_index,
-                    config,
-                    status: CellStatus::Skipped { reason: e.to_string() },
-                    attempts: 0,
-                    restored: false,
-                };
+                let status = CellStatus::Skipped { reason: e.to_string() };
+                cell_status_record(fp, name, &status, 0, false).emit();
+                return CellOutcome { trace_index, config, status, attempts: 0, restored: false };
             }
-            let (outcome, attempts) =
-                attempt_cell(&traces[trace_index], &names[trace_index], &config, opts);
+            let (outcome, attempts) = attempt_cell(&traces[trace_index], name, &config, fp, opts);
             let status = match outcome {
                 Ok(result) => {
                     if let Some(j) = &journal {
                         let entry = JournalEntry {
-                            trace: names[trace_index].to_string(),
+                            trace: name.to_string(),
                             skipped_records: result.skipped_records,
                             metrics: result.metrics,
                         };
-                        if let Err(e) = j.record(fingerprints[i], entry) {
+                        if let Err(e) = j.record(fp, entry) {
+                            tlog::warn("checkpoint_write_failed")
+                                .str("error", e.to_string())
+                                .emit();
                             opts.log.note(format!("checkpoint write failed: {e}"));
                         }
                     }
@@ -614,12 +713,14 @@ pub fn run_cells_checkpointed(
                 Err(SweepError::DeadlineExceeded { limit_ms }) => CellStatus::TimedOut { limit_ms },
                 Err(error) => CellStatus::Failed { error },
             };
+            cell_status_record(fp, name, &status, attempts, false).emit();
             CellOutcome { trace_index, config, status, attempts, restored: false }
         })
         .collect();
 
     if let Some(j) = &journal {
         if let Err(e) = j.flush() {
+            tlog::warn("checkpoint_flush_failed").str("error", e.to_string()).emit();
             opts.log.note(format!("checkpoint flush failed: {e}"));
         }
     }

@@ -100,6 +100,7 @@ impl IoSubsystem {
     ) -> DemandFetch {
         match self {
             IoSubsystem::Infinite => {
+                emit(SimEvent::DiskRead { period, block, prefetch: false, queue_ms: 0.0 });
                 DemandFetch { stall_ms: p.t_driver + p.t_disk, read_succeeded: true }
             }
             IoSubsystem::Finite(io) => {
@@ -111,6 +112,12 @@ impl IoSubsystem {
                     match io.array.submit(block, submit_at) {
                         Ok(c) => {
                             read_succeeded = true;
+                            emit(SimEvent::DiskRead {
+                                period,
+                                block,
+                                prefetch: false,
+                                queue_ms: c.start_ms - submit_at,
+                            });
                             break c.completion_ms;
                         }
                         Err(fault) => {
@@ -174,24 +181,41 @@ impl IoSubsystem {
     /// one `t_driver` after the previous (initiation order). Blocks whose
     /// submission faulted are appended to `faulted` for the caller to
     /// release and (maybe) quarantine — a faulted prefetch is a priced
-    /// mispredict: no retries compete with demand traffic.
+    /// mispredict: no retries compete with demand traffic. Successful
+    /// submissions are narrated through `emit` as prefetch
+    /// [`SimEvent::DiskRead`]s.
     pub fn submit_prefetches(
         &mut self,
         blocks: &[BlockId],
+        period: u64,
         now_ms: f64,
         t_driver: f64,
         faulted: &mut Vec<BlockId>,
+        emit: &mut dyn FnMut(SimEvent<'_>),
     ) {
-        if let IoSubsystem::Finite(io) = self {
-            for (j, &b) in blocks.iter().enumerate() {
-                let issue = now_ms + (j + 1) as f64 * t_driver;
-                match io.array.submit(b, issue) {
-                    Ok(c) => {
-                        io.prefetch_completion.insert(b.0, c.completion_ms);
-                    }
-                    Err(_) => {
-                        io.prefetch_completion.remove(&b.0);
-                        faulted.push(b);
+        match self {
+            IoSubsystem::Infinite => {
+                for &b in blocks {
+                    emit(SimEvent::DiskRead { period, block: b, prefetch: true, queue_ms: 0.0 });
+                }
+            }
+            IoSubsystem::Finite(io) => {
+                for (j, &b) in blocks.iter().enumerate() {
+                    let issue = now_ms + (j + 1) as f64 * t_driver;
+                    match io.array.submit(b, issue) {
+                        Ok(c) => {
+                            io.prefetch_completion.insert(b.0, c.completion_ms);
+                            emit(SimEvent::DiskRead {
+                                period,
+                                block: b,
+                                prefetch: true,
+                                queue_ms: c.start_ms - issue,
+                            });
+                        }
+                        Err(_) => {
+                            io.prefetch_completion.remove(&b.0);
+                            faulted.push(b);
+                        }
                     }
                 }
             }
@@ -227,10 +251,15 @@ mod tests {
         assert!(!io.faults_active());
         let clock = VirtualClock::new(512);
         let mut events = 0usize;
-        let f = io.demand_fetch(BlockId(1), 0, &clock, &cfg.params, &mut |_| events += 1);
+        let f = io.demand_fetch(BlockId(1), 0, &clock, &cfg.params, &mut |e| {
+            assert!(
+                matches!(e, SimEvent::DiskRead { prefetch: false, queue_ms, .. } if queue_ms == 0.0)
+            );
+            events += 1;
+        });
         assert!((f.stall_ms - (cfg.params.t_driver + cfg.params.t_disk)).abs() < 1e-12);
         assert!(f.read_succeeded);
-        assert_eq!(events, 0);
+        assert_eq!(events, 1, "the successful read is narrated");
         assert!(io.summary().is_none());
     }
 
@@ -255,8 +284,20 @@ mod tests {
         let mut io = IoSubsystem::from_config(&cfg);
         let clock = VirtualClock::new(512);
         let mut faulted = Vec::new();
-        io.submit_prefetches(&[BlockId(7)], clock.now(), cfg.params.t_driver, &mut faulted);
+        let mut reads = 0usize;
+        io.submit_prefetches(
+            &[BlockId(7)],
+            0,
+            clock.now(),
+            cfg.params.t_driver,
+            &mut faulted,
+            &mut |e| {
+                assert!(matches!(e, SimEvent::DiskRead { prefetch: true, .. }));
+                reads += 1;
+            },
+        );
         assert!(faulted.is_empty());
+        assert_eq!(reads, 1);
         let first = io.prefetch_hit_stall(BlockId(7), 0, &clock, &cfg.params);
         assert!(first > 0.0, "outstanding prefetch must stall");
         // Consumed: a second lookup finds nothing outstanding.

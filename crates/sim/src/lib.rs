@@ -24,6 +24,7 @@ pub mod clock;
 pub mod config;
 pub mod experiments;
 pub mod harness;
+pub mod instrument;
 pub mod io_subsystem;
 pub mod metrics;
 pub mod observer;
@@ -36,9 +37,11 @@ pub use checkpoint::{cell_fingerprint, CheckpointError, CheckpointJournal, Journ
 pub use clock::VirtualClock;
 pub use config::{FaultConfig, PolicySpec, SimConfig, SimConfigError};
 pub use harness::{
-    run_cells_checkpointed, run_grid_checkpointed, run_source_guarded, CellOutcome, CellStatus,
-    DeadlineGuard, HarnessOpts, SweepError, SweepLog, SweepRun, SweepSummary,
+    cell_status_record, run_cells_checkpointed, run_grid_checkpointed, run_source_guarded,
+    run_source_guarded_with, CellOutcome, CellStatus, DeadlineGuard, HarnessOpts, SweepError,
+    SweepLog, SweepRun, SweepSummary,
 };
+pub use instrument::{JsonlEventSink, QueueDelayObserver, StallHistogramObserver};
 pub use io_subsystem::IoSubsystem;
 pub use metrics::SimMetrics;
 pub use observer::{DiskSummary, NullObserver, SimEvent, SimObserver};

@@ -27,10 +27,12 @@ pub struct DiskSummary {
 /// One step of a simulation run, in emission order:
 ///
 /// per reference — zero or more [`SimEvent::DemandFault`] (one per faulted
-/// attempt), at most one [`SimEvent::DemandGiveUp`], then
+/// attempt), at most one [`SimEvent::DemandGiveUp`], at most one demand
+/// [`SimEvent::DiskRead`] (miss path, successful read), then
 /// [`SimEvent::Reference`], then [`SimEvent::Period`] (the policy's
-/// activity), then zero or more [`SimEvent::PrefetchFault`]s; finally one
-/// [`SimEvent::End`].
+/// activity), then zero or more prefetch [`SimEvent::DiskRead`]s (one per
+/// submitted prefetch) interleaved before zero or more
+/// [`SimEvent::PrefetchFault`]s; finally one [`SimEvent::End`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum SimEvent<'a> {
     /// A reference was served.
@@ -85,6 +87,21 @@ pub enum SimEvent<'a> {
         /// quarantine threshold.
         quarantined: bool,
     },
+    /// A disk read was successfully submitted and priced. Emitted for
+    /// both demand fetches (miss path) and prefetch submissions, on the
+    /// infinite disk (queue delay 0) and finite arrays alike — the
+    /// telemetry observers build queue-delay histograms from it.
+    DiskRead {
+        /// Access period that caused the read.
+        period: u64,
+        /// The block read.
+        block: BlockId,
+        /// `true` for a prefetch submission, `false` for a demand fetch.
+        prefetch: bool,
+        /// Time the request waited behind earlier I/O before its disk
+        /// started servicing it (ms).
+        queue_ms: f64,
+    },
     /// The policy finished an access period; `activity` is what it did.
     Period {
         /// The access period just completed.
@@ -117,13 +134,43 @@ impl SimObserver for NullObserver {
     fn on_event(&mut self, _event: &SimEvent<'_>) {}
 }
 
-/// Forward events to two observers in order.
-impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+/// A mutable reference observes on behalf of its target, so observers can
+/// be composed without moving them (e.g. `&mut dyn SimObserver`).
+impl<T: SimObserver + ?Sized> SimObserver for &mut T {
     fn on_event(&mut self, event: &SimEvent<'_>) {
-        self.0.on_event(event);
-        self.1.on_event(event);
+        (**self).on_event(event);
     }
 }
+
+/// `None` discards events, `Some` forwards — optional instrumentation
+/// composes into tuples without boxing.
+impl<T: SimObserver> SimObserver for Option<T> {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        if let Some(obs) = self {
+            obs.on_event(event);
+        }
+    }
+}
+
+/// Forward events to every member of a tuple, leftmost first, so metrics +
+/// histograms + an event sink can run in one pass. Fan-out order within a
+/// tuple matches the documented [`SimEvent`] emission order trivially:
+/// each member sees the full stream in order.
+macro_rules! impl_observer_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: SimObserver),+> SimObserver for ($($name,)+) {
+            fn on_event(&mut self, event: &SimEvent<'_>) {
+                $(self.$idx.on_event(event);)+
+            }
+        }
+    };
+}
+
+impl_observer_tuple!(A: 0, B: 1);
+impl_observer_tuple!(A: 0, B: 1, C: 2);
+impl_observer_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_observer_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_observer_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
 impl SimObserver for SimMetrics {
     fn on_event(&mut self, event: &SimEvent<'_>) {
@@ -148,6 +195,11 @@ impl SimObserver for SimMetrics {
                 }
             }
             SimEvent::DemandGiveUp { .. } => self.demand_read_failures += 1,
+            // Queue delay is already folded into stalls and the disk
+            // summary; the scalar metrics ignore the per-read event (the
+            // histogram observers consume it), keeping instrumented runs
+            // bit-identical.
+            SimEvent::DiskRead { .. } => {}
             SimEvent::PrefetchFault { quarantined, .. } => {
                 self.prefetch_faults += 1;
                 if quarantined {
@@ -253,5 +305,42 @@ mod tests {
         pair.on_event(&SimEvent::End { elapsed_ms: 7.0, disk: None });
         assert_eq!(pair.0.elapsed_ms, 7.0);
         assert_eq!(pair.1.elapsed_ms, 7.0);
+    }
+
+    #[test]
+    fn wide_tuples_and_adapters_fan_out() {
+        let mut four = (
+            SimMetrics::default(),
+            NullObserver,
+            Some(SimMetrics::default()),
+            SimMetrics::default(),
+        );
+        four.on_event(&SimEvent::End { elapsed_ms: 3.0, disk: None });
+        assert_eq!(four.0.elapsed_ms, 3.0);
+        assert_eq!(four.2.as_ref().unwrap().elapsed_ms, 3.0);
+        assert_eq!(four.3.elapsed_ms, 3.0);
+        // None discards; &mut forwards.
+        let mut none: Option<SimMetrics> = None;
+        none.on_event(&SimEvent::End { elapsed_ms: 3.0, disk: None });
+        assert!(none.is_none());
+        let mut m = SimMetrics::default();
+        let mut by_ref = &mut m;
+        <&mut SimMetrics as SimObserver>::on_event(
+            &mut by_ref,
+            &SimEvent::End { elapsed_ms: 9.0, disk: None },
+        );
+        assert_eq!(m.elapsed_ms, 9.0);
+    }
+
+    #[test]
+    fn metrics_ignore_disk_read_events() {
+        let mut m = SimMetrics::default();
+        m.on_event(&SimEvent::DiskRead {
+            period: 0,
+            block: BlockId(1),
+            prefetch: false,
+            queue_ms: 4.0,
+        });
+        assert_eq!(m, SimMetrics::default());
     }
 }

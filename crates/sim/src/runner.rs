@@ -8,6 +8,7 @@
 use crate::config::SimConfig;
 use crate::metrics::SimMetrics;
 use crate::simulator::Simulator;
+use prefetch_telemetry::PhaseTimes;
 use prefetch_trace::io::TraceIoError;
 use prefetch_trace::{Trace, TraceSource};
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,10 @@ pub struct SimResult {
     /// only; always zero for in-memory and synthetic traces). Nonzero
     /// means the metrics describe a *shorter* stream than the file holds.
     pub skipped_records: u64,
+    /// Wall-clock profile of the run's five phases (all zero unless
+    /// `config.profile` — or the harness's profiling flag — was set).
+    /// Real time, not virtual: excluded from metric comparisons.
+    pub phases: PhaseTimes,
 }
 
 /// Run `trace` under `config` and collect metrics.
@@ -39,9 +44,10 @@ pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimResult {
 pub fn run_simulation_named(trace: &Trace, name: Arc<str>, config: &SimConfig) -> SimResult {
     let mut source = trace.source();
     let mut metrics = SimMetrics::default();
-    Simulator::run(&mut source, config, &mut metrics).expect("in-memory sources cannot fail");
+    let phases =
+        Simulator::run(&mut source, config, &mut metrics).expect("in-memory sources cannot fail");
     metrics.check_invariants();
-    SimResult { config: *config, trace: name, metrics, skipped_records: 0 }
+    SimResult { config: *config, trace: name, metrics, skipped_records: 0, phases }
 }
 
 /// Run a streaming source under `config`. The source is consumed to its
@@ -52,7 +58,7 @@ pub fn run_source<S: TraceSource>(
     config: &SimConfig,
 ) -> Result<SimResult, TraceIoError> {
     let mut metrics = SimMetrics::default();
-    Simulator::run(source, config, &mut metrics)?;
+    let phases = Simulator::run(source, config, &mut metrics)?;
     metrics.check_invariants();
     // Read the name after the run: file sources may refine their metadata
     // while streaming.
@@ -61,6 +67,7 @@ pub fn run_source<S: TraceSource>(
         trace: Arc::from(source.meta().name.as_str()),
         metrics,
         skipped_records: source.skipped(),
+        phases,
     })
 }
 

@@ -17,6 +17,7 @@ use crate::observer::{SimEvent, SimObserver};
 use prefetch_cache::buffer_cache::RefOutcome;
 use prefetch_cache::BufferCache;
 use prefetch_core::policy::{apply_victim, PeriodActivity, PrefetchPolicy, RefContext, RefKind};
+use prefetch_telemetry::{Phase, PhaseTimer, PhaseTimes};
 use prefetch_trace::io::TraceIoError;
 use prefetch_trace::{BlockId, TraceRecord, TraceSource};
 
@@ -31,6 +32,9 @@ pub struct Simulator {
     period: u64,
     act: PeriodActivity,
     faulted: Vec<BlockId>,
+    /// Simulator-side phase probes (cache ops, I/O submission); the
+    /// policy's engine keeps its own timer for the predictor phases.
+    timer: PhaseTimer,
 }
 
 impl Simulator {
@@ -40,14 +44,19 @@ impl Simulator {
     /// Panics on an invalid configuration; front ends must run
     /// [`SimConfig::validate`] first.
     pub fn new(config: &SimConfig) -> Self {
+        let mut policy = config.policy.build(config.params, config.engine);
+        if config.profile {
+            policy.enable_profiling();
+        }
         Simulator {
-            policy: config.policy.build(config.params, config.engine),
+            policy,
             cache: BufferCache::new(config.cache_blocks),
             clock: VirtualClock::for_run(config.cache_blocks, config.engine.max_per_period),
             io: IoSubsystem::from_config(config),
             period: 0,
             act: PeriodActivity::default(),
             faulted: Vec::new(),
+            timer: PhaseTimer::new(config.profile),
             config: *config,
         }
     }
@@ -78,7 +87,10 @@ impl Simulator {
         let p = &self.config.params;
 
         let mut evicted_prefetch = false;
-        let (kind, stall_ms) = match self.cache.reference(rec.block) {
+        let tok = self.timer.begin();
+        let outcome = self.cache.reference(rec.block);
+        self.timer.end(Phase::CacheOps, tok);
+        let (kind, stall_ms) = match outcome {
             RefOutcome::DemandHit => (RefKind::DemandHit, 0.0),
             RefOutcome::PrefetchHit(meta) => {
                 // Stall for whatever part of the prefetch I/O has not yet
@@ -88,15 +100,23 @@ impl Simulator {
             }
             RefOutcome::Miss => {
                 if self.cache.is_full() {
+                    // Victim *choice* is the policy's cost-benefit work
+                    // (charged by its own timer); applying it is ours.
                     let victim = self.policy.choose_demand_victim(&self.cache);
+                    let tok = self.timer.begin();
                     if apply_victim(victim, &mut self.cache) {
                         evicted_prefetch = true;
                     }
+                    self.timer.end(Phase::CacheOps, tok);
                 }
+                let tok = self.timer.begin();
                 self.cache.insert_demand(rec.block);
+                self.timer.end(Phase::CacheOps, tok);
+                let tok = self.timer.begin();
                 let fetch = self
                     .io
                     .demand_fetch(rec.block, period, &self.clock, p, &mut |e| obs.on_event(&e));
+                self.timer.end(Phase::IoSubmission, tok);
                 if fetch.read_succeeded && self.io.faults_active() {
                     self.policy.note_read_success(rec.block);
                 }
@@ -127,12 +147,16 @@ impl Simulator {
         // quarantined by the policy so the Section 7 loop stops
         // re-issuing them.
         self.faulted.clear();
+        let tok = self.timer.begin();
         self.io.submit_prefetches(
             &self.act.prefetched_blocks,
+            period,
             self.clock.now(),
             p.t_driver,
             &mut self.faulted,
+            &mut |e| obs.on_event(&e),
         );
+        self.timer.end(Phase::IoSubmission, tok);
         for i in 0..self.faulted.len() {
             let b = self.faulted[i];
             self.cache.cancel_prefetch(b);
@@ -150,15 +174,24 @@ impl Simulator {
     }
 
     /// End the run: emits [`SimEvent::End`] with the elapsed virtual time
-    /// and the disk summary.
-    pub fn finish<O: SimObserver + ?Sized>(self, obs: &mut O) {
+    /// and the disk summary, and returns the per-phase profile (all zero
+    /// unless the config enabled profiling).
+    pub fn finish<O: SimObserver + ?Sized>(self, obs: &mut O) -> PhaseTimes {
         obs.on_event(&SimEvent::End { elapsed_ms: self.clock.now(), disk: self.io.summary() });
+        let mut times = self.timer.times();
+        times.merge(&self.policy.phase_times());
+        times
     }
 
-    /// Drive a whole [`TraceSource`] through a run, narrating to `obs`.
+    /// Drive a whole [`TraceSource`] through a run, narrating to `obs`;
+    /// returns the per-phase profile (zero without `config.profile`).
     /// Buffers exactly one record of lookahead (for the oracle's
     /// `next_block`); memory use is the source's, independent of length.
-    pub fn run<S, O>(source: &mut S, config: &SimConfig, obs: &mut O) -> Result<(), TraceIoError>
+    pub fn run<S, O>(
+        source: &mut S,
+        config: &SimConfig,
+        obs: &mut O,
+    ) -> Result<PhaseTimes, TraceIoError>
     where
         S: TraceSource,
         O: SimObserver + ?Sized,
@@ -170,8 +203,7 @@ impl Simulator {
             sim.step(rec, next.map(|r| r.block), obs);
             pending = next;
         }
-        sim.finish(obs);
-        Ok(())
+        Ok(sim.finish(obs))
     }
 }
 
@@ -208,6 +240,22 @@ mod tests {
         cfg.validate().unwrap();
         let mut source = trace.source();
         Simulator::run(&mut source, &cfg, &mut NullObserver).unwrap();
+    }
+
+    #[test]
+    fn profiling_reports_phases_without_changing_metrics() {
+        let trace = TraceKind::Snake.generate(2000, 5);
+        let plain = SimConfig::new(128, PolicySpec::TreeNextLimit);
+        let profiled = SimConfig { profile: true, ..plain };
+        let mut m1 = SimMetrics::default();
+        let mut m2 = SimMetrics::default();
+        let t1 = Simulator::run(&mut trace.source(), &plain, &mut m1).unwrap();
+        let t2 = Simulator::run(&mut trace.source(), &profiled, &mut m2).unwrap();
+        assert_eq!(m1, m2, "profiling must not perturb simulated metrics");
+        assert!(t1.is_zero(), "NullTelemetry path must not accumulate time");
+        assert!(!t2.is_zero(), "profiled run must report phase times");
+        assert!(t2.get(prefetch_telemetry::Phase::TreeUpdate) > 0);
+        assert!(t2.get(prefetch_telemetry::Phase::CacheOps) > 0);
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Log-scaled fixed-bucket histogram.
+//!
+//! Values are unitless `u64`s; callers pick the tick (the simulator
+//! records latencies as rounded integer microseconds). Buckets are
+//! organized as octaves of 16 linear sub-buckets: values below 16 get
+//! exact buckets, and every larger value lands in a bucket whose width is
+//! 1/16 of its lower bound, so the relative quantization error is at most
+//! 6.25% at any magnitude. The layout is fixed (976 buckets, ~8 KB), which
+//! makes histograms mergeable by plain element-wise addition — shard
+//! locally, merge globally, and the result is bit-identical to histogram
+//! of the concatenated samples.
+
+/// Linear sub-buckets per octave, as a power of two.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS; // 16
+
+/// Total buckets: 16 exact low buckets plus 60 octaves × 16 sub-buckets
+/// (the top octave covers values up to `u64::MAX`).
+pub const BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUB as usize;
+
+/// Serialization format version (first word of [`Histogram::to_words`]).
+pub const HISTOGRAM_VERSION: u64 = 1;
+
+/// Bucket index of a value. Monotone in `v`; exact below 16.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (((msb - SUB_BITS + 1) as u64 * SUB) + ((v >> shift) - SUB)) as usize
+    }
+}
+
+/// Smallest value mapping to bucket `idx` (the inverse of
+/// [`bucket_index`] on bucket lower bounds).
+#[inline]
+pub fn bucket_low(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        idx
+    } else {
+        let octave = idx / SUB - 1;
+        (SUB + idx % SUB) << octave
+    }
+}
+
+/// Largest value mapping to bucket `idx`.
+#[inline]
+pub fn bucket_high(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_low(idx + 1) - 1
+    }
+}
+
+/// A mergeable log-scaled histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    /// Exact sum of samples (f64: overflow-safe for any realistic run;
+    /// serialized via `to_bits`, the journal's bit-cast convention).
+    sum: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; BUCKETS], count: 0, sum: 0.0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty; exact, not quantized).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (exact, not quantized).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q × count)`, clamped to
+    /// the observed max (0 when empty). Quantization error ≤ 6.25%.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one. Merging shards in any order
+    /// (or grouping) yields bit-identical state to recording the
+    /// concatenated samples directly.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bit-exact sparse serialization: `[version, count, sum.to_bits(),
+    /// min, max, pairs, (bucket, count)...]` with only non-zero buckets
+    /// listed. Round-trips through [`Histogram::from_words`] exactly.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut words = vec![
+            HISTOGRAM_VERSION,
+            self.count,
+            self.sum.to_bits(),
+            self.min,
+            self.max,
+            self.counts.iter().filter(|&&c| c != 0).count() as u64,
+        ];
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                words.push(idx as u64);
+                words.push(c);
+            }
+        }
+        words
+    }
+
+    /// Decode [`Histogram::to_words`] output. `None` on a malformed or
+    /// version-mismatched word stream.
+    pub fn from_words(words: &[u64]) -> Option<Histogram> {
+        let (&version, rest) = words.split_first()?;
+        if version != HISTOGRAM_VERSION || rest.len() < 5 {
+            return None;
+        }
+        let pairs = rest[4] as usize;
+        if rest.len() != 5 + 2 * pairs {
+            return None;
+        }
+        let mut h = Histogram::new();
+        h.count = rest[0];
+        h.sum = f64::from_bits(rest[1]);
+        h.min = rest[2];
+        h.max = rest[3];
+        for pair in rest[5..].chunks_exact(2) {
+            let idx = pair[0] as usize;
+            if idx >= BUCKETS {
+                return None;
+            }
+            h.counts[idx] = pair[1];
+        }
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_get_exact_buckets() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_low(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0..64u32 {
+            for off in [0u64, 1, 7] {
+                values.push((1u64 << shift).saturating_add(off << shift.saturating_sub(4)));
+            }
+        }
+        values.push(u64::MAX);
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index regressed at {v}");
+            assert!(idx < BUCKETS, "index {idx} out of range at {v}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_invert_the_index() {
+        for idx in 0..BUCKETS {
+            let low = bucket_low(idx);
+            assert_eq!(bucket_index(low), idx, "low bound of {idx}");
+            assert_eq!(bucket_index(bucket_high(idx)), idx, "high bound of {idx}");
+            if idx > 0 {
+                assert!(low > bucket_low(idx - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for idx in 16..BUCKETS {
+            let low = bucket_low(idx) as f64;
+            let high = bucket_high(idx) as f64;
+            assert!((high - low) / low <= 1.0 / 16.0 + 1e-12, "bucket {idx} too wide");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_a_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.p50() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 <= 0.07, "p50 {p50}");
+        let p99 = h.p99() as f64;
+        assert!((p99 - 990.0).abs() / 990.0 <= 0.07, "p99 {p99}");
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let samples: Vec<u64> = (0..500).map(|i| (i * i * 31 + 7) % 100_000).collect();
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 3 == 0 {
+                a.record(s)
+            } else {
+                b.record(s)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn words_round_trip_bit_exactly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 15, 16, 17, 1000, 123_456_789, u64::MAX] {
+            h.record(v);
+        }
+        let words = h.to_words();
+        let back = Histogram::from_words(&words).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.sum().to_bits(), h.sum().to_bits(), "sum must be bit-exact");
+        // Malformed streams are rejected, not misread.
+        assert!(Histogram::from_words(&words[..words.len() - 1]).is_none());
+        assert!(Histogram::from_words(&[99, 0, 0, 0, 0, 0]).is_none());
+        assert!(Histogram::from_words(&[]).is_none());
+    }
+}

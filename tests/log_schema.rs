@@ -1,0 +1,75 @@
+//! Golden-file test for the structured run-log schema.
+//!
+//! Every [`CellStatus`] variant maps to one JSONL record with a stable
+//! event name and stable field names; external tooling greps and parses
+//! these, so a rename must show up as a failing diff against
+//! `tests/golden/log_schema.jsonl`.
+
+use predictive_prefetch::prelude::*;
+use std::sync::Arc;
+
+fn sample_result() -> SimResult {
+    let metrics = SimMetrics { refs: 4000, elapsed_ms: 1234.5, ..SimMetrics::default() };
+    SimResult {
+        config: SimConfig::new(64, PolicySpec::Tree),
+        trace: Arc::from("cello"),
+        metrics,
+        skipped_records: 0,
+        phases: PhaseTimes::default(),
+    }
+}
+
+#[test]
+fn cell_status_records_match_the_golden_schema() {
+    const FP: u64 = 0xdead_beef;
+    let statuses: Vec<(CellStatus, u32, bool)> = vec![
+        (CellStatus::Ok(Box::new(sample_result())), 1, false),
+        (CellStatus::Ok(Box::new(sample_result())), 0, true),
+        (
+            CellStatus::Failed { error: SweepError::Panicked { message: "boom".to_string() } },
+            3,
+            false,
+        ),
+        (CellStatus::TimedOut { limit_ms: 5000 }, 2, false),
+        (
+            CellStatus::Skipped {
+                reason: "invalid configuration: cache_blocks must be > 0".to_string(),
+            },
+            0,
+            false,
+        ),
+    ];
+    // Timestamps are suppressed (None) so the rendering is deterministic.
+    let rendered: Vec<String> = statuses
+        .iter()
+        .map(|(status, attempts, restored)| {
+            cell_status_record(FP, "cello", status, *attempts, *restored).render_json(None)
+        })
+        .collect();
+
+    let golden = include_str!("golden/log_schema.jsonl");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        rendered.len(),
+        golden_lines.len(),
+        "golden file must hold one record per CellStatus case"
+    );
+    for (i, (got, want)) in rendered.iter().zip(&golden_lines).enumerate() {
+        assert_eq!(got, want, "log schema drifted at golden line {}", i + 1);
+    }
+}
+
+#[test]
+fn every_cell_status_variant_is_covered() {
+    // If a CellStatus variant is ever added, this match stops compiling,
+    // forcing the golden file (above) to grow with it.
+    let probe = |s: &CellStatus| match s {
+        CellStatus::Ok(_) => "cell_ok",
+        CellStatus::Failed { .. } => "cell_failed",
+        CellStatus::TimedOut { .. } => "cell_timeout",
+        CellStatus::Skipped { .. } => "cell_skipped",
+    };
+    let s = CellStatus::TimedOut { limit_ms: 1 };
+    assert_eq!(probe(&s), "cell_timeout");
+    assert_eq!(cell_status_record(0, "t", &s, 1, false).event(), "cell_timeout");
+}

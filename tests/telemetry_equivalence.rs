@@ -1,0 +1,92 @@
+//! Telemetry soundness properties:
+//!
+//! * sharded [`Histogram`]s merge losslessly — merging per-shard
+//!   histograms equals one histogram over the concatenated samples, for
+//!   arbitrary shard splits;
+//! * instrumentation is free of observable effect — a run with the full
+//!   observer stack (histograms, event sink, profiling) produces
+//!   bit-identical [`SimMetrics`] to the bare NullTelemetry run.
+
+use predictive_prefetch::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram::merge over arbitrary shards == histogram of the
+    /// concatenated samples, bit-exactly (counts, sum, min, max, and the
+    /// serialized words).
+    #[test]
+    fn histogram_merge_equals_concatenation(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+        cuts in proptest::collection::vec(0usize..300, 0..6),
+    ) {
+        // Shard boundaries from the random cut points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (samples.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(samples.len());
+        bounds.sort_unstable();
+
+        let mut whole = Histogram::default();
+        for &v in &samples {
+            whole.record(v);
+        }
+
+        let mut merged = Histogram::default();
+        for w in bounds.windows(2) {
+            let mut shard = Histogram::default();
+            for &v in &samples[w[0]..w[1]] {
+                shard.record(v);
+            }
+            merged.merge(&shard);
+        }
+
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(merged.sum().to_bits(), whole.sum().to_bits());
+        prop_assert_eq!(merged.p50(), whole.p50());
+        prop_assert_eq!(merged.p99(), whole.p99());
+        prop_assert_eq!(merged.to_words(), whole.to_words());
+    }
+
+    /// The fully-instrumented, profiled run folds the same metrics as the
+    /// bare run, bit for bit, on arbitrary streams and configurations.
+    #[test]
+    fn instrumented_run_is_metrics_identical(
+        blocks in proptest::collection::vec(0u64..64, 1..400),
+        cache in 1usize..64,
+        policy_idx in 0usize..4,
+        disks in 0usize..3,
+    ) {
+        let policies = [
+            PolicySpec::NoPrefetch,
+            PolicySpec::Tree,
+            PolicySpec::TreeNextLimit,
+            PolicySpec::TreeLvc,
+        ];
+        let mut cfg = SimConfig::new(cache, policies[policy_idx]);
+        if disks > 0 {
+            cfg = cfg.with_disks(disks);
+        }
+        let trace = Trace::from_blocks(blocks);
+
+        let mut plain = SimMetrics::default();
+        let t_plain = Simulator::run(&mut trace.source(), &cfg, &mut plain).unwrap();
+
+        let profiled = cfg.with_profiling();
+        let mut instrumented = (
+            SimMetrics::default(),
+            StallHistogramObserver::new(),
+            QueueDelayObserver::new(),
+        );
+        Simulator::run(&mut trace.source(), &profiled, &mut instrumented).unwrap();
+
+        prop_assert_eq!(&plain, &instrumented.0);
+        prop_assert!(t_plain.is_zero(), "NullTelemetry must not accumulate phase time");
+        // The histograms see every reference and every disk read.
+        prop_assert_eq!(instrumented.1.stall_us.count(), plain.refs);
+        prop_assert_eq!(instrumented.1.demand_fetch_us.count(), plain.misses);
+        prop_assert_eq!(instrumented.2.demand_queue_us.count(), plain.misses);
+    }
+}
