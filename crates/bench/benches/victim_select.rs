@@ -1,0 +1,104 @@
+//! Victim-selection microbenchmark: the lazy min-heap behind
+//! [`CostBenefitEngine::best_prefetch_eject`] against the historical O(n)
+//! scan it replaced ([`CostBenefitEngine::exact_prefetch_eject_scan`]).
+//!
+//! Each iteration runs a churn loop at steady state: query the cheapest
+//! Eq. 11 victim, eject it, and insert a fresh prefetch in its place —
+//! the access pattern of a full cache under continuous prefetching. The
+//! scan pays O(n) per query; the heap amortises to O(log n), so the gap
+//! widens with the prefetch-partition size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prefetch_cache::{BufferCache, PrefetchMeta};
+use prefetch_core::{CostBenefitEngine, EngineConfig, SystemParams};
+use prefetch_trace::BlockId;
+
+const QUERIES: u64 = 1_000;
+
+/// Deterministic xorshift so both paths see identical metadata streams.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn filled_cache(entries: u64) -> BufferCache {
+    let mut cache = BufferCache::new(entries as usize + 8);
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    for b in 0..entries {
+        let r = rng.next();
+        cache.insert_prefetch(
+            BlockId(b),
+            PrefetchMeta {
+                probability: ((r % 1000) as f64 + 1.0) / 1001.0,
+                distance: (r >> 10) as u32 % 64 + 2,
+                issued_at: 0,
+                sequential: false,
+            },
+        );
+    }
+    cache
+}
+
+fn churn<F>(cache: &mut BufferCache, next_block: &mut u64, rng: &mut Rng, pick: F) -> u64
+where
+    F: Fn(&BufferCache) -> Option<(BlockId, f64)>,
+{
+    let mut acc = 0u64;
+    for _ in 0..QUERIES {
+        let (victim, cost) = pick(cache).expect("partition stays non-empty");
+        acc = acc.wrapping_add(victim.0).wrapping_add(cost.to_bits());
+        cache.evict_prefetch(victim);
+        let r = rng.next();
+        cache.insert_prefetch(
+            BlockId(*next_block),
+            PrefetchMeta {
+                probability: ((r % 1000) as f64 + 1.0) / 1001.0,
+                distance: (r >> 10) as u32 % 64 + 2,
+                issued_at: 0,
+                sequential: false,
+            },
+        );
+        *next_block += 1;
+    }
+    acc
+}
+
+fn bench_victim_select(c: &mut Criterion) {
+    let engine = CostBenefitEngine::new(SystemParams::patterson(), EngineConfig::default());
+    let mut g = c.benchmark_group("engine/victim_select");
+    for entries in [512u64, 2048, 8192] {
+        g.throughput(Throughput::Elements(QUERIES));
+        // Churn keeps the partition at a constant size, so state carried
+        // across iterations stays at steady state for both paths.
+        g.bench_with_input(BenchmarkId::new("heap", entries), &entries, |b, &n| {
+            let mut cache = filled_cache(n);
+            let mut next = n;
+            let mut rng = Rng(1);
+            b.iter(|| {
+                black_box(churn(&mut cache, &mut next, &mut rng, |c| engine.best_prefetch_eject(c)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("scan", entries), &entries, |b, &n| {
+            let mut cache = filled_cache(n);
+            let mut next = n;
+            let mut rng = Rng(1);
+            b.iter(|| {
+                black_box(churn(&mut cache, &mut next, &mut rng, |c| {
+                    engine.exact_prefetch_eject_scan(c)
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_victim_select);
+criterion_main!(benches);

@@ -5,8 +5,14 @@
 //! ```text
 //! figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv]
 //!         [--checkpoint DIR] [--resume] [--deadline-ms N] [--retries N]
-//!         [--bench-json PATH] [--log-json PATH]
+//!         [--bench-json PATH] [--log-json PATH] [--threads N]
 //! ```
+//!
+//! `--threads N` sizes the sweep worker pool (default: one worker per
+//! available hardware thread; `--threads 1` runs the exact sequential
+//! path). Results are bit-identical at any thread count — the pool
+//! collects cells in index order and the checkpoint journal flushes in
+//! fingerprint order, so CSVs and journals never depend on the schedule.
 //!
 //! `--bench-json PATH` profiles every sweep cell and writes a
 //! machine-readable perf artifact (wall time, refs/sec, cell count, and
@@ -104,6 +110,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--log-json needs a path")?;
                 log_json = Some(PathBuf::from(v));
             }
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --threads {v:?}"))?;
+                prefetch_pool::set_threads(n);
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -128,7 +139,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv] \
      [--checkpoint DIR] [--resume] [--deadline-ms N] [--retries N] \
-     [--bench-json PATH] [--log-json PATH]"
+     [--bench-json PATH] [--log-json PATH] [--threads N]"
         .to_string()
 }
 
@@ -174,6 +185,7 @@ fn main() -> ExitCode {
         .u64("refs", args.opts.refs as u64)
         .u64("seed", args.opts.seed)
         .bool("profile", args.opts.harness.profile)
+        .u64("threads", prefetch_pool::effective_threads() as u64)
         .emit();
     let t0 = Instant::now();
     let traces = TraceSet::generate(&args.opts);

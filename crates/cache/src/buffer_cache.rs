@@ -15,8 +15,11 @@
 //! and leaves all replacement *decisions* to the caller.
 
 use crate::lru::LruCache;
+use crate::victim::VictimIndex;
 use prefetch_trace::BlockId;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
 
 /// Which partition a block lives in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,6 +69,11 @@ pub struct BufferCache {
     /// Number of prefetch-cache entries with `meta.sequential` set, kept
     /// incrementally so the `next-limit` partition cap is O(1) to check.
     sequential_count: usize,
+    /// Lazy min-heap over prefetch ejection costs (see [`crate::victim`]),
+    /// kept in sync with the prefetch partition on every mutation. In a
+    /// `RefCell` because the argmin query is logically read-only (`&self`)
+    /// but physically restructures the heaps.
+    victims: RefCell<VictimIndex>,
 }
 
 impl BufferCache {
@@ -80,6 +88,7 @@ impl BufferCache {
             demand: LruCache::with_capacity(capacity),
             prefetch: LruCache::new(),
             sequential_count: 0,
+            victims: RefCell::new(VictimIndex::default()),
         }
     }
 
@@ -149,6 +158,7 @@ impl BufferCache {
         }
         if let Some(meta) = self.prefetch.remove(block) {
             self.sequential_count -= meta.sequential as usize;
+            self.victims.get_mut().on_remove(block.0);
             self.demand.insert(block, ());
             return RefOutcome::PrefetchHit(meta);
         }
@@ -174,6 +184,7 @@ impl BufferCache {
         assert!(!self.is_full(), "insert_prefetch on a full cache");
         assert!(!self.contains(block), "block {block:?} already cached");
         self.sequential_count += meta.sequential as usize;
+        self.victims.get_mut().on_insert(block.0, &meta);
         self.prefetch.insert(block, meta);
     }
 
@@ -187,6 +198,7 @@ impl BufferCache {
     pub fn evict_prefetch(&mut self, block: BlockId) -> Option<PrefetchMeta> {
         let meta = self.prefetch.remove(block)?;
         self.sequential_count -= meta.sequential as usize;
+        self.victims.get_mut().on_remove(block.0);
         Some(meta)
     }
 
@@ -202,6 +214,7 @@ impl BufferCache {
     pub fn evict_prefetch_lru(&mut self) -> Option<(BlockId, PrefetchMeta)> {
         let (b, meta) = self.prefetch.pop_lru()?;
         self.sequential_count -= meta.sequential as usize;
+        self.victims.get_mut().on_remove(b.0);
         Some((b, meta))
     }
 
@@ -229,14 +242,60 @@ impl BufferCache {
     }
 
     /// Mutable bookkeeping for a prefetched block (policies may refresh
-    /// probability/distance as the tree cursor moves).
-    pub fn prefetch_meta_mut(&mut self, block: BlockId) -> Option<&mut PrefetchMeta> {
-        self.prefetch.peek_mut(block)
+    /// probability/distance as the tree cursor moves). Returned through a
+    /// guard that re-registers the entry with the victim index when
+    /// dropped, so cost-ordering queries see the rewrite.
+    pub fn prefetch_meta_mut(&mut self, block: BlockId) -> Option<PrefetchMetaMut<'_>> {
+        if !self.prefetch.contains(block) {
+            return None;
+        }
+        Some(PrefetchMetaMut { cache: self, block })
+    }
+
+    /// The block the exact Eq. 11 cost scan would evict at `period` with
+    /// free window `x`: minimum `p_b/(d_remaining − x)`, ties broken toward
+    /// the most recent insertion. Amortised O(log n) against the lazy
+    /// victim index; `None` iff the prefetch partition is empty.
+    ///
+    /// The caller supplies the scale-free ordering inputs only — the
+    /// constant `T_driver + T_stall(x)` factor of Eq. 11 does not affect
+    /// the argmin (the engine special-cases a zero scale, under which
+    /// every cost collapses to `0.0` and MRU order decides).
+    pub fn cheapest_prefetch_victim(&self, period: u64, x: u32) -> Option<BlockId> {
+        self.victims.borrow_mut().query(period, x).map(BlockId)
     }
 
     /// Iterate demand-cache blocks from MRU to LRU (diagnostics).
     pub fn demand_iter(&self) -> impl Iterator<Item = BlockId> + '_ {
         self.demand.iter().map(|(b, _)| b)
+    }
+}
+
+/// Mutable access to a [`PrefetchMeta`], synchronising the victim index
+/// with whatever the caller wrote when the guard drops.
+pub struct PrefetchMetaMut<'a> {
+    cache: &'a mut BufferCache,
+    block: BlockId,
+}
+
+impl Deref for PrefetchMetaMut<'_> {
+    type Target = PrefetchMeta;
+
+    fn deref(&self) -> &PrefetchMeta {
+        self.cache.prefetch.peek(self.block).expect("guard holds a resident block")
+    }
+}
+
+impl DerefMut for PrefetchMetaMut<'_> {
+    fn deref_mut(&mut self) -> &mut PrefetchMeta {
+        self.cache.prefetch.peek_mut(self.block).expect("guard holds a resident block")
+    }
+}
+
+impl Drop for PrefetchMetaMut<'_> {
+    fn drop(&mut self) {
+        let meta = *self.cache.prefetch.peek(self.block).expect("guard holds a resident block");
+        self.cache.victims.get_mut().on_rewrite(self.block.0, &meta);
     }
 }
 

@@ -27,8 +27,9 @@ pub mod buffer_cache;
 pub mod fenwick;
 pub mod lru;
 pub mod stack_distance;
+mod victim;
 
-pub use buffer_cache::{BufferCache, Partition, PrefetchMeta};
+pub use buffer_cache::{BufferCache, Partition, PrefetchMeta, PrefetchMetaMut};
 pub use fenwick::FenwickTree;
 pub use lru::LruCache;
 pub use stack_distance::StackDistanceEstimator;

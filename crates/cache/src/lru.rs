@@ -4,6 +4,7 @@
 //! `HashMap` index — no per-operation allocation once warmed up, per the
 //! HPC guideline of keeping hot paths allocation-free.
 
+use prefetch_hash::{FxBuildHasher, FxHashMap};
 use prefetch_trace::BlockId;
 use std::collections::HashMap;
 
@@ -23,7 +24,7 @@ struct Node<V> {
 /// fixed capacity of its own).
 #[derive(Clone, Debug)]
 pub struct LruCache<V> {
-    map: HashMap<u64, u32>,
+    map: FxHashMap<u64, u32>,
     nodes: Vec<Node<V>>,
     free: Vec<u32>,
     head: u32, // MRU
@@ -39,13 +40,19 @@ impl<V> Default for LruCache<V> {
 impl<V> LruCache<V> {
     /// An empty cache.
     pub fn new() -> Self {
-        LruCache { map: HashMap::new(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+        LruCache {
+            map: FxHashMap::default(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
     }
 
     /// An empty cache with pre-allocated space for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
         LruCache {
-            map: HashMap::with_capacity(cap),
+            map: HashMap::with_capacity_and_hasher(cap, FxBuildHasher::default()),
             nodes: Vec::with_capacity(cap),
             free: Vec::new(),
             head: NIL,

@@ -207,14 +207,41 @@ impl CostBenefitEngine {
         Some(cache.contains(block))
     }
 
-    /// Cheapest replacement victim and its cost per Eq. 11 vs Eq. 13.
-    /// Returns cost 0 with no victim when the cache has free buffers.
-    pub fn cheapest_victim(&self, cache: &BufferCache) -> (Option<Victim>, f64) {
-        if !cache.is_full() {
-            return (None, 0.0);
-        }
-        // Eq. 11: cheapest prefetched block. Exact scan; the prefetch
-        // partition is small in practice (see DESIGN.md §5.3).
+    /// The cheapest Eq. 11 prefetch ejection, answered by the cache's lazy
+    /// victim heap in amortised O(log n) instead of the historical O(n)
+    /// scan. The heap orders by the scale-free ratio `p/(d_remaining − x)`;
+    /// the winning block's cost is then recomputed through the exact
+    /// [`CostBenefitModel::prefetch_eject_cost`] arithmetic so the returned
+    /// value is bit-identical to what the scan produced. Under
+    /// `debug_assertions` every answer is re-verified against the retained
+    /// exact scan. Public so the victim-selection microbenchmark can time
+    /// the heap path against [`Self::exact_prefetch_eject_scan`] directly.
+    pub fn best_prefetch_eject(&self, cache: &BufferCache) -> Option<(BlockId, f64)> {
+        let block = if self.model.eject_scale() > 0.0 {
+            cache.cheapest_prefetch_victim(self.period, self.model.config().x)?
+        } else {
+            // Degenerate zero timing scale: every cost is exactly 0.0 and
+            // the scan's strict `<` keeps its first (most recent) entry.
+            cache.prefetch_iter().next()?.0
+        };
+        let meta = cache.prefetch_meta(block)?;
+        let elapsed = self.period.saturating_sub(meta.issued_at);
+        let remaining = (meta.distance as u64).saturating_sub(elapsed) as u32;
+        let cost = self.model.prefetch_eject_cost(meta.probability, remaining);
+        debug_assert_eq!(
+            Some((block, cost.to_bits())),
+            self.exact_prefetch_eject_scan(cache).map(|(b, c)| (b, c.to_bits())),
+            "victim heap diverged from the exact Eq. 11 scan at period {}",
+            self.period
+        );
+        Some((block, cost))
+    }
+
+    /// Reference implementation of the Eq. 11 victim choice: the exact
+    /// linear scan over the prefetch partition that
+    /// [`Self::best_prefetch_eject`] replaces. Kept public for equivalence
+    /// tests and the victim-selection microbenchmark.
+    pub fn exact_prefetch_eject_scan(&self, cache: &BufferCache) -> Option<(BlockId, f64)> {
         let mut best_pr: Option<(BlockId, f64)> = None;
         for (b, meta) in cache.prefetch_iter() {
             let elapsed = self.period.saturating_sub(meta.issued_at);
@@ -224,6 +251,17 @@ impl CostBenefitEngine {
                 best_pr = Some((b, c));
             }
         }
+        best_pr
+    }
+
+    /// Cheapest replacement victim and its cost per Eq. 11 vs Eq. 13.
+    /// Returns cost 0 with no victim when the cache has free buffers.
+    pub fn cheapest_victim(&self, cache: &BufferCache) -> (Option<Victim>, f64) {
+        if !cache.is_full() {
+            return (None, 0.0);
+        }
+        // Eq. 11: cheapest prefetched block, via the lazy victim heap.
+        let best_pr = self.best_prefetch_eject(cache);
         // Eq. 13: shrink the demand cache at its current size.
         let dc = if cache.demand_len() > 1 {
             Some(self.model.demand_eject_cost(self.stack.marginal_hit_rate(cache.demand_len())))
@@ -259,15 +297,7 @@ impl CostBenefitEngine {
     /// always available as a fallback (the incoming block will immediately
     /// occupy a demand buffer anyway).
     pub fn demand_victim(&self, cache: &BufferCache) -> Victim {
-        let mut best_pr: Option<(BlockId, f64)> = None;
-        for (b, meta) in cache.prefetch_iter() {
-            let elapsed = self.period.saturating_sub(meta.issued_at);
-            let remaining = (meta.distance as u64).saturating_sub(elapsed) as u32;
-            let c = self.model.prefetch_eject_cost(meta.probability, remaining);
-            if best_pr.is_none_or(|(_, bc)| c < bc) {
-                best_pr = Some((b, c));
-            }
-        }
+        let best_pr = self.best_prefetch_eject(cache);
         let cd = if cache.demand_len() > 0 {
             Some(self.model.demand_eject_cost(self.stack.marginal_hit_rate(cache.demand_len())))
         } else {
@@ -529,6 +559,46 @@ mod tests {
         assert_eq!(victim, Some(Victim::Prefetch(BlockId(50))));
         assert_eq!(cost, 0.0);
         let _ = &mut e;
+    }
+
+    #[test]
+    fn heap_and_scan_pick_the_same_victim_at_equal_cost() {
+        // Two prefetches with identical (p, distance, issued_at) have
+        // exactly equal Eq. 11 costs; the scan's strict `<` keeps the
+        // first entry in MRU iteration order (the most recent insert),
+        // and the heap's tie-break must reproduce that choice exactly.
+        let mut e = engine();
+        e.period = 2;
+        let mut cache = BufferCache::new(16);
+        let tied = PrefetchMeta { probability: 0.4, distance: 9, issued_at: 0, sequential: false };
+        cache.insert_prefetch(BlockId(10), tied);
+        cache.insert_prefetch(BlockId(20), tied); // more recent, must win the tie
+        cache.insert_prefetch(
+            BlockId(30),
+            PrefetchMeta { probability: 0.9, distance: 4, issued_at: 0, sequential: false },
+        );
+
+        let heap = e.best_prefetch_eject(&cache);
+        let scan = e.exact_prefetch_eject_scan(&cache);
+        let (block, cost) = heap.expect("non-empty prefetch partition");
+        assert_eq!(block, BlockId(20));
+        assert_eq!(
+            heap.map(|(b, c)| (b, c.to_bits())),
+            scan.map(|(b, c)| (b, c.to_bits())),
+            "heap and scan must agree bit for bit"
+        );
+        assert_eq!(cost.to_bits(), e.model.prefetch_eject_cost(0.4, 7).to_bits());
+
+        // Advancing the period reorders costs lazily; the agreement (and
+        // the tie-break) must survive the reheap.
+        e.period = 6;
+        let heap = e.best_prefetch_eject(&cache);
+        let scan = e.exact_prefetch_eject_scan(&cache);
+        assert_eq!(
+            heap.map(|(b, c)| (b, c.to_bits())),
+            scan.map(|(b, c)| (b, c.to_bits())),
+            "heap and scan must still agree after the period advances"
+        );
     }
 
     #[test]

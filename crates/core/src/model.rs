@@ -155,6 +155,14 @@ impl CostBenefitModel {
     pub fn demand_eject_cost(&self, marginal_hit_rate: f64) -> f64 {
         cost::demand_eject_cost(marginal_hit_rate, &self.params)
     }
+
+    /// The constant `T_driver + T_stall(x)` factor every Eq. 11 cost in one
+    /// victim scan shares (`s` only changes between periods). Non-negative;
+    /// when it is zero, every prefetch ejection cost collapses to `0.0` and
+    /// ordering degenerates to recency.
+    pub fn eject_scale(&self) -> f64 {
+        self.params.t_driver + crate::timing::t_stall(self.config.x, &self.params, self.s)
+    }
 }
 
 #[cfg(test)]

@@ -209,6 +209,10 @@ fn parse_args() -> Result<Args, String> {
             "--max-skipped" => {
                 max_skipped = Some(val()?.parse().map_err(|e| format!("bad --max-skipped: {e}"))?)
             }
+            "--threads" => {
+                let n: usize = val()?.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                prefetch_pool::set_threads(n);
+            }
             "--histograms" => histograms = true,
             "--profile" => profile = true,
             "--events-out" => events_out = Some(std::path::PathBuf::from(val()?)),
@@ -241,7 +245,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: pfsim --trace <cello|snake|cad|sitar> | --trace-file <path> [--lenient] \
      [--refs N] [--seed S] [--cache BLOCKS] [--policy NAME|all] [--t-cpu MS] [--disks N] \
-     [--fault-rate P] [--fault-seed S] [--deadline-ms N] [--max-skipped N] \
+     [--fault-rate P] [--fault-seed S] [--deadline-ms N] [--max-skipped N] [--threads N] \
      [--histograms] [--profile] [--events-out PATH] [--log-json PATH]"
         .to_string()
 }
@@ -324,7 +328,8 @@ fn main() -> ExitCode {
     {
         let mut rec = tlog::info("trace_open")
             .str("trace", source.meta().name.clone())
-            .u64("cache_blocks", args.cache as u64);
+            .u64("cache_blocks", args.cache as u64)
+            .u64("threads", prefetch_pool::effective_threads() as u64);
         if let Some(n) = source.len_hint() {
             rec = rec.u64("refs", n);
         }

@@ -45,57 +45,9 @@ pub const JOURNAL_FILE: &str = "journal.jsonl";
 // Fingerprints
 // ---------------------------------------------------------------------------
 
-/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms and
-/// runs (unlike `std`'s `DefaultHasher`, whose output is unspecified).
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.bytes(&v.to_le_bytes());
-    }
-
-    /// Floats hash by bit pattern: distinct values (incl. `-0.0` vs `0.0`)
-    /// are distinct configurations.
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-
-    fn bool(&mut self, v: bool) {
-        self.u64(u64::from(v));
-    }
-
-    /// Length-prefixed so `("ab", "c")` and `("a", "bc")` differ.
-    fn str(&mut self, s: &str) {
-        self.u64(s.len() as u64);
-        self.bytes(s.as_bytes());
-    }
-
-    /// Presence tag so `None` and `Some(default)` differ.
-    fn opt(&mut self, v: Option<u64>) {
-        match v {
-            None => self.u64(0),
-            Some(x) => {
-                self.u64(1);
-                self.u64(x);
-            }
-        }
-    }
-}
+/// The stable FNV-1a fingerprint hasher, hoisted to `prefetch-hash` so the
+/// tree/cache crates can share it; the alias keeps the call sites short.
+use prefetch_hash::Fnv64 as Fnv;
 
 fn hash_policy(h: &mut Fnv, policy: &PolicySpec) {
     match *policy {
@@ -199,7 +151,7 @@ pub fn fingerprint_parts(name: &str, seed: Option<u64>, records: u64, config: &S
     h.opt(seed);
     h.u64(records);
     hash_config(&mut h, config);
-    h.0
+    h.finish()
 }
 
 // ---------------------------------------------------------------------------
@@ -448,8 +400,10 @@ impl std::error::Error for CheckpointError {}
 struct JournalState {
     /// Fingerprint → entry, for O(1) resume lookups.
     entries: HashMap<u64, JournalEntry>,
-    /// Every well-formed line, in arrival order — what a flush writes.
-    lines: Vec<String>,
+    /// Every well-formed line, keyed by fingerprint. A flush writes these
+    /// sorted by fingerprint, so the file bytes depend only on *which*
+    /// cells completed — never on the thread schedule that completed them.
+    lines: Vec<(u64, String)>,
     /// Records appended since the last durable flush.
     dirty: usize,
 }
@@ -482,7 +436,7 @@ impl CheckpointJournal {
                     if let Some((fp, entry)) = entry_from_line(line) {
                         // Last write wins, but keep one line per fingerprint.
                         if state.entries.insert(fp, entry).is_none() {
-                            state.lines.push(line.to_string());
+                            state.lines.push((fp, line.to_string()));
                         }
                     }
                 }
@@ -520,7 +474,7 @@ impl CheckpointJournal {
         let flush_now = {
             let mut state = self.state.lock().unwrap();
             if state.entries.insert(fingerprint, entry.clone()).is_none() {
-                state.lines.push(entry_to_line(fingerprint, &entry));
+                state.lines.push((fingerprint, entry_to_line(fingerprint, &entry)));
                 state.dirty += 1;
             }
             state.dirty >= self.flush_every
@@ -541,8 +495,14 @@ impl CheckpointJournal {
                 return Ok(());
             }
             state.dirty = 0;
-            let mut text = state.lines.join("\n");
-            text.push('\n');
+            // Fingerprint order makes the file bytes schedule-independent:
+            // an N-thread sweep and a sequential one flush identical files.
+            state.lines.sort_unstable_by_key(|&(fp, _)| fp);
+            let mut text = String::new();
+            for (_, line) in &state.lines {
+                text.push_str(line);
+                text.push('\n');
+            }
             text
         };
         let write = |path: &Path| -> std::io::Result<()> {

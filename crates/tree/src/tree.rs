@@ -3,8 +3,8 @@
 
 use crate::node::{Node, NodeId, NIL};
 use crate::stats::TreeStats;
+use prefetch_hash::FxHashMap;
 use prefetch_trace::BlockId;
-use std::collections::HashMap;
 
 /// What happened when an access was recorded — the per-reference signals
 /// behind the paper's Tables 2 and 3.
@@ -50,7 +50,7 @@ pub struct PrefetchTree {
     nodes: Vec<Node>,
     free: Vec<u32>,
     /// (parent index, block) → child index
-    edges: HashMap<(u32, u64), u32>,
+    edges: FxHashMap<(u32, u64), u32>,
     /// parse position
     cursor: u32,
     /// true before the first access of a substring (root weight is bumped
@@ -100,7 +100,7 @@ impl PrefetchTree {
         PrefetchTree {
             nodes: vec![root],
             free: Vec::new(),
-            edges: HashMap::new(),
+            edges: FxHashMap::default(),
             cursor: 0,
             fresh_substring: true,
             node_limit,

@@ -1,46 +1,123 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, now backed by a real thread pool.
 //!
 //! The build environment has no crates.io access, so this vendored crate
 //! supplies the `par_iter()` / `into_par_iter()` entry points the workspace
-//! uses and executes them **sequentially** on the calling thread. All sweep
-//! results are documented to be schedule-independent, so sequential
-//! execution is behaviorally identical (just slower on multi-core hosts).
-//! Swap the real rayon back in by restoring the crates.io entry in the
-//! workspace `Cargo.toml` when network access is available.
+//! uses. Since PR 5 they execute on `prefetch-pool`'s work-stealing scoped
+//! threads instead of sequentially: results are collected **in index
+//! order** and panics propagate with the payload of the smallest panicking
+//! index, so output (and failure behaviour) is bit-identical to a
+//! sequential left-to-right loop. The pool size comes from
+//! `prefetch_pool::set_threads` (0 = available parallelism; 1 = exact
+//! sequential path on the calling thread).
+//!
+//! Only the surface the workspace uses is implemented: `par_iter()` /
+//! `into_par_iter()` followed by one `.map(..).collect()`. Swap the real
+//! rayon back in by restoring the crates.io entry in the workspace
+//! `Cargo.toml` when network access is available.
 
 pub mod prelude {
-    /// `into_par_iter()` for owned collections — sequential here.
+    /// Parallel iterator over owned items, buffered from any `IntoIterator`.
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T> IntoParIter<T> {
+        /// Map each owned item through `f` on the pool.
+        pub fn map<U, F>(self, f: F) -> MapOwned<T, F>
+        where
+            F: Fn(T) -> U,
+        {
+            MapOwned { items: self.items, f }
+        }
+    }
+
+    /// Pending owned-item map; work happens at `collect`.
+    pub struct MapOwned<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, F> MapOwned<T, F> {
+        /// Run the map on the pool and gather results in index order.
+        pub fn collect<C, U>(self) -> C
+        where
+            T: Send,
+            U: Send,
+            F: Fn(T) -> U + Sync,
+            C: FromIterator<U>,
+        {
+            prefetch_pool::map_vec(self.items, self.f).into_iter().collect()
+        }
+    }
+
+    /// `into_par_iter()` for owned collections.
     pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns a plain sequential iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+        /// Returns a parallel iterator over the collection's items.
+        fn into_par_iter(self) -> IntoParIter<Self::Item> {
+            IntoParIter { items: self.into_iter().collect() }
         }
     }
 
     impl<T: IntoIterator> IntoParallelIterator for T {}
 
-    /// `par_iter()` for borrowed slices — sequential here.
-    pub trait IntoParallelRefIterator<'data> {
-        /// Iterator over borrowed items.
-        type Iter: Iterator;
+    /// Parallel iterator over borrowed slice items.
+    pub struct ParIterRef<'data, T> {
+        items: &'data [T],
+    }
 
-        /// Returns a plain sequential iterator.
-        fn par_iter(&'data self) -> Self::Iter;
+    impl<'data, T> ParIterRef<'data, T> {
+        /// Map each borrowed item through `f` on the pool.
+        pub fn map<U, F>(self, f: F) -> MapRef<'data, T, F>
+        where
+            F: Fn(&'data T) -> U,
+        {
+            MapRef { items: self.items, f }
+        }
+    }
+
+    /// Pending borrowed-item map; work happens at `collect`.
+    pub struct MapRef<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, F> MapRef<'data, T, F> {
+        /// Run the map on the pool and gather results in index order.
+        pub fn collect<C, U>(self) -> C
+        where
+            T: Sync,
+            U: Send,
+            F: Fn(&'data T) -> U + Sync,
+            C: FromIterator<U>,
+        {
+            let f = &self.f;
+            let items = self.items;
+            prefetch_pool::run_indexed(items.len(), |i| f(&items[i])).into_iter().collect()
+        }
+    }
+
+    /// `par_iter()` for borrowed slices.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed item type.
+        type Item: 'data;
+
+        /// Returns a parallel iterator over borrowed items.
+        fn par_iter(&'data self) -> ParIterRef<'data, Self::Item>;
     }
 
     impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = core::slice::Iter<'data, T>;
+        type Item = T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIterRef<'data, T> {
+            ParIterRef { items: self }
         }
     }
 
     impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = core::slice::Iter<'data, T>;
+        type Item = T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.as_slice().iter()
+        fn par_iter(&'data self) -> ParIterRef<'data, T> {
+            ParIterRef { items: self.as_slice() }
         }
     }
 }
@@ -48,6 +125,10 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serialise tests that touch the global pool knob.
+    static KNOB: Mutex<()> = Mutex::new(());
 
     #[test]
     fn par_iter_matches_iter() {
@@ -57,5 +138,36 @@ mod tests {
         assert_eq!(a, b);
         let c: Vec<i32> = v.into_par_iter().map(|x| x + 1).collect();
         assert_eq!(c, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn multi_threaded_map_is_index_ordered() {
+        let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        let v: Vec<u64> = (0..300).collect();
+        let want: Vec<u64> = v.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 4] {
+            prefetch_pool::set_threads(threads);
+            let got: Vec<u64> = v.par_iter().map(|x| x * 3 + 1).collect();
+            assert_eq!(got, want, "threads={threads}");
+            let owned: Vec<String> = v.clone().into_par_iter().map(|x| format!("{x}")).collect();
+            assert_eq!(owned.len(), v.len());
+            assert_eq!(owned[299], "299");
+        }
+        prefetch_pool::set_threads(0);
+    }
+
+    #[test]
+    fn panic_payload_matches_sequential_first_panic() {
+        let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        prefetch_pool::set_threads(4);
+        let v: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> =
+                v.par_iter().map(|&i| if i % 20 == 13 { panic!("item {i}") } else { i }).collect();
+        });
+        prefetch_pool::set_threads(0);
+        let payload = result.expect_err("must panic");
+        let msg = payload.downcast_ref::<String>().expect("String payload");
+        assert_eq!(msg, "item 13");
     }
 }
