@@ -112,8 +112,11 @@ pub enum Victim {
 }
 
 /// A prefetching policy. Object-safe; the simulator drives it through a
-/// `Box<dyn PrefetchPolicy>`.
-pub trait PrefetchPolicy {
+/// `Box<dyn PrefetchPolicy>`. `Send` so simulator state (e.g. one
+/// advisor per tenant in `pfserve`) can migrate between worker threads;
+/// policies are plain data structures, so this costs implementors
+/// nothing.
+pub trait PrefetchPolicy: Send {
     /// Short name matching the paper's terminology (e.g. `"tree-next-limit"`).
     fn name(&self) -> &'static str;
 

@@ -64,8 +64,16 @@ impl RetryPolicy {
         attempts < self.max_attempts
     }
 
-    /// Check the policy is usable.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Check the policy is usable without panicking (mirroring
+    /// [`crate::SystemParams::check`]). Rejects:
+    ///
+    /// * `max_attempts == 0` (a read must get at least one attempt);
+    /// * non-finite (NaN/∞) or negative backoff and penalty fields;
+    /// * zero backoff base or cap — a zero backoff silently turns every
+    ///   retry into a busy re-issue, unpriced in simulated time;
+    /// * `backoff_cap_ms < backoff_base_ms` — the very first backoff
+    ///   would already exceed the cap, so the schedule is contradictory.
+    pub fn check(&self) -> Result<(), String> {
         if self.max_attempts < 1 {
             return Err("retry policy needs at least one attempt".into());
         }
@@ -78,7 +86,26 @@ impl RetryPolicy {
                 return Err(format!("{field} must be finite and >= 0, got {v}"));
             }
         }
+        for (field, v) in
+            [("backoff_base_ms", self.backoff_base_ms), ("backoff_cap_ms", self.backoff_cap_ms)]
+        {
+            if v == 0.0 {
+                return Err(format!("{field} must be > 0, got {v}"));
+            }
+        }
+        if self.backoff_cap_ms < self.backoff_base_ms {
+            return Err(format!(
+                "backoff_cap_ms ({}) must be >= backoff_base_ms ({})",
+                self.backoff_cap_ms, self.backoff_base_ms
+            ));
+        }
         Ok(())
+    }
+
+    /// Alias of [`RetryPolicy::check`], kept for callers predating the
+    /// `check` naming convention.
+    pub fn validate(&self) -> Result<(), String> {
+        self.check()
     }
 }
 
@@ -197,6 +224,65 @@ mod tests {
         assert!(RetryPolicy { backoff_base_ms: f64::NAN, ..RetryPolicy::default() }
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn check_rejects_every_degenerate_field() {
+        let ok = RetryPolicy::default();
+        assert!(ok.check().is_ok());
+        let cases = [
+            ("zero attempts", RetryPolicy { max_attempts: 0, ..ok }),
+            ("zero base", RetryPolicy { backoff_base_ms: 0.0, ..ok }),
+            ("zero cap", RetryPolicy { backoff_cap_ms: 0.0, ..ok }),
+            ("negative base", RetryPolicy { backoff_base_ms: -1.0, ..ok }),
+            ("negative penalty", RetryPolicy { give_up_penalty_ms: -0.5, ..ok }),
+            ("NaN cap", RetryPolicy { backoff_cap_ms: f64::NAN, ..ok }),
+            ("infinite base", RetryPolicy { backoff_base_ms: f64::INFINITY, ..ok }),
+            ("cap below base", RetryPolicy { backoff_base_ms: 50.0, backoff_cap_ms: 10.0, ..ok }),
+        ];
+        for (what, policy) in cases {
+            let err = policy.check().expect_err(what);
+            assert!(!err.is_empty(), "{what} must render a reason");
+        }
+        // Zero give-up penalty is legitimate (a free recovery path).
+        assert!(RetryPolicy { give_up_penalty_ms: 0.0, ..ok }.check().is_ok());
+        // validate() stays a strict alias of check().
+        let p = RetryPolicy { backoff_base_ms: 50.0, backoff_cap_ms: 10.0, ..ok };
+        assert_eq!(p.validate(), p.check());
+    }
+
+    #[test]
+    fn quarantine_readmission_ordering() {
+        // Re-admission is strictly success-gated and ordered: a block must
+        // be *fully* re-admitted (one success) before failures start a
+        // fresh count — stale pre-quarantine failures never combine with
+        // post-re-admission failures to re-trip the threshold early.
+        let mut q = Quarantine::new(3);
+        let a = BlockId(1);
+        let b = BlockId(2);
+        q.record_failure(a);
+        q.record_failure(a);
+        q.record_failure(a); // a quarantined
+        q.record_failure(b);
+        q.record_failure(b); // b one short of the threshold
+        assert!(q.is_quarantined(a));
+        assert!(!q.is_quarantined(b));
+
+        // Re-admit a; b's pending count is untouched by a's success.
+        q.record_success(a);
+        assert!(!q.is_quarantined(a));
+        assert_eq!(q.len(), 0);
+        q.record_failure(b); // b's third strike still lands
+        assert!(q.is_quarantined(b));
+
+        // a restarts from zero: two failures do not re-trip it…
+        q.record_failure(a);
+        q.record_failure(a);
+        assert!(!q.is_quarantined(a));
+        // …the third does, and the monotone event count records re-entry.
+        assert!(q.record_failure(a));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_quarantined(), 3);
     }
 
     #[test]

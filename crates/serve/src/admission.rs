@@ -1,0 +1,101 @@
+//! Admission control: tenant-count and aggregate-memory budgets.
+//!
+//! Overload is refused *at the door* with a typed [`RejectReason`] instead
+//! of being discovered later as an allocation failure mid-advice. The
+//! budget is charged pessimistically from each tenant's
+//! [`crate::tenant::TenantSpec::estimated_bytes`] reservation and released
+//! when the tenant closes or is quarantined (its state is dropped either
+//! way).
+
+use crate::protocol::RejectReason;
+
+/// Budgets enforced at `OPEN` time.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum simultaneously-open tenants.
+    pub max_tenants: usize,
+    /// Aggregate reserved-memory budget in bytes; `None` = unlimited.
+    pub memory_budget_bytes: Option<u64>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { max_tenants: 1 << 20, memory_budget_bytes: None }
+    }
+}
+
+/// Live admission state.
+#[derive(Clone, Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    live: usize,
+    reserved_bytes: u64,
+}
+
+impl Admission {
+    /// Start with nothing admitted.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Admission { cfg, live: 0, reserved_bytes: 0 }
+    }
+
+    /// Try to admit a tenant reserving `estimate` bytes.
+    pub fn try_admit(&mut self, estimate: u64) -> Result<(), RejectReason> {
+        if self.live >= self.cfg.max_tenants {
+            return Err(RejectReason::TenantLimit { limit: self.cfg.max_tenants });
+        }
+        if let Some(budget) = self.cfg.memory_budget_bytes {
+            let available = budget.saturating_sub(self.reserved_bytes);
+            if estimate > available {
+                return Err(RejectReason::MemoryBudget { requested: estimate, available });
+            }
+        }
+        self.live += 1;
+        self.reserved_bytes += estimate;
+        Ok(())
+    }
+
+    /// Release a tenant's reservation (close or quarantine).
+    pub fn release(&mut self, estimate: u64) {
+        self.live = self.live.saturating_sub(1);
+        self.reserved_bytes = self.reserved_bytes.saturating_sub(estimate);
+    }
+
+    /// Tenants currently admitted.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_cap_is_enforced_and_released() {
+        let mut a = Admission::new(AdmissionConfig { max_tenants: 2, memory_budget_bytes: None });
+        a.try_admit(10).unwrap();
+        a.try_admit(10).unwrap();
+        assert_eq!(a.try_admit(10).unwrap_err(), RejectReason::TenantLimit { limit: 2 });
+        a.release(10);
+        a.try_admit(10).unwrap();
+        assert_eq!(a.live(), 2);
+    }
+
+    #[test]
+    fn memory_budget_is_enforced_and_released() {
+        let mut a =
+            Admission::new(AdmissionConfig { max_tenants: 100, memory_budget_bytes: Some(100) });
+        a.try_admit(60).unwrap();
+        let err = a.try_admit(60).unwrap_err();
+        assert_eq!(err, RejectReason::MemoryBudget { requested: 60, available: 40 });
+        a.try_admit(40).unwrap();
+        assert_eq!(a.reserved_bytes(), 100);
+        a.release(60);
+        a.try_admit(50).unwrap();
+    }
+}

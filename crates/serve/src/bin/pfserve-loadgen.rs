@@ -1,0 +1,102 @@
+//! `pfserve-loadgen` — generate load and chaos scripts for `pfserve`.
+//!
+//! ```text
+//! pfserve-loadgen --tenants 1000 --events 64 > load.txt
+//! pfserve-loadgen --tenants 1000 --events 64 --chaos \
+//!                 --manifest tenants.manifest > chaos.txt
+//! pfserve-loadgen --tenants 1000 --events 64 --chaos | pfserve --threads 4
+//! ```
+//!
+//! The script `OPEN`s every tenant up front, interleaves all tenants'
+//! events in round-robin slices (thousands of concurrently-live,
+//! phase-shifting tenants), `CLOSE`s the survivors, and ends with
+//! `SHUTDOWN`. With `--chaos`, a deterministic subset of tenants gets
+//! per-tenant fault injection and another subset gets a forced mid-run
+//! panic — chosen by index arithmetic so every *clean* tenant's lines
+//! are byte-identical to the no-chaos script (that property is what the
+//! CI chaos job diffs against).
+//!
+//! Exit codes: 0 generated, 2 usage error, 4 output I/O error.
+
+use prefetch_serve::loadgen::{generate, LoadgenOpts};
+use std::io::Write;
+use std::process::ExitCode;
+
+const EXIT_USAGE: u8 = 2;
+const EXIT_IO: u8 = 4;
+
+fn usage() -> String {
+    "usage: pfserve-loadgen [--tenants N] [--events N] [--slice N] [--phase-len N]\n\
+     \x20                     [--seed N] [--chaos] [--no-shutdown] [--manifest PATH]\n\
+     \n\
+     Writes a pfserve request script to stdout."
+        .to_string()
+}
+
+fn parse_args() -> Result<(LoadgenOpts, Option<std::path::PathBuf>), String> {
+    let mut opts = LoadgenOpts::default();
+    let mut manifest = None;
+    let mut it = std::env::args().skip(1);
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let int = |flag: &str, v: String| -> Result<usize, String> {
+        v.parse().map_err(|_| format!("{flag} needs an integer"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tenants" => opts.tenants = int("--tenants", next_val(&mut it, "--tenants")?)?,
+            "--events" => {
+                opts.events_per_tenant = int("--events", next_val(&mut it, "--events")?)?;
+            }
+            "--slice" => opts.slice = int("--slice", next_val(&mut it, "--slice")?)?,
+            "--phase-len" => {
+                opts.phase_len = int("--phase-len", next_val(&mut it, "--phase-len")?)?
+            }
+            "--seed" => {
+                opts.seed = next_val(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs a u64".to_string())?;
+            }
+            "--chaos" => opts.chaos = true,
+            "--no-shutdown" => opts.shutdown = false,
+            "--manifest" => manifest = Some(next_val(&mut it, "--manifest")?.into()),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if opts.tenants == 0 || opts.events_per_tenant == 0 {
+        return Err("--tenants and --events must be positive".to_string());
+    }
+    Ok((opts, manifest))
+}
+
+fn main() -> ExitCode {
+    let (opts, manifest_path) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let generated = generate(&opts);
+    if let Some(path) = manifest_path {
+        if let Err(e) = std::fs::write(&path, generated.manifest_text()) {
+            eprintln!("pfserve-loadgen: cannot write manifest {}: {e}", path.display());
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for line in &generated.lines {
+        if let Err(e) = writeln!(out, "{line}") {
+            eprintln!("pfserve-loadgen: stdout write failed: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    if let Err(e) = out.flush() {
+        eprintln!("pfserve-loadgen: stdout flush failed: {e}");
+        return ExitCode::from(EXIT_IO);
+    }
+    ExitCode::SUCCESS
+}

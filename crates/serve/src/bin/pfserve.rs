@@ -1,0 +1,212 @@
+//! `pfserve` — the multi-tenant prefetch-advisor service.
+//!
+//! ```text
+//! pfserve                                   # serve stdin -> stdout
+//! pfserve --socket /tmp/pfserve.sock        # serve a unix socket
+//! pfserve --threads 4 --queue-cap 256 \
+//!         --max-tenants 2000 --memory-budget-mb 64 \
+//!         --advice-dir out/advice --bench-json BENCH.json
+//! ```
+//!
+//! Requests are lines of the `prefetch-serve` protocol (`OPEN`, `EV`,
+//! `STATS`, `CLOSE`, `PANIC`, `SHUTDOWN`); responses are typed lines
+//! (`OK`, `ADV`, `REJECT`, `SHED`, `ERR`, `PANIC`, `STATS`, `FINAL`,
+//! `BYE`). Overload and malformed input degrade gracefully — typed
+//! shed/reject/skip responses, never a crash — and `SHUTDOWN` (or stdin
+//! EOF) drains every tenant to a deterministic `FINAL` report.
+//!
+//! | exit | meaning                              |
+//! |------|--------------------------------------|
+//! | 0    | drained cleanly                      |
+//! | 1    | internal panic (bug — please report) |
+//! | 2    | usage error                          |
+//! | 3    | invalid configuration                |
+//! | 4    | listener I/O error                   |
+
+use prefetch_serve::{ServeOpts, Service};
+use std::process::ExitCode;
+
+const EXIT_PANIC: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_INVALID_CONFIG: u8 = 3;
+const EXIT_LISTENER_IO: u8 = 4;
+
+struct Args {
+    socket: Option<std::path::PathBuf>,
+    threads: usize,
+    batch: usize,
+    opts: ServeOpts,
+    bench_json: Option<std::path::PathBuf>,
+    log_json: Option<std::path::PathBuf>,
+    quiet: bool,
+}
+
+fn usage() -> String {
+    "usage: pfserve [--socket PATH] [--threads N] [--batch N] [--queue-cap N]\n\
+     \x20             [--max-tenants N] [--memory-budget-mb N]\n\
+     \x20             [--default-cache N] [--default-nodes N]\n\
+     \x20             [--advice-dir DIR] [--log-json PATH] [--bench-json PATH]\n\
+     \x20             [--no-echo-advice] [--quiet]\n\
+     \n\
+     Serves the pfserve line protocol on stdin (default) or a unix socket.\n\
+     SHUTDOWN or stdin EOF drains every tenant and exits 0."
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: None,
+        threads: 0,
+        batch: 256,
+        opts: ServeOpts::default(),
+        bench_json: None,
+        log_json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => args.socket = Some(next_val(&mut it, "--socket")?.into()),
+            "--threads" => {
+                args.threads = next_val(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+            }
+            "--batch" => {
+                args.batch = next_val(&mut it, "--batch")?
+                    .parse()
+                    .map_err(|_| "--batch needs an integer".to_string())?;
+            }
+            "--queue-cap" => {
+                args.opts.queue_cap = next_val(&mut it, "--queue-cap")?
+                    .parse()
+                    .map_err(|_| "--queue-cap needs an integer".to_string())?;
+            }
+            "--max-tenants" => {
+                args.opts.admission.max_tenants = next_val(&mut it, "--max-tenants")?
+                    .parse()
+                    .map_err(|_| "--max-tenants needs an integer".to_string())?;
+            }
+            "--memory-budget-mb" => {
+                let mb: u64 = next_val(&mut it, "--memory-budget-mb")?
+                    .parse()
+                    .map_err(|_| "--memory-budget-mb needs an integer".to_string())?;
+                args.opts.admission.memory_budget_bytes = Some(mb * 1024 * 1024);
+            }
+            "--default-cache" => {
+                args.opts.defaults.cache_blocks = next_val(&mut it, "--default-cache")?
+                    .parse()
+                    .map_err(|_| "--default-cache needs an integer".to_string())?;
+            }
+            "--default-nodes" => {
+                args.opts.defaults.node_limit = next_val(&mut it, "--default-nodes")?
+                    .parse()
+                    .map_err(|_| "--default-nodes needs an integer".to_string())?;
+            }
+            "--advice-dir" => {
+                args.opts.advice_dir = Some(next_val(&mut it, "--advice-dir")?.into())
+            }
+            "--log-json" => args.log_json = Some(next_val(&mut it, "--log-json")?.into()),
+            "--bench-json" => args.bench_json = Some(next_val(&mut it, "--bench-json")?.into()),
+            "--no-echo-advice" => args.opts.echo_advice = false,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn check_config(args: &Args) -> Result<(), String> {
+    if args.batch == 0 {
+        return Err("--batch must be positive".into());
+    }
+    if args.opts.queue_cap == 0 {
+        return Err("--queue-cap must be positive".into());
+    }
+    if args.opts.admission.max_tenants == 0 {
+        return Err("--max-tenants must be positive".into());
+    }
+    if args.opts.defaults.cache_blocks == 0 || args.opts.defaults.node_limit == 0 {
+        return Err("--default-cache and --default-nodes must be positive".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if let Err(msg) = check_config(&args) {
+        eprintln!("pfserve: {msg}");
+        return ExitCode::from(EXIT_INVALID_CONFIG);
+    }
+    if let Some(path) = &args.log_json {
+        if let Err(e) = prefetch_telemetry::log::set_json_path(path) {
+            eprintln!("pfserve: cannot open --log-json {}: {e}", path.display());
+            return ExitCode::from(EXIT_INVALID_CONFIG);
+        }
+    }
+    prefetch_pool::set_threads(args.threads);
+
+    let mut service = match Service::new(args.opts.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pfserve: cannot initialize service: {e}");
+            return ExitCode::from(EXIT_INVALID_CONFIG);
+        }
+    };
+    if !args.quiet {
+        eprintln!(
+            "pfserve: serving on {} ({} worker threads, batch {})",
+            args.socket.as_ref().map_or("stdin".to_string(), |p| p.display().to_string()),
+            prefetch_pool::effective_threads(),
+            args.batch,
+        );
+    }
+
+    let served = match &args.socket {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                prefetch_serve::listener::run_unix(&mut service, path, args.batch)
+            }
+            #[cfg(not(unix))]
+            {
+                eprintln!("pfserve: --socket {} requires unix", path.display());
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+        None => prefetch_serve::listener::run_stdin(&mut service, args.batch),
+    };
+    if let Err(e) = served {
+        eprintln!("pfserve: listener I/O error: {e}");
+        return ExitCode::from(EXIT_LISTENER_IO);
+    }
+
+    if let Some(path) = &args.bench_json {
+        if let Err(e) = std::fs::write(path, service.bench_json()) {
+            eprintln!("pfserve: cannot write --bench-json {}: {e}", path.display());
+            return ExitCode::from(EXIT_LISTENER_IO);
+        }
+    }
+    if !args.quiet {
+        let s = &service.stats;
+        eprintln!(
+            "pfserve: drained: tenants={} events={} sheds={} rejects={} parse_errors={} \
+             quarantined={}",
+            s.opens, s.events, s.sheds, s.rejects, s.parse_errors, s.quarantined
+        );
+    }
+    // Reaching here means every fault was contained; a panic that
+    // escapes main (EXIT_PANIC via the default handler) is a bug.
+    let _ = EXIT_PANIC;
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,278 @@
+//! Load and chaos script generation for `pfserve`.
+//!
+//! Composes the synthetic trace generators (`prefetch-trace`) into a
+//! request script driving thousands of concurrent, phase-shifting
+//! tenants. Each tenant interleaves with every other in round-robin
+//! slices — the service sees all tenants live at once — while its own
+//! events stay in order. Tenants phase-shift between two different
+//! workload generators every `phase_len` events, exercising the
+//! prefetch tree's re-learning path.
+//!
+//! Chaos mode layers faults on top *without touching clean tenants*:
+//! fates are chosen by index arithmetic (never a shared RNG), so a clean
+//! tenant's `OPEN` and `EV` lines are byte-identical between a chaos
+//! script and its no-chaos baseline. That property is what lets the
+//! `serve-chaos` CI job diff surviving tenants' advice files against a
+//! sequential baseline run.
+
+use prefetch_trace::synth::TraceKind;
+use prefetch_trace::TraceSource;
+use std::fmt::Write as _;
+
+/// How a tenant behaves in the generated script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Ordinary tenant; identical lines in chaos and baseline scripts.
+    Clean,
+    /// Opened with per-tenant fault injection (`disks=`, `fault_rate=`).
+    Faulty,
+    /// A `PANIC` chaos hook is inserted midway through its events.
+    Panicked,
+}
+
+impl Fate {
+    /// Stable name used in the manifest.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fate::Clean => "clean",
+            Fate::Faulty => "faulty",
+            Fate::Panicked => "panic",
+        }
+    }
+}
+
+/// Script-generation options.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadgenOpts {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Access events per tenant.
+    pub events_per_tenant: usize,
+    /// Events emitted per tenant per round-robin turn. Keep this well
+    /// under the server's `--queue-cap` so load scripts never shed
+    /// (shedding is exercised separately; a shed event would perturb
+    /// the advice stream and break baseline diffs).
+    pub slice: usize,
+    /// Events between workload phase shifts.
+    pub phase_len: usize,
+    /// Base seed; tenant `i` derives its workloads from `seed + i`.
+    pub seed: u64,
+    /// Inject faults and forced panics.
+    pub chaos: bool,
+    /// End the script with `SHUTDOWN` (drain + exit).
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenOpts {
+    fn default() -> Self {
+        LoadgenOpts {
+            tenants: 1000,
+            events_per_tenant: 64,
+            slice: 8,
+            phase_len: 24,
+            seed: 1,
+            chaos: false,
+            shutdown: true,
+        }
+    }
+}
+
+/// A generated script plus its tenant manifest.
+pub struct Generated {
+    /// Request lines, in order.
+    pub lines: Vec<String>,
+    /// `(tenant, fate)` for every tenant, in tenant order.
+    pub manifest: Vec<(String, Fate)>,
+}
+
+impl Generated {
+    /// Render the manifest as `tenant fate` lines (the CI job reads this
+    /// to pick which advice files to diff).
+    pub fn manifest_text(&self) -> String {
+        let mut out = String::new();
+        for (tenant, fate) in &self.manifest {
+            let _ = writeln!(out, "{tenant} {}", fate.name());
+        }
+        out
+    }
+}
+
+/// Tenant name for index `i` (zero-padded so lexicographic = numeric).
+pub fn tenant_name(i: usize) -> String {
+    format!("t{i:05}")
+}
+
+/// Which fate index `i` draws under chaos. Index arithmetic, not RNG:
+/// the same tenant is clean in both the chaos and the baseline script,
+/// with identical lines.
+fn fate_for(i: usize, chaos: bool) -> Fate {
+    if !chaos {
+        return Fate::Clean;
+    }
+    // Keep the two fault populations disjoint and mostly clean: roughly
+    // 1 in 13 panics, 1 in 7 of the rest gets fault injection.
+    if i % 13 == 5 {
+        Fate::Panicked
+    } else if i % 7 == 3 {
+        Fate::Faulty
+    } else {
+        Fate::Clean
+    }
+}
+
+/// The two workload generators tenant `i` phase-shifts between.
+fn kinds_for(i: usize) -> (TraceKind, TraceKind) {
+    let all = TraceKind::ALL;
+    let a = all[i % all.len()];
+    let b = all[(i + 1 + i / all.len()) % all.len()];
+    (a, b)
+}
+
+/// Generate a request script. See the module docs for the determinism
+/// contract between chaos and baseline scripts.
+pub fn generate(opts: &LoadgenOpts) -> Generated {
+    let mut lines = Vec::new();
+    let mut manifest = Vec::with_capacity(opts.tenants);
+    let slice = opts.slice.max(1);
+    let phase_len = opts.phase_len.max(1);
+
+    // Pre-draw each tenant's full block sequence so emission order
+    // (round-robin) is independent of generator internals.
+    let mut blocks: Vec<Vec<u64>> = Vec::with_capacity(opts.tenants);
+    for i in 0..opts.tenants {
+        let (ka, kb) = kinds_for(i);
+        let seed = opts.seed.wrapping_add(i as u64);
+        // Each phase source yields plenty; draw lazily per phase.
+        let mut a = ka.stream(opts.events_per_tenant, seed);
+        let mut b = kb.stream(opts.events_per_tenant, seed ^ 0x9e37_79b9);
+        let mut seq = Vec::with_capacity(opts.events_per_tenant);
+        for n in 0..opts.events_per_tenant {
+            let use_a = (n / phase_len).is_multiple_of(2);
+            let src: &mut dyn TraceSource = if use_a { &mut a } else { &mut b };
+            let rec = match src.next_record() {
+                Ok(Some(rec)) => rec,
+                // Synth sources are finite; rewind and keep going.
+                _ => {
+                    let _ = src.rewind();
+                    src.next_record().ok().flatten().expect("rewound synth source has records")
+                }
+            };
+            seq.push(rec.block.0);
+        }
+        blocks.push(seq);
+    }
+
+    // OPEN everyone first (they are all concurrently live), then
+    // round-robin event slices.
+    for i in 0..opts.tenants {
+        let name = tenant_name(i);
+        let fate = fate_for(i, opts.chaos);
+        match fate {
+            Fate::Faulty => lines.push(format!(
+                "OPEN {name} disks=2 fault_rate=0.05 fault_seed={}",
+                opts.seed.wrapping_add(i as u64)
+            )),
+            _ => lines.push(format!("OPEN {name}")),
+        }
+        manifest.push((name, fate));
+    }
+
+    let panic_at = opts.events_per_tenant / 2;
+    let mut emitted = vec![0usize; opts.tenants];
+    let mut remaining = opts.tenants;
+    while remaining > 0 {
+        remaining = 0;
+        for i in 0..opts.tenants {
+            let done = emitted[i];
+            if done >= opts.events_per_tenant {
+                continue;
+            }
+            let (name, fate) = &manifest[i];
+            let stop = (done + slice).min(opts.events_per_tenant);
+            for (n, block) in blocks[i].iter().enumerate().take(stop).skip(done) {
+                if *fate == Fate::Panicked && n == panic_at {
+                    // Arm the chaos hook: the next event panics and the
+                    // tenant is quarantined, so its remaining events are
+                    // answered with typed REJECTs.
+                    lines.push(format!("PANIC {name}"));
+                }
+                lines.push(format!("EV {name} {block}"));
+            }
+            emitted[i] = stop;
+            if stop < opts.events_per_tenant {
+                remaining += 1;
+            }
+        }
+    }
+
+    for (name, fate) in &manifest {
+        if *fate != Fate::Panicked {
+            lines.push(format!("CLOSE {name}"));
+        }
+        // A quarantined tenant's CLOSE would only draw a REJECT; its
+        // final report comes from the drain instead.
+    }
+    if opts.shutdown {
+        lines.push("SHUTDOWN".to_string());
+    }
+    Generated { lines, manifest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_tenant_lines_are_identical_with_and_without_chaos() {
+        let base = LoadgenOpts { tenants: 40, events_per_tenant: 12, ..LoadgenOpts::default() };
+        let clean = generate(&LoadgenOpts { chaos: false, ..base });
+        let chaos = generate(&LoadgenOpts { chaos: true, ..base });
+        assert!(chaos.manifest.iter().any(|(_, f)| *f == Fate::Panicked));
+        assert!(chaos.manifest.iter().any(|(_, f)| *f == Fate::Faulty));
+        for (tenant, fate) in &chaos.manifest {
+            if *fate != Fate::Clean {
+                continue;
+            }
+            let pick = |g: &Generated| -> Vec<String> {
+                g.lines
+                    .iter()
+                    .filter(|l| l.split_ascii_whitespace().nth(1) == Some(tenant.as_str()))
+                    .cloned()
+                    .collect()
+            };
+            assert_eq!(pick(&clean), pick(&chaos), "clean tenant {tenant} must not shift");
+        }
+    }
+
+    #[test]
+    fn script_is_deterministic_and_interleaved() {
+        let opts =
+            LoadgenOpts { tenants: 10, events_per_tenant: 8, slice: 2, ..LoadgenOpts::default() };
+        let a = generate(&opts);
+        let b = generate(&opts);
+        assert_eq!(a.lines, b.lines);
+        assert_eq!(a.lines.last().map(String::as_str), Some("SHUTDOWN"));
+        // Round-robin: tenant 0's events do not all precede tenant 9's.
+        let pos = |lines: &[String], needle: &str| {
+            lines.iter().position(|l| l.starts_with(needle)).unwrap()
+        };
+        assert!(
+            pos(&a.lines, "EV t00009")
+                < a.lines.iter().rposition(|l| l.starts_with("EV t00000")).unwrap()
+        );
+        // Every tenant gets exactly events_per_tenant EV lines.
+        for (tenant, _) in &a.manifest {
+            let evs = a.lines.iter().filter(|l| l.starts_with(&format!("EV {tenant} "))).count();
+            assert_eq!(evs, 8);
+        }
+    }
+
+    #[test]
+    fn manifest_text_lists_every_tenant() {
+        let g =
+            generate(&LoadgenOpts { tenants: 5, events_per_tenant: 2, ..LoadgenOpts::default() });
+        let text = g.manifest_text();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains("t00000 clean"));
+    }
+}

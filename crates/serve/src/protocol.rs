@@ -1,0 +1,298 @@
+//! The `pfserve` line protocol: requests in, typed responses out.
+//!
+//! Every request is one ASCII line of whitespace-separated fields; every
+//! response is one line whose first field names its type. The protocol is
+//! deliberately lossy-tolerant: a malformed line is answered with a typed
+//! `ERR` response (and counted against the tenant when one can be
+//! attributed), never a connection drop or a crash.
+//!
+//! Requests:
+//!
+//! ```text
+//! OPEN <tenant> [key=value ...]   admit a tenant (cache=, policy=, nodes=,
+//!                                 overflow=evict|freeze, disks=, fault_rate=,
+//!                                 fault_seed=)
+//! EV <tenant> <block>             one access event; answered with advice
+//! STATS <tenant>                  live per-tenant counters
+//! CLOSE <tenant>                  drain the tenant and emit its FINAL line
+//! PANIC <tenant>                  chaos hook: the tenant's next event panics
+//! SHUTDOWN                        drain every tenant and stop the server
+//! # ...                           comment; blank lines are ignored
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! OK <verb> <tenant>                              request applied
+//! ADV <tenant> <seq> <h|p|m> stall=<ms> pf=<b,..|->  per-event advice
+//! REJECT <tenant> <reason> [detail]               typed admission refusal
+//! SHED <tenant> queue-full [detail]               backpressure: event dropped
+//! ERR parse <detail>                              malformed line, skipped
+//! PANIC <tenant> quarantined err=<msg>            tenant quarantined
+//! STATS <tenant> k=v ...                          live counters
+//! FINAL <tenant> k=v ...                          end-of-life report
+//! BYE k=v ...                                     drain complete
+//! ```
+
+use std::fmt;
+
+/// Maximum tenant-name length accepted by the protocol.
+pub const MAX_TENANT_NAME: usize = 64;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Admit a tenant with `key=value` options.
+    Open {
+        /// Tenant name.
+        tenant: String,
+        /// Raw `key=value` options, in line order.
+        opts: Vec<(String, String)>,
+    },
+    /// One access event for a tenant.
+    Event {
+        /// Tenant name.
+        tenant: String,
+        /// Referenced block.
+        block: u64,
+    },
+    /// Report live counters for a tenant.
+    Stats {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Drain a tenant and emit its final report.
+    Close {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Chaos hook: make the tenant's next event processing panic.
+    Panic {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Drain every tenant and stop the server.
+    Shutdown,
+}
+
+/// Why a line could not be parsed. Carries the tenant name when one was
+/// readable, so the skip can be charged to the right tenant's
+/// `skipped_records` counter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Tenant the malformed line addressed, when recognizable.
+    pub tenant: Option<String>,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+fn check_tenant_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > MAX_TENANT_NAME {
+        return Err(format!("tenant name must be 1..={MAX_TENANT_NAME} chars"));
+    }
+    if !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.') {
+        return Err(format!("tenant name {name:?} has characters outside [A-Za-z0-9_.-]"));
+    }
+    Ok(())
+}
+
+/// Parse one request line. `Ok(None)` for blank lines and `#` comments.
+pub fn parse_line(line: &str) -> Result<Option<Request>, ParseError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split_ascii_whitespace();
+    let verb = fields.next().expect("non-empty line has a first field");
+    let err = |tenant: Option<&str>, message: String| {
+        Err(ParseError { tenant: tenant.map(str::to_owned), message })
+    };
+    let named_tenant = |fields: &mut std::str::SplitAsciiWhitespace<'_>,
+                        verb: &str|
+     -> Result<String, ParseError> {
+        let t = fields.next().ok_or_else(|| ParseError {
+            tenant: None,
+            message: format!("{verb} needs a tenant"),
+        })?;
+        check_tenant_name(t).map_err(|message| ParseError { tenant: None, message })?;
+        Ok(t.to_owned())
+    };
+    match verb {
+        "OPEN" => {
+            let tenant = named_tenant(&mut fields, "OPEN")?;
+            let mut opts = Vec::new();
+            for opt in fields {
+                match opt.split_once('=') {
+                    Some((k, v)) if !k.is_empty() && !v.is_empty() => {
+                        opts.push((k.to_owned(), v.to_owned()));
+                    }
+                    _ => {
+                        return err(Some(&tenant), format!("OPEN option {opt:?} is not key=value"));
+                    }
+                }
+            }
+            Ok(Some(Request::Open { tenant, opts }))
+        }
+        "EV" => {
+            let tenant = named_tenant(&mut fields, "EV")?;
+            let Some(raw) = fields.next() else {
+                return err(Some(&tenant), "EV needs a block number".into());
+            };
+            let Ok(block) = raw.parse::<u64>() else {
+                return err(Some(&tenant), format!("EV block {raw:?} is not a u64"));
+            };
+            if fields.next().is_some() {
+                return err(Some(&tenant), "EV takes exactly tenant and block".into());
+            }
+            Ok(Some(Request::Event { tenant, block }))
+        }
+        "STATS" => Ok(Some(Request::Stats { tenant: named_tenant(&mut fields, "STATS")? })),
+        "CLOSE" => Ok(Some(Request::Close { tenant: named_tenant(&mut fields, "CLOSE")? })),
+        "PANIC" => Ok(Some(Request::Panic { tenant: named_tenant(&mut fields, "PANIC")? })),
+        "SHUTDOWN" => Ok(Some(Request::Shutdown)),
+        other => err(None, format!("unknown verb {other:?}")),
+    }
+}
+
+/// Why a request was refused. Every variant renders to a stable
+/// machine-parsable reason code, so clients can branch on the first
+/// field after the tenant name.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RejectReason {
+    /// Admission control: the tenant cap is reached.
+    TenantLimit {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Admission control: the aggregate memory budget would be exceeded.
+    MemoryBudget {
+        /// Bytes the tenant would reserve.
+        requested: u64,
+        /// Bytes still available under the budget.
+        available: u64,
+    },
+    /// The tenant panicked earlier and is quarantined (never resurrected
+    /// silently; this refusal is the explicit report).
+    Quarantined,
+    /// The tenant was never opened, or was closed.
+    UnknownTenant,
+    /// The tenant is already open.
+    Duplicate,
+    /// The OPEN options did not form a valid configuration.
+    BadConfig(String),
+}
+
+impl RejectReason {
+    /// Stable machine-readable reason code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::TenantLimit { .. } => "tenant-limit",
+            RejectReason::MemoryBudget { .. } => "memory-budget",
+            RejectReason::Quarantined => "quarantined",
+            RejectReason::UnknownTenant => "unknown-tenant",
+            RejectReason::Duplicate => "duplicate",
+            RejectReason::BadConfig(_) => "bad-config",
+        }
+    }
+
+    /// Render the full `REJECT` response line.
+    pub fn render(&self, tenant: &str) -> String {
+        match self {
+            RejectReason::TenantLimit { limit } => {
+                format!("REJECT {tenant} tenant-limit limit={limit}")
+            }
+            RejectReason::MemoryBudget { requested, available } => {
+                format!("REJECT {tenant} memory-budget requested={requested} available={available}")
+            }
+            RejectReason::BadConfig(detail) => format!("REJECT {tenant} bad-config {detail}"),
+            _ => format!("REJECT {tenant} {}", self.code()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_line("OPEN t1 cache=64 policy=tree").unwrap().unwrap(),
+            Request::Open {
+                tenant: "t1".into(),
+                opts: vec![("cache".into(), "64".into()), ("policy".into(), "tree".into())],
+            }
+        );
+        assert_eq!(
+            parse_line("EV t1 42").unwrap().unwrap(),
+            Request::Event { tenant: "t1".into(), block: 42 }
+        );
+        assert_eq!(
+            parse_line("STATS t1").unwrap().unwrap(),
+            Request::Stats { tenant: "t1".into() }
+        );
+        assert_eq!(
+            parse_line("CLOSE t1").unwrap().unwrap(),
+            Request::Close { tenant: "t1".into() }
+        );
+        assert_eq!(
+            parse_line("PANIC t1").unwrap().unwrap(),
+            Request::Panic { tenant: "t1".into() }
+        );
+        assert_eq!(parse_line("SHUTDOWN").unwrap().unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_skipped() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("   ").unwrap(), None);
+        assert_eq!(parse_line("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_with_attribution() {
+        let e = parse_line("EV t1 not-a-number").unwrap_err();
+        assert_eq!(e.tenant.as_deref(), Some("t1"));
+        assert!(e.message.contains("not a u64"));
+
+        let e = parse_line("EV").unwrap_err();
+        assert_eq!(e.tenant, None);
+
+        let e = parse_line("FROB t1").unwrap_err();
+        assert!(e.message.contains("unknown verb"));
+
+        let e = parse_line("OPEN t1 cache").unwrap_err();
+        assert_eq!(e.tenant.as_deref(), Some("t1"));
+
+        let e = parse_line("OPEN bad/name").unwrap_err();
+        assert!(e.message.contains("characters outside"));
+
+        let long = "x".repeat(MAX_TENANT_NAME + 1);
+        assert!(parse_line(&format!("EV {long} 1")).is_err());
+    }
+
+    #[test]
+    fn reject_reasons_render_stable_codes() {
+        assert_eq!(
+            RejectReason::TenantLimit { limit: 8 }.render("t"),
+            "REJECT t tenant-limit limit=8"
+        );
+        assert_eq!(
+            RejectReason::MemoryBudget { requested: 100, available: 10 }.render("t"),
+            "REJECT t memory-budget requested=100 available=10"
+        );
+        assert_eq!(RejectReason::Quarantined.render("t"), "REJECT t quarantined");
+        assert_eq!(RejectReason::UnknownTenant.render("t"), "REJECT t unknown-tenant");
+        assert_eq!(RejectReason::Duplicate.render("t"), "REJECT t duplicate");
+        assert_eq!(
+            RejectReason::BadConfig("cache=0".into()).render("t"),
+            "REJECT t bad-config cache=0"
+        );
+    }
+}

@@ -1,0 +1,662 @@
+//! The multi-tenant advisor service core.
+//!
+//! [`Service`] owns the tenant registry and processes request lines in
+//! batches. Within a batch, per-tenant event queues are built in arrival
+//! order and then flushed across the `prefetch-pool` workers — one tenant
+//! is one work item, so the pool's work stealing spreads thousands of
+//! tenants over the cores while each tenant's own events stay strictly
+//! ordered. Every flush runs under its own `catch_unwind`: a panicking
+//! tenant (chaos hook or real policy bug) is quarantined through the
+//! `prefetch-core` [`Quarantine`] machinery and reported with a typed
+//! `PANIC` response; its siblings — including those sharing the same
+//! worker — never notice.
+//!
+//! ## Fault domains
+//!
+//! * **tenant** — panic, malformed input, memory blowup: contained by
+//!   `catch_unwind`, per-tenant node budgets, and per-tenant skip
+//!   counters; the blast radius is one tenant.
+//! * **shard (worker)** — a pool worker only ever holds one tenant's lock
+//!   at a time and the panic never crosses the `catch_unwind`, so a
+//!   poisoned tenant mutex is recovered (`into_inner`) and the slot is
+//!   retired.
+//! * **listener** — parse errors and overload are answered with typed
+//!   `ERR`/`SHED`/`REJECT` lines, never a disconnect.
+//! * **process** — graceful drain emits deterministic per-tenant `FINAL`
+//!   reports and flushes telemetry before exit.
+//!
+//! ## Determinism
+//!
+//! A tenant's advice stream is a pure function of its own event sequence:
+//! tenant state is touched only under its slot lock, events are applied in
+//! arrival order, and nothing a sibling does feeds back into the
+//! computation. Any `--threads N` therefore yields byte-identical
+//! per-tenant advice streams (asserted by the crate's integration tests
+//! and the `serve-chaos` CI job).
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::protocol::{parse_line, RejectReason, Request};
+use crate::tenant::{TenantDefaults, TenantSpec, TenantState};
+use prefetch_core::Quarantine;
+use prefetch_hash::FxHashMap;
+use prefetch_telemetry::{log as tlog, Histogram};
+use prefetch_trace::BlockId;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, Once};
+use std::time::Instant;
+
+/// Identifies the connection a request arrived on, so responses can be
+/// routed back (stdin mode uses a single id 0).
+pub type ConnId = u64;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Admission budgets.
+    pub admission: AdmissionConfig,
+    /// Defaults for `OPEN` options.
+    pub defaults: TenantDefaults,
+    /// Bounded per-tenant input queue: at most this many events per
+    /// tenant per batch; the excess is shed with a typed response.
+    pub queue_cap: usize,
+    /// Per-tenant advice files are written under this directory.
+    pub advice_dir: Option<PathBuf>,
+    /// Echo `ADV` lines to the requesting connection (disable for load
+    /// tests that only want the advice files and final reports).
+    pub echo_advice: bool,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            admission: AdmissionConfig::default(),
+            defaults: TenantDefaults::default(),
+            queue_cap: 1024,
+            advice_dir: None,
+            echo_advice: true,
+        }
+    }
+}
+
+/// Why a slot no longer holds live state.
+#[derive(Debug)]
+enum Gone {
+    /// Closed by request; its `FINAL` line was emitted at close time.
+    Closed,
+    /// Quarantined after a panic, with retained counters for the drain
+    /// report. Never silently resurrected: later requests are refused
+    /// with `REJECT <tenant> quarantined`.
+    Quarantined { message: String, events: u64, skipped: u64, shed: u64 },
+}
+
+/// One tenant slot. The mutex makes slots shareable with pool workers;
+/// it is uncontended (a tenant is flushed by exactly one worker per
+/// batch) and poison is always recovered — a panic inside a flush is the
+/// *expected* failure mode this service exists to contain.
+#[derive(Default)]
+struct Slot {
+    state: Option<TenantState>,
+    gone: Option<Gone>,
+}
+
+fn lock_slot(slot: &Mutex<Slot>) -> MutexGuard<'_, Slot> {
+    slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Service-wide counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Access events processed to advice.
+    pub events: u64,
+    /// Events dropped by backpressure.
+    pub sheds: u64,
+    /// Typed request refusals.
+    pub rejects: u64,
+    /// Malformed lines skipped.
+    pub parse_errors: u64,
+    /// Tenants admitted.
+    pub opens: u64,
+    /// Tenants closed by request.
+    pub closes: u64,
+    /// Tenants quarantined after a panic.
+    pub quarantined: u64,
+    /// Batches processed.
+    pub batches: u64,
+}
+
+/// What one tenant's batch flush produced.
+struct TenantFlush {
+    responses: Vec<(ConnId, String)>,
+    latencies_us: Vec<u64>,
+    /// Set when the flush panicked: index of the event that was being
+    /// processed, and the rendered panic payload.
+    panicked: Option<(usize, String)>,
+}
+
+/// The multi-tenant advisor service. See the module docs for the fault
+/// domains and the determinism contract.
+pub struct Service {
+    opts: ServeOpts,
+    slots: Vec<Arc<Mutex<Slot>>>,
+    names: Vec<Arc<str>>,
+    index: FxHashMap<String, usize>,
+    quarantine: Quarantine,
+    admission: Admission,
+    /// Service-wide counters (readable between batches).
+    pub stats: ServiceStats,
+    advice_latency_us: Histogram,
+    shutdown: bool,
+    started: Instant,
+}
+
+impl Service {
+    /// Build a service; creates the advice directory when configured.
+    pub fn new(opts: ServeOpts) -> std::io::Result<Self> {
+        install_quiet_panic_hook();
+        if let Some(dir) = &opts.advice_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(Service {
+            admission: Admission::new(opts.admission),
+            opts,
+            slots: Vec::new(),
+            names: Vec::new(),
+            index: FxHashMap::default(),
+            // One panic quarantines: a tenant that took down a worker
+            // once is never trusted again without operator action.
+            quarantine: Quarantine::new(1),
+            stats: ServiceStats::default(),
+            advice_latency_us: Histogram::new(),
+            shutdown: false,
+            started: Instant::now(),
+        })
+    }
+
+    /// Whether a `SHUTDOWN` request has been seen (the listener drains
+    /// and exits after the current batch).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Tenants currently admitted.
+    pub fn live_tenants(&self) -> usize {
+        self.admission.live()
+    }
+
+    /// The advice-latency histogram (microseconds per event).
+    pub fn advice_latency_us(&self) -> &Histogram {
+        &self.advice_latency_us
+    }
+
+    fn is_quarantined(&self, idx: usize) -> bool {
+        self.quarantine.is_quarantined(BlockId(idx as u64))
+    }
+
+    /// Process one batch of request lines and return the responses.
+    ///
+    /// Responses preserve per-tenant request order. Control requests are
+    /// answered in line order; event advice for a tenant is grouped at
+    /// the point its queue is flushed (inline when a control request for
+    /// the same tenant needs the events applied first, otherwise at the
+    /// end of the batch).
+    pub fn process_batch(&mut self, lines: &[(ConnId, String)]) -> Vec<(ConnId, String)> {
+        self.stats.batches += 1;
+        let mut out: Vec<(ConnId, String)> = Vec::new();
+        let mut pending: FxHashMap<usize, Vec<(ConnId, u64)>> = FxHashMap::default();
+        let mut order: Vec<usize> = Vec::new();
+
+        for (conn, raw) in lines {
+            let conn = *conn;
+            let req = match parse_line(raw) {
+                Ok(None) => continue,
+                Ok(Some(req)) => req,
+                Err(e) => {
+                    self.stats.parse_errors += 1;
+                    if let Some(t) = &e.tenant {
+                        if let Some(&i) = self.index.get(t) {
+                            let mut guard = lock_slot(&self.slots[i]);
+                            if let Some(state) = guard.state.as_mut() {
+                                state.skipped += 1;
+                            }
+                        }
+                    }
+                    out.push((conn, format!("ERR parse {}", e.message)));
+                    continue;
+                }
+            };
+            match req {
+                Request::Event { tenant, block } => match self.index.get(&tenant) {
+                    Some(&i) if !self.is_quarantined(i) => {
+                        let gone = lock_slot(&self.slots[i]).state.is_none();
+                        if gone {
+                            self.reject(&mut out, conn, &tenant, RejectReason::UnknownTenant);
+                            continue;
+                        }
+                        let queue = pending.entry(i).or_insert_with(|| {
+                            order.push(i);
+                            Vec::new()
+                        });
+                        if queue.len() >= self.opts.queue_cap {
+                            self.stats.sheds += 1;
+                            if let Some(state) = lock_slot(&self.slots[i]).state.as_mut() {
+                                state.shed += 1;
+                            }
+                            out.push((
+                                conn,
+                                format!("SHED {tenant} queue-full cap={}", self.opts.queue_cap),
+                            ));
+                        } else {
+                            queue.push((conn, block));
+                        }
+                    }
+                    Some(&i) => {
+                        debug_assert!(self.is_quarantined(i));
+                        self.reject(&mut out, conn, &tenant, RejectReason::Quarantined);
+                    }
+                    None => self.reject(&mut out, conn, &tenant, RejectReason::UnknownTenant),
+                },
+                Request::Open { tenant, opts } => {
+                    self.open_tenant(&mut out, conn, tenant, &opts);
+                }
+                Request::Stats { tenant } => match self.lookup_live(&tenant) {
+                    Ok(i) => {
+                        self.flush_and_absorb(i, &mut pending, &mut out);
+                        let line = lock_slot(&self.slots[i]).state.as_ref().map(|s| s.stats_line());
+                        match line {
+                            Some(line) => out.push((conn, line)),
+                            // The inline flush itself quarantined it.
+                            None => self.reject(&mut out, conn, &tenant, RejectReason::Quarantined),
+                        }
+                    }
+                    Err(reason) => self.reject(&mut out, conn, &tenant, reason),
+                },
+                Request::Close { tenant } => match self.lookup_live(&tenant) {
+                    Ok(i) => {
+                        self.flush_and_absorb(i, &mut pending, &mut out);
+                        let taken = {
+                            let mut guard = lock_slot(&self.slots[i]);
+                            let state = guard.state.take();
+                            if state.is_some() {
+                                guard.gone = Some(Gone::Closed);
+                            }
+                            state
+                        };
+                        match taken {
+                            Some(mut state) => {
+                                let line = state.final_line();
+                                self.admission.release(state.spec.estimated_bytes());
+                                self.stats.closes += 1;
+                                out.push((conn, line));
+                            }
+                            None => self.reject(&mut out, conn, &tenant, RejectReason::Quarantined),
+                        }
+                    }
+                    Err(reason) => self.reject(&mut out, conn, &tenant, reason),
+                },
+                Request::Panic { tenant } => match self.lookup_live(&tenant) {
+                    Ok(i) => {
+                        // Events earlier in the batch keep sequential
+                        // semantics: apply them before arming the hook.
+                        self.flush_and_absorb(i, &mut pending, &mut out);
+                        let armed = {
+                            let mut guard = lock_slot(&self.slots[i]);
+                            match guard.state.as_mut() {
+                                Some(state) => {
+                                    state.panic_armed = true;
+                                    true
+                                }
+                                None => false,
+                            }
+                        };
+                        if armed {
+                            out.push((conn, format!("OK panic-armed {tenant}")));
+                        } else {
+                            self.reject(&mut out, conn, &tenant, RejectReason::Quarantined)
+                        }
+                    }
+                    Err(reason) => self.reject(&mut out, conn, &tenant, reason),
+                },
+                Request::Shutdown => {
+                    // Apply everything queued so far, then flag the drain.
+                    let active: Vec<usize> = order.to_vec();
+                    for i in active {
+                        self.flush_and_absorb(i, &mut pending, &mut out);
+                    }
+                    self.shutdown = true;
+                    out.push((conn, "OK shutdown".to_string()));
+                }
+            }
+        }
+
+        // Batch end: flush every tenant with queued events across the
+        // pool workers. One tenant = one work item; results come back in
+        // `order` (first-appearance) order, so the response stream is
+        // independent of the worker count.
+        let active: Vec<(usize, Vec<(ConnId, u64)>)> = order
+            .into_iter()
+            .filter_map(|i| {
+                let events = pending.remove(&i)?;
+                (!events.is_empty()).then_some((i, events))
+            })
+            .collect();
+        if !active.is_empty() {
+            let slots = &self.slots;
+            let flushes = prefetch_pool::run_indexed(active.len(), |j| {
+                let (idx, events) = &active[j];
+                flush_tenant(&slots[*idx], events)
+            });
+            for ((idx, events), flush) in active.iter().zip(flushes) {
+                self.absorb_flush(*idx, events, flush, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Look up a live tenant, with the typed reason when it is not.
+    fn lookup_live(&self, tenant: &str) -> Result<usize, RejectReason> {
+        match self.index.get(tenant) {
+            Some(&i) if self.is_quarantined(i) => Err(RejectReason::Quarantined),
+            Some(&i) => {
+                if lock_slot(&self.slots[i]).state.is_some() {
+                    Ok(i)
+                } else {
+                    Err(RejectReason::UnknownTenant)
+                }
+            }
+            None => Err(RejectReason::UnknownTenant),
+        }
+    }
+
+    fn reject(
+        &mut self,
+        out: &mut Vec<(ConnId, String)>,
+        conn: ConnId,
+        tenant: &str,
+        reason: RejectReason,
+    ) {
+        self.stats.rejects += 1;
+        out.push((conn, reason.render(tenant)));
+    }
+
+    fn open_tenant(
+        &mut self,
+        out: &mut Vec<(ConnId, String)>,
+        conn: ConnId,
+        tenant: String,
+        opts: &[(String, String)],
+    ) {
+        if let Some(&i) = self.index.get(&tenant) {
+            if self.is_quarantined(i) {
+                return self.reject(out, conn, &tenant, RejectReason::Quarantined);
+            }
+            let guard = lock_slot(&self.slots[i]);
+            if guard.state.is_some() {
+                drop(guard);
+                return self.reject(out, conn, &tenant, RejectReason::Duplicate);
+            }
+            // Closed slot: fall through and re-open in place.
+        }
+        let spec = match TenantSpec::from_opts(opts, &self.opts.defaults) {
+            Ok(spec) => spec,
+            Err(reason) => return self.reject(out, conn, &tenant, reason),
+        };
+        if let Err(reason) = self.admission.try_admit(spec.estimated_bytes()) {
+            return self.reject(out, conn, &tenant, reason);
+        }
+        let state = match TenantState::new(&tenant, spec.clone(), self.opts.advice_dir.as_deref()) {
+            Ok(state) => state,
+            Err(e) => {
+                self.admission.release(spec.estimated_bytes());
+                return self.reject(
+                    out,
+                    conn,
+                    &tenant,
+                    RejectReason::BadConfig(format!("advice file: {e}")),
+                );
+            }
+        };
+        match self.index.get(&tenant) {
+            Some(&i) => {
+                let mut guard = lock_slot(&self.slots[i]);
+                guard.state = Some(state);
+                guard.gone = None;
+            }
+            None => {
+                let i = self.slots.len();
+                self.slots.push(Arc::new(Mutex::new(Slot { state: Some(state), gone: None })));
+                self.names.push(Arc::from(tenant.as_str()));
+                self.index.insert(tenant.clone(), i);
+            }
+        }
+        self.stats.opens += 1;
+        out.push((conn, format!("OK open {tenant}")));
+    }
+
+    /// Flush one tenant's queued events inline (control-request path).
+    fn flush_and_absorb(
+        &mut self,
+        idx: usize,
+        pending: &mut FxHashMap<usize, Vec<(ConnId, u64)>>,
+        out: &mut Vec<(ConnId, String)>,
+    ) {
+        let Some(events) = pending.get_mut(&idx) else { return };
+        if events.is_empty() {
+            return;
+        }
+        let events = std::mem::take(events);
+        let flush = flush_tenant(&self.slots[idx], &events);
+        self.absorb_flush(idx, &events, flush, out);
+    }
+
+    /// Fold one tenant's flush results into service state and responses.
+    fn absorb_flush(
+        &mut self,
+        idx: usize,
+        events: &[(ConnId, u64)],
+        flush: TenantFlush,
+        out: &mut Vec<(ConnId, String)>,
+    ) {
+        self.stats.events += flush.latencies_us.len() as u64;
+        for us in &flush.latencies_us {
+            self.advice_latency_us.record(*us);
+        }
+        if self.opts.echo_advice {
+            out.extend(flush.responses);
+        }
+        if let Some((at, message)) = flush.panicked {
+            self.quarantine_tenant(idx, &message);
+            let name = Arc::clone(&self.names[idx]);
+            let conn = events.get(at).map_or(0, |(c, _)| *c);
+            out.push((conn, format!("PANIC {name} quarantined err={message:?}")));
+            // Events behind the panic are refused explicitly, never
+            // silently dropped.
+            for (conn, _) in &events[(at + 1).min(events.len())..] {
+                self.reject(out, *conn, &name, RejectReason::Quarantined);
+            }
+        }
+    }
+
+    /// Retire a panicked tenant: drop its state (freeing its budget),
+    /// retain its counters for the drain report, and record it in the
+    /// quarantine so it is never silently resurrected.
+    fn quarantine_tenant(&mut self, idx: usize, message: &str) {
+        let mut guard = lock_slot(&self.slots[idx]);
+        let (events, skipped, shed, estimate) = match guard.state.take() {
+            Some(mut state) => {
+                state.flush_advice();
+                (state.seq, state.skipped, state.shed, state.spec.estimated_bytes())
+            }
+            None => (0, 0, 0, 0),
+        };
+        guard.gone =
+            Some(Gone::Quarantined { message: message.to_string(), events, skipped, shed });
+        drop(guard);
+        self.quarantine.record_failure(BlockId(idx as u64));
+        if estimate > 0 {
+            self.admission.release(estimate);
+        }
+        self.stats.quarantined += 1;
+        tlog::warn("serve_tenant_quarantined")
+            .str("tenant", self.names[idx].to_string())
+            .str("err", message)
+            .emit();
+    }
+
+    /// Graceful drain: deterministic per-tenant `FINAL` reports in
+    /// admission order (quarantined tenants report their retained
+    /// counters), then a `BYE` summary.
+    pub fn drain(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        for i in 0..self.slots.len() {
+            let mut guard = lock_slot(&self.slots[i]);
+            if let Some(state) = guard.state.as_mut() {
+                out.push(state.final_line());
+            } else if let Some(Gone::Quarantined { message, events, skipped, shed }) = &guard.gone {
+                out.push(format!(
+                    "FINAL {} events={events} skipped={skipped} shed={shed} quarantined=true \
+                     err={message:?}",
+                    self.names[i]
+                ));
+            }
+            // Closed tenants already reported at close time.
+        }
+        let s = &self.stats;
+        out.push(format!(
+            "BYE tenants={} events={} sheds={} rejects={} parse_errors={} quarantined={}",
+            s.opens, s.events, s.sheds, s.rejects, s.parse_errors, s.quarantined
+        ));
+        self.log_summary();
+        out
+    }
+
+    /// Emit a live-stats record to the telemetry log (the listener calls
+    /// this periodically; with `--log-json` these become the service's
+    /// JSONL events endpoint).
+    pub fn log_live_stats(&self) {
+        let s = &self.stats;
+        tlog::info("serve_stats")
+            .u64("tenants_live", self.admission.live() as u64)
+            .u64("tenants_opened", s.opens)
+            .u64("events", s.events)
+            .u64("sheds", s.sheds)
+            .u64("rejects", s.rejects)
+            .u64("parse_errors", s.parse_errors)
+            .u64("quarantined", s.quarantined)
+            .u64("batches", s.batches)
+            .u64("reserved_bytes", self.admission.reserved_bytes())
+            .u64("advice_p99_us", self.advice_latency_us.p99())
+            .emit();
+    }
+
+    fn log_summary(&self) {
+        let s = &self.stats;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        tlog::info("serve_drain")
+            .u64("tenants_opened", s.opens)
+            .u64("events", s.events)
+            .u64("sheds", s.sheds)
+            .u64("rejects", s.rejects)
+            .u64("parse_errors", s.parse_errors)
+            .u64("quarantined", s.quarantined)
+            .f64("elapsed_s", elapsed)
+            .f64("events_per_sec", if elapsed > 0.0 { s.events as f64 / elapsed } else { 0.0 })
+            .u64("advice_p50_us", self.advice_latency_us.p50())
+            .u64("advice_p99_us", self.advice_latency_us.p99())
+            .emit();
+    }
+
+    /// Render the `pfserve-bench/v1` JSON artifact (tenant throughput and
+    /// advice-latency percentiles from the telemetry histogram).
+    pub fn bench_json(&self) -> String {
+        let s = &self.stats;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let per_sec = |n: u64| if elapsed > 0.0 { n as f64 / elapsed } else { 0.0 };
+        let h = &self.advice_latency_us;
+        format!(
+            "{{\"schema\":\"pfserve-bench/v1\",\"tenants\":{},\"events\":{},\"elapsed_s\":{:.3},\
+             \"tenants_per_sec\":{:.3},\"events_per_sec\":{:.3},\"sheds\":{},\"rejects\":{},\
+             \"parse_errors\":{},\"quarantined\":{},\"advice_latency_us\":{{\"count\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}}}",
+            s.opens,
+            s.events,
+            elapsed,
+            per_sec(s.opens),
+            per_sec(s.events),
+            s.sheds,
+            s.rejects,
+            s.parse_errors,
+            s.quarantined,
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max(),
+        )
+    }
+}
+
+thread_local! {
+    /// True while this worker runs a tenant flush under `catch_unwind`:
+    /// the panic hook stays silent (the panic becomes a typed `PANIC`
+    /// response and a quarantine, so the default hook's backtrace spam
+    /// would only obscure the service's real output).
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Render a panic payload the way the sweep harness does.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Apply one tenant's queued events in order, under `catch_unwind`.
+///
+/// Responses produced before a panic are preserved (pushed through a
+/// mutex the unwinding cannot tear), so a tenant that dies mid-batch
+/// still delivers the advice it computed. Runs on a pool worker; touches
+/// only the one slot it was given.
+fn flush_tenant(slot: &Mutex<Slot>, events: &[(ConnId, u64)]) -> TenantFlush {
+    let responses: Mutex<Vec<(ConnId, String)>> = Mutex::new(Vec::with_capacity(events.len()));
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(events.len()));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut guard = lock_slot(slot);
+        let Some(state) = guard.state.as_mut() else {
+            return;
+        };
+        for (conn, block) in events {
+            let t0 = Instant::now();
+            let line = state.process_event(*block);
+            let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            latencies.lock().unwrap_or_else(|e| e.into_inner()).push(us);
+            responses.lock().unwrap_or_else(|e| e.into_inner()).push((*conn, line));
+        }
+    }));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    let responses = responses.into_inner().unwrap_or_else(|e| e.into_inner());
+    let latencies = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    let panicked = match result {
+        Ok(()) => None,
+        Err(payload) => Some((responses.len(), payload_message(payload))),
+    };
+    TenantFlush { responses, latencies_us: latencies, panicked }
+}

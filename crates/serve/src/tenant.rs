@@ -1,0 +1,436 @@
+//! Per-tenant advisor state: one [`Simulator`] (prefetch tree +
+//! cost-benefit cache model) per tenant, plus the service-side counters.
+//!
+//! A tenant is configured at `OPEN` time by [`TenantSpec`]: cache size,
+//! policy, node budget (the tree crate's `OverflowPolicy` enforced through
+//! `EngineConfig`), and optional per-tenant fault injection. Every access
+//! event steps the tenant's simulator one period and captures the
+//! resulting prefetch advice; the tenant's whole evolution depends only on
+//! its own event sequence, which is what makes per-tenant advice streams
+//! byte-identical at any worker count.
+
+use crate::protocol::RejectReason;
+use prefetch_core::policy::RefKind;
+use prefetch_sim::{PolicySpec, SimConfig, SimEvent, SimMetrics, SimObserver, Simulator};
+use prefetch_trace::{BlockId, TraceRecord};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Server-side defaults applied when an `OPEN` omits an option.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantDefaults {
+    /// Cache blocks per tenant.
+    pub cache_blocks: usize,
+    /// Prefetch-tree node budget per tenant.
+    pub node_limit: usize,
+    /// Freeze (true) or evict (false) at the node budget.
+    pub freeze: bool,
+}
+
+impl Default for TenantDefaults {
+    fn default() -> Self {
+        TenantDefaults { cache_blocks: 64, node_limit: 4096, freeze: false }
+    }
+}
+
+/// A tenant's parsed `OPEN` configuration.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Cache blocks.
+    pub cache_blocks: usize,
+    /// Policy to advise with.
+    pub policy: PolicySpec,
+    /// Prefetch-tree node budget.
+    pub node_limit: usize,
+    /// Freeze instead of evicting at the node budget.
+    pub freeze: bool,
+    /// Finite disk array size for fault pricing, if any.
+    pub disks: Option<usize>,
+    /// Per-tenant deterministic fault rate (requires `disks`).
+    pub fault_rate: f64,
+    /// Seed of the tenant's fault plan.
+    pub fault_seed: u64,
+}
+
+/// Parse a single-policy name (the subset of pfsim's `--policy` grammar
+/// that makes sense per tenant; the oracle needs trace lookahead a live
+/// event stream cannot provide, so it is rejected).
+fn parse_policy(s: &str) -> Result<PolicySpec, String> {
+    Ok(match s {
+        "no-prefetch" => PolicySpec::NoPrefetch,
+        "next-limit" => PolicySpec::NextLimit,
+        "tree" => PolicySpec::Tree,
+        "tree-next-limit" => PolicySpec::TreeNextLimit,
+        "tree-lvc" => PolicySpec::TreeLvc,
+        "tree-reanchor" => PolicySpec::TreeReanchor,
+        other => {
+            if let Some(t) = other.strip_prefix("tree-threshold=") {
+                PolicySpec::TreeThreshold(t.parse().map_err(|_| format!("bad threshold {t:?}"))?)
+            } else if let Some(k) = other.strip_prefix("tree-children=") {
+                PolicySpec::TreeChildren(
+                    k.parse().map_err(|_| format!("bad children count {k:?}"))?,
+                )
+            } else {
+                return Err(format!(
+                    "unknown policy {other:?} (try: no-prefetch, next-limit, tree, \
+                     tree-next-limit, tree-lvc, tree-reanchor, tree-threshold=<p>, \
+                     tree-children=<k>)"
+                ));
+            }
+        }
+    })
+}
+
+impl TenantSpec {
+    /// Build a spec from `OPEN` options over the server defaults. Every
+    /// malformed option is a typed [`RejectReason::BadConfig`] — admission
+    /// never panics on hostile input.
+    pub fn from_opts(
+        opts: &[(String, String)],
+        defaults: &TenantDefaults,
+    ) -> Result<Self, RejectReason> {
+        let mut spec = TenantSpec {
+            cache_blocks: defaults.cache_blocks,
+            policy: PolicySpec::TreeNextLimit,
+            node_limit: defaults.node_limit,
+            freeze: defaults.freeze,
+            disks: None,
+            fault_rate: 0.0,
+            fault_seed: 0,
+        };
+        let bad = |msg: String| Err(RejectReason::BadConfig(msg));
+        for (k, v) in opts {
+            match k.as_str() {
+                "cache" => match v.parse::<usize>() {
+                    Ok(n) if n > 0 => spec.cache_blocks = n,
+                    _ => return bad(format!("cache={v} must be a positive integer")),
+                },
+                "policy" => match parse_policy(v) {
+                    Ok(p) => spec.policy = p,
+                    Err(e) => return bad(e),
+                },
+                "nodes" => match v.parse::<usize>() {
+                    Ok(n) if n > 0 => spec.node_limit = n,
+                    _ => return bad(format!("nodes={v} must be a positive integer")),
+                },
+                "overflow" => match v.as_str() {
+                    "evict" => spec.freeze = false,
+                    "freeze" => spec.freeze = true,
+                    _ => return bad(format!("overflow={v} must be evict or freeze")),
+                },
+                "disks" => match v.parse::<usize>() {
+                    Ok(n) if n > 0 => spec.disks = Some(n),
+                    _ => return bad(format!("disks={v} must be a positive integer")),
+                },
+                "fault_rate" => match v.parse::<f64>() {
+                    Ok(r) if r.is_finite() && (0.0..=1.0).contains(&r) => spec.fault_rate = r,
+                    _ => return bad(format!("fault_rate={v} must be in [0,1]")),
+                },
+                "fault_seed" => match v.parse::<u64>() {
+                    Ok(s) => spec.fault_seed = s,
+                    _ => return bad(format!("fault_seed={v} must be a u64")),
+                },
+                other => return bad(format!("unknown option {other:?}")),
+            }
+        }
+        // The full SimConfig validation catches cross-field problems
+        // (faults without disks, degenerate retry schedules, ...).
+        let config = spec.to_sim_config();
+        if let Err(e) = config.validate() {
+            return bad(e.to_string());
+        }
+        Ok(spec)
+    }
+
+    /// The simulator configuration this spec describes.
+    pub fn to_sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::new(self.cache_blocks, self.policy);
+        cfg.engine.node_limit = self.node_limit;
+        cfg.engine.freeze_at_node_limit = self.freeze;
+        if let Some(d) = self.disks {
+            cfg = cfg.with_disks(d);
+        }
+        if self.fault_rate > 0.0 {
+            cfg = cfg.with_fault_rate(self.fault_seed, self.fault_rate);
+        }
+        cfg
+    }
+
+    /// Rough resident bytes this tenant may reach, charged against the
+    /// server's aggregate memory budget at admission time. Per tree node:
+    /// 40 paper bytes plus arena/edge-map/LRU overhead (~96 B total); per
+    /// cache block: LRU + prefetch metadata (~64 B); plus a fixed floor
+    /// for the simulator itself.
+    pub fn estimated_bytes(&self) -> u64 {
+        const NODE_BYTES: u64 = 96;
+        const CACHE_BLOCK_BYTES: u64 = 64;
+        const FIXED_BYTES: u64 = 8 * 1024;
+        let nodes = self.node_limit.min(1 << 32) as u64;
+        FIXED_BYTES + nodes * NODE_BYTES + self.cache_blocks as u64 * CACHE_BLOCK_BYTES
+    }
+}
+
+/// Captures one event's advice from the simulator event stream: how the
+/// reference was served, the stall it absorbed, and the blocks the policy
+/// chose to prefetch this period.
+#[derive(Default)]
+struct AdviceCapture {
+    kind: Option<RefKind>,
+    stall_ms: f64,
+    prefetched: Vec<BlockId>,
+}
+
+impl SimObserver for AdviceCapture {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        match event {
+            SimEvent::Reference { kind, stall_ms, .. } => {
+                self.kind = Some(*kind);
+                self.stall_ms = *stall_ms;
+            }
+            SimEvent::Period { activity, .. } => {
+                self.prefetched.extend_from_slice(&activity.prefetched_blocks);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Live state of one admitted tenant.
+pub struct TenantState {
+    /// Tenant name (shared with the registry index).
+    pub name: Arc<str>,
+    /// The spec it was admitted under.
+    pub spec: TenantSpec,
+    sim: Simulator,
+    metrics: SimMetrics,
+    /// Events processed (the advice sequence number).
+    pub seq: u64,
+    /// Malformed lines charged to this tenant.
+    pub skipped: u64,
+    /// Events dropped by backpressure.
+    pub shed: u64,
+    /// Chaos hook: the next event processing panics.
+    pub panic_armed: bool,
+    advice_file: Option<BufWriter<File>>,
+}
+
+impl TenantState {
+    /// Admit a tenant. When `advice_dir` is set, the tenant's advice
+    /// stream is also appended to `<dir>/<name>.advice`.
+    pub fn new(name: &str, spec: TenantSpec, advice_dir: Option<&Path>) -> std::io::Result<Self> {
+        let advice_file = match advice_dir {
+            Some(dir) => {
+                let file = File::create(dir.join(format!("{name}.advice")))?;
+                Some(BufWriter::new(file))
+            }
+            None => None,
+        };
+        let config = spec.to_sim_config();
+        Ok(TenantState {
+            name: Arc::from(name),
+            sim: Simulator::new(&config),
+            spec,
+            metrics: SimMetrics::default(),
+            seq: 0,
+            skipped: 0,
+            shed: 0,
+            panic_armed: false,
+            advice_file,
+        })
+    }
+
+    /// Process one access event and return the `ADV` response line.
+    ///
+    /// # Panics
+    /// Panics when the chaos hook armed by a `PANIC` request fires, or if
+    /// the underlying policy has a bug — the service catches either,
+    /// quarantines the tenant, and keeps every other tenant running.
+    pub fn process_event(&mut self, block: u64) -> String {
+        if self.panic_armed {
+            panic!("injected tenant panic (chaos hook)");
+        }
+        let mut capture = AdviceCapture::default();
+        self.sim.step(TraceRecord::read(block), None, &mut (&mut self.metrics, &mut capture));
+        let seq = self.seq;
+        self.seq += 1;
+        let kind = match capture.kind {
+            Some(RefKind::DemandHit) => 'h',
+            Some(RefKind::PrefetchHit) => 'p',
+            Some(RefKind::Miss) | None => 'm',
+        };
+        let mut line = format!("ADV {} {} {} stall={} pf=", self.name, seq, kind, capture.stall_ms);
+        if capture.prefetched.is_empty() {
+            line.push('-');
+        } else {
+            for (i, b) in capture.prefetched.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&b.0.to_string());
+            }
+        }
+        if let Some(f) = &mut self.advice_file {
+            let _ = writeln!(f, "{line}");
+        }
+        line
+    }
+
+    /// Render the live `STATS` response line.
+    pub fn stats_line(&self) -> String {
+        format!(
+            "STATS {} events={} skipped={} shed={} demand_hits={} prefetch_hits={} misses={} \
+             prefetches={} prefetch_faults={} quarantined_blocks={} stall_ms={} elapsed_ms={}",
+            self.name,
+            self.seq,
+            self.skipped,
+            self.shed,
+            self.metrics.demand_hits,
+            self.metrics.prefetch_hits,
+            self.metrics.misses,
+            self.metrics.prefetches_issued,
+            self.metrics.prefetch_faults,
+            self.metrics.blocks_quarantined,
+            self.metrics.stall_ms,
+            self.sim.clock().now(),
+        )
+    }
+
+    /// Render the end-of-life `FINAL` report line, appending it to the
+    /// advice file when one is open (so per-tenant files are complete,
+    /// self-contained records).
+    pub fn final_line(&mut self) -> String {
+        let line = format!(
+            "FINAL {} events={} skipped={} shed={} demand_hits={} prefetch_hits={} misses={} \
+             prefetches={} prefetch_faults={} stall_ms={} elapsed_ms={} quarantined=false",
+            self.name,
+            self.seq,
+            self.skipped,
+            self.shed,
+            self.metrics.demand_hits,
+            self.metrics.prefetch_hits,
+            self.metrics.misses,
+            self.metrics.prefetches_issued,
+            self.metrics.prefetch_faults,
+            self.metrics.stall_ms,
+            self.sim.clock().now(),
+        );
+        if let Some(f) = &mut self.advice_file {
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+        line
+    }
+
+    /// Flush the advice file (drain path).
+    pub fn flush_advice(&mut self) {
+        if let Some(f) = &mut self.advice_file {
+            let _ = f.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> TenantDefaults {
+        TenantDefaults::default()
+    }
+
+    fn opts(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn spec_applies_defaults_and_overrides() {
+        let spec = TenantSpec::from_opts(&[], &defaults()).unwrap();
+        assert_eq!(spec.cache_blocks, 64);
+        assert_eq!(spec.node_limit, 4096);
+        assert!(!spec.freeze);
+
+        let spec = TenantSpec::from_opts(
+            &opts(&[
+                ("cache", "128"),
+                ("policy", "tree"),
+                ("nodes", "512"),
+                ("overflow", "freeze"),
+                ("disks", "2"),
+                ("fault_rate", "0.1"),
+                ("fault_seed", "9"),
+            ]),
+            &defaults(),
+        )
+        .unwrap();
+        assert_eq!(spec.cache_blocks, 128);
+        assert_eq!(spec.policy, PolicySpec::Tree);
+        assert_eq!(spec.node_limit, 512);
+        assert!(spec.freeze);
+        assert_eq!(spec.disks, Some(2));
+        let cfg = spec.to_sim_config();
+        cfg.validate().unwrap();
+        assert!(cfg.engine.freeze_at_node_limit);
+        assert_eq!(cfg.engine.node_limit, 512);
+    }
+
+    #[test]
+    fn bad_options_are_typed_rejections() {
+        for (k, v) in [
+            ("cache", "0"),
+            ("cache", "x"),
+            ("policy", "perfect-selector"),
+            ("policy", "nonsense"),
+            ("nodes", "0"),
+            ("overflow", "melt"),
+            ("disks", "0"),
+            ("fault_rate", "1.5"),
+            ("fault_rate", "NaN"),
+            ("fault_seed", "-1"),
+            ("frobnicate", "1"),
+        ] {
+            let err = TenantSpec::from_opts(&opts(&[(k, v)]), &defaults())
+                .expect_err(&format!("{k}={v} must be rejected"));
+            assert!(matches!(err, RejectReason::BadConfig(_)), "{k}={v}");
+        }
+        // Cross-field validation: faults need a disk array to inject into.
+        let err = TenantSpec::from_opts(&opts(&[("fault_rate", "0.2")]), &defaults()).unwrap_err();
+        assert!(matches!(err, RejectReason::BadConfig(_)));
+    }
+
+    #[test]
+    fn events_produce_deterministic_advice() {
+        let spec = TenantSpec::from_opts(&opts(&[("cache", "32")]), &defaults()).unwrap();
+        let mut a = TenantState::new("a", spec.clone(), None).unwrap();
+        let mut b = TenantState::new("b", spec, None).unwrap();
+        let blocks = [1u64, 2, 3, 1, 2, 3, 1, 2, 3, 4];
+        for &blk in &blocks {
+            let la = a.process_event(blk);
+            let lb = b.process_event(blk);
+            assert_eq!(la.strip_prefix("ADV a"), lb.strip_prefix("ADV b"));
+        }
+        assert_eq!(a.seq, blocks.len() as u64);
+        // A loop over more blocks than the cache holds forces evictions,
+        // so once the tree has learned the cycle the policy must start
+        // advising prefetches for the predicted successors.
+        let spec = TenantSpec::from_opts(&opts(&[("cache", "16")]), &defaults()).unwrap();
+        let mut c = TenantState::new("c", spec, None).unwrap();
+        let mut saw_prefetch = false;
+        for i in 0..400u64 {
+            let line = c.process_event(i % 64);
+            if !line.ends_with("pf=-") {
+                saw_prefetch = true;
+            }
+        }
+        assert!(saw_prefetch, "tree policy should advise prefetches on an evicting loop");
+        assert!(a.stats_line().starts_with("STATS a events=10"));
+        assert!(a.final_line().contains("quarantined=false"));
+    }
+
+    #[test]
+    fn memory_estimate_scales_with_budgets() {
+        let small = TenantSpec::from_opts(&opts(&[("nodes", "64")]), &defaults()).unwrap();
+        let large = TenantSpec::from_opts(&opts(&[("nodes", "65536")]), &defaults()).unwrap();
+        assert!(small.estimated_bytes() < large.estimated_bytes());
+    }
+}

@@ -258,7 +258,7 @@ impl SimConfig {
         }
         if let Some(f) = &self.faults {
             f.plan.validate().map_err(SimConfigError::Fault)?;
-            f.retry.validate().map_err(SimConfigError::Retry)?;
+            f.retry.check().map_err(SimConfigError::Retry)?;
             if self.disks.is_none() && f.plan.is_active() {
                 return Err(SimConfigError::FaultsWithoutDisks);
             }

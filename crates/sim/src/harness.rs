@@ -233,6 +233,13 @@ struct SweepLogInner {
 /// Shared, thread-safe log that accumulates sweep outcomes across the
 /// experiments of one invocation (the `figures` binary reports it at the
 /// end and derives its exit code from it).
+///
+/// Poisoning is deliberately ignored: every access recovers the inner
+/// state with `unwrap_or_else(|e| e.into_inner())`. The log only ever
+/// appends counters and records, so a panic while a section holds the
+/// lock leaves it consistent — and a harness whose whole point is
+/// isolating panicking cells must keep logging after a sibling panics
+/// instead of cascading `PoisonError` panics through every other cell.
 #[derive(Debug, Default)]
 pub struct SweepLog {
     inner: Mutex<SweepLogInner>,
@@ -241,7 +248,7 @@ pub struct SweepLog {
 impl SweepLog {
     /// Fold one sweep's outcomes into the log.
     pub fn absorb(&self, run: &SweepRun, trace_names: &[Arc<str>]) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         for cell in &run.cells {
             let trace = trace_names
                 .get(cell.trace_index)
@@ -284,39 +291,39 @@ impl SweepLog {
 
     /// Record an operational note (checkpoint degradation, resume counts).
     pub fn note(&self, message: String) {
-        self.inner.lock().unwrap().notes.push(message);
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).notes.push(message);
     }
 
     /// Snapshot of the counters.
     pub fn summary(&self) -> SweepSummary {
-        self.inner.lock().unwrap().summary
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).summary
     }
 
     /// Snapshot of the per-cell failure records.
     pub fn failures(&self) -> Vec<FailureRecord> {
-        self.inner.lock().unwrap().failures.clone()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).failures.clone()
     }
 
     /// Snapshot of the operational notes.
     pub fn notes(&self) -> Vec<String> {
-        self.inner.lock().unwrap().notes.clone()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).notes.clone()
     }
 
     /// Whether any cell anywhere failed to produce a result.
     pub fn has_failures(&self) -> bool {
-        self.inner.lock().unwrap().summary.incomplete() > 0
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).summary.incomplete() > 0
     }
 
     /// References simulated by freshly-run Ok cells (restored cells
     /// excluded), for throughput reporting.
     pub fn refs_simulated(&self) -> u64 {
-        self.inner.lock().unwrap().refs_simulated
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).refs_simulated
     }
 
     /// Per-phase profile summed over freshly-run Ok cells (all zero
     /// unless [`HarnessOpts::profile`] was set).
     pub fn phases(&self) -> PhaseTimes {
-        self.inner.lock().unwrap().phases
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).phases
     }
 }
 
@@ -916,6 +923,36 @@ mod tests {
             opts.log.notes()
         );
         let _ = fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn sweep_log_survives_a_poisoned_mutex() {
+        // A cell that panics while a logging section holds the lock used
+        // to poison it for everyone: absorb/note/summary all became
+        // `PoisonError` panics, defeating the harness's panic isolation.
+        // The log now recovers the inner state, so siblings keep logging.
+        let log = Arc::new(SweepLog::default());
+        let poisoner = Arc::clone(&log);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("cell panicked while holding the log lock");
+        })
+        .join();
+        assert!(log.inner.is_poisoned(), "test must actually poison the mutex");
+
+        // Every accessor must keep working on the poisoned lock.
+        log.note("sibling cell still logs".into());
+        let traces = vec![TraceKind::Cad.generate(500, 1)];
+        let cells = vec![(0usize, SimConfig::new(32, PolicySpec::NoPrefetch))];
+        let opts = HarnessOpts { log: Arc::clone(&log), ..HarnessOpts::default() };
+        let run = run_cells_checkpointed(&traces, &cells, &opts).unwrap();
+        assert!(run.is_complete());
+        assert_eq!(log.summary().ok, 1);
+        assert_eq!(log.notes(), vec!["sibling cell still logs".to_string()]);
+        assert!(log.failures().is_empty());
+        assert!(!log.has_failures());
+        assert_eq!(log.refs_simulated(), 500);
+        let _ = log.phases();
     }
 
     #[test]

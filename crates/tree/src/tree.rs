@@ -796,6 +796,49 @@ mod tests {
     }
 
     #[test]
+    fn freeze_at_the_exact_budget_boundary() {
+        // The creation that lands *exactly on* the budget must succeed;
+        // only the first creation *beyond* it is refused. An off-by-one
+        // here would either waste the last budgeted node or briefly
+        // exceed the budget — pfserve sizes per-tenant memory from this
+        // boundary being exact.
+        let limit = 5;
+        let mut t = PrefetchTree::with_node_budget(limit, OverflowPolicy::Freeze);
+        for b in 0..limit as u64 {
+            let out = t.record_access(BlockId(b));
+            assert!(out.created_node, "creation {b} is within budget");
+            assert_eq!(t.stats().nodes_capped, 0, "no refusal at or below the budget");
+        }
+        assert_eq!(t.node_count(), limit, "tree sits exactly at its budget");
+
+        // A *predictable* access at the boundary touches existing
+        // structure and must not count as a refusal.
+        let out = t.record_access(BlockId(0));
+        assert!(out.predictable);
+        assert!(!out.created_node);
+        assert_eq!(t.stats().nodes_capped, 0);
+
+        // Novel accesses at the boundary are refused one-for-one, both at
+        // the root and deeper in the parse (cursor at node 0's child).
+        let out = t.record_access(BlockId(limit as u64));
+        assert!(!out.created_node);
+        assert!(out.reset, "a refused creation still ends the substring");
+        assert_eq!(t.stats().nodes_capped, 1);
+        assert_eq!(t.node_count(), limit, "budget never exceeded");
+        t.check_invariants();
+
+        // Contrast: Evict at the same boundary makes room instead.
+        let mut e = PrefetchTree::with_node_budget(limit, OverflowPolicy::Evict);
+        for b in 0..=limit as u64 {
+            e.record_access(BlockId(b));
+        }
+        assert_eq!(e.node_count(), limit);
+        assert_eq!(e.stats().nodes_capped, 0);
+        assert_eq!(e.stats().nodes_evicted, 1);
+        e.check_invariants();
+    }
+
+    #[test]
     fn frozen_tree_still_predicts_learned_structure() {
         let mut t = PrefetchTree::with_node_budget(4, OverflowPolicy::Freeze);
         // Learn a 2-block pattern, then flood with unique noise.
