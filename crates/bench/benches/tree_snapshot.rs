@@ -1,0 +1,120 @@
+//! Criterion benches for the arena tree's memory footprint and the
+//! `pftree-snap/v1` codec: exact bytes/node, snapshot encode/decode
+//! throughput, and compression ratio.
+//!
+//! Set `TREE_BENCH_JSON=PATH` to also write a machine-readable
+//! `tree-bench/v1` artifact (one record per trace: node count, exact
+//! bytes, bytes/node vs the paper's 40 B estimate, payload vs encoded
+//! size, and save/restore throughput) — CI uploads it as `BENCH_PR7.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use prefetch_trace::synth::TraceKind;
+use prefetch_tree::PrefetchTree;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REFS: usize = 100_000;
+const SEED: u64 = 1999;
+/// The paper's per-node estimate (Section 9.3).
+const PAPER_BYTES_PER_NODE: usize = 40;
+
+fn trained(kind: TraceKind) -> PrefetchTree {
+    let mut tree = PrefetchTree::new();
+    for blk in kind.generate(REFS, SEED).blocks() {
+        tree.record_access(blk);
+    }
+    tree
+}
+
+fn snapshot_bytes(tree: &PrefetchTree) -> (Vec<u8>, prefetch_tree::SnapshotInfo) {
+    let mut buf = Vec::new();
+    let info = tree.write_snapshot(&mut buf).expect("in-memory snapshot cannot fail");
+    (buf, info)
+}
+
+/// Median-of-N nodes/sec for `f` applied to a tree of `nodes` nodes.
+fn nodes_per_sec<F: FnMut()>(nodes: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            nodes as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut json = String::new();
+    let _ =
+        write!(json, "{{\"schema\":\"tree-bench/v1\",\"refs\":{REFS},\"seed\":{SEED},\"traces\":[");
+
+    let mut g = c.benchmark_group("tree/snapshot");
+    for (i, &kind) in TraceKind::ALL.iter().enumerate() {
+        let tree = trained(kind);
+        let nodes = tree.node_count();
+        let exact = tree.bytes_in_use();
+        let (encoded, info) = snapshot_bytes(&tree);
+
+        g.throughput(Throughput::Elements(nodes as u64));
+        g.bench_function(format!("save_{}", kind.name()), |b| {
+            b.iter(|| black_box(snapshot_bytes(&tree).0.len()))
+        });
+        g.bench_function(format!("restore_{}", kind.name()), |b| {
+            b.iter(|| {
+                let t = PrefetchTree::read_snapshot(&mut encoded.as_slice()).unwrap();
+                black_box(t.node_count())
+            })
+        });
+
+        let save_nps = nodes_per_sec(nodes, || {
+            black_box(snapshot_bytes(&tree).0.len());
+        });
+        let restore_nps = nodes_per_sec(nodes, || {
+            black_box(PrefetchTree::read_snapshot(&mut encoded.as_slice()).unwrap().node_count());
+        });
+        println!(
+            "tree/snapshot/{}: {} nodes, {:.1} B/node exact (paper: {} B/node), \
+             payload {} B -> encoded {} B ({}), save {:.0} nodes/s, restore {:.0} nodes/s",
+            kind.name(),
+            nodes,
+            exact as f64 / nodes.max(1) as f64,
+            PAPER_BYTES_PER_NODE,
+            info.payload_bytes,
+            info.encoded_bytes,
+            if info.entropy_coded { "huffman" } else { "raw" },
+            save_nps,
+            restore_nps,
+        );
+        let _ = write!(
+            json,
+            "{}{{\"trace\":\"{}\",\"nodes\":{},\"exact_bytes\":{},\"bytes_per_node\":{:.3},\
+             \"paper_bytes\":{},\"payload_bytes\":{},\"encoded_bytes\":{},\
+             \"compression_ratio\":{:.4},\"entropy_coded\":{},\
+             \"save_nodes_per_sec\":{:.0},\"restore_nodes_per_sec\":{:.0}}}",
+            if i > 0 { "," } else { "" },
+            kind.name(),
+            nodes,
+            exact,
+            exact as f64 / nodes.max(1) as f64,
+            nodes * PAPER_BYTES_PER_NODE,
+            info.payload_bytes,
+            info.encoded_bytes,
+            info.encoded_bytes as f64 / info.payload_bytes.max(1) as f64,
+            info.entropy_coded,
+            save_nps,
+            restore_nps,
+        );
+    }
+    g.finish();
+
+    json.push_str("]}\n");
+    if let Ok(path) = std::env::var("TREE_BENCH_JSON") {
+        std::fs::write(&path, &json).expect("cannot write TREE_BENCH_JSON");
+        println!("tree/snapshot: wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

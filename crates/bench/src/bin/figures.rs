@@ -6,7 +6,15 @@
 //! figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv]
 //!         [--checkpoint DIR] [--resume] [--deadline-ms N] [--retries N]
 //!         [--bench-json PATH] [--log-json PATH] [--threads N]
+//!         [--save-tree DIR] [--load-tree DIR]
 //! ```
+//!
+//! The `snapshot` experiment measures `pftree-snap/v1`: exact bytes/node
+//! of the trained trees, snapshot payload vs encoded size, and a
+//! train → snapshot → restore → continue identity check. `--save-tree DIR`
+//! persists the four trained trees as `DIR/<trace>.pftree`; `--load-tree
+//! DIR` warm-starts training from those files (the flags compose across
+//! invocations, so the trees keep growing run over run).
 //!
 //! `--threads N` sizes the sweep worker pool (default: one worker per
 //! available hardware thread; `--threads 1` runs the exact sequential
@@ -115,13 +123,24 @@ fn parse_args() -> Result<Args, String> {
                 let n: usize = v.parse().map_err(|_| format!("bad --threads {v:?}"))?;
                 prefetch_pool::set_threads(n);
             }
+            "--save-tree" => {
+                let v = argv.next().ok_or("--save-tree needs a directory")?;
+                opts.save_tree = Some(PathBuf::from(v));
+            }
+            "--load-tree" => {
+                let v = argv.next().ok_or("--load-tree needs a directory")?;
+                opts.load_tree = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
     if resume && opts.harness.checkpoint_dir.is_none() {
         return Err("--resume needs --checkpoint DIR".to_string());
     }
-    const EXTENSIONS: [&str; 3] = ["ablation", "disks", "resilience"];
+    const EXTENSIONS: [&str; 4] = ["ablation", "disks", "resilience", "snapshot"];
+    if (opts.save_tree.is_some() || opts.load_tree.is_some()) && id != "snapshot" {
+        return Err("--save-tree/--load-tree apply to the snapshot experiment only".to_string());
+    }
     if id != "all" && !EXTENSIONS.contains(&id.as_str()) && !ALL_IDS.contains(&id.as_str()) {
         return Err(format!(
             "unknown experiment {id:?}; known: all, {}, {}",
@@ -139,7 +158,8 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: figures <id>|all [--quick] [--refs N] [--seed S] [--out DIR] [--csv] \
      [--checkpoint DIR] [--resume] [--deadline-ms N] [--retries N] \
-     [--bench-json PATH] [--log-json PATH] [--threads N]"
+     [--bench-json PATH] [--log-json PATH] [--threads N] \
+     [--save-tree DIR] [--load-tree DIR]"
         .to_string()
 }
 

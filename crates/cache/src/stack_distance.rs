@@ -19,13 +19,13 @@
 //! computes its dynamic values "during execution").
 
 use crate::fenwick::FenwickTree;
-use std::collections::HashMap;
+use prefetch_hash::FxHashMap;
 
 /// Online LRU stack-distance histogram with exponential decay.
 #[derive(Clone, Debug)]
 pub struct StackDistanceEstimator {
     /// block id → timeline slot of the most recent access
-    last_access: HashMap<u64, u32>,
+    last_access: FxHashMap<u64, u32>,
     /// 1 at live slots
     live: FenwickTree,
     /// next timeline slot
@@ -60,7 +60,7 @@ impl StackDistanceEstimator {
     pub fn new(decay: f64) -> Self {
         assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0,1], got {decay}");
         StackDistanceEstimator {
-            last_access: HashMap::new(),
+            last_access: FxHashMap::default(),
             live: FenwickTree::new(Self::INITIAL_TIMELINE),
             time: 0,
             hist: vec![0.0; 256],

@@ -154,6 +154,16 @@ impl CostBenefitEngine {
         &self.tree
     }
 
+    /// Warm-start: replace the engine's tree with one restored from a
+    /// `pftree-snap/v1` snapshot. The restored tree carries its own node
+    /// budget, overflow policy, parse position and statistics (complete
+    /// training state), so continued training is bit-identical to the
+    /// snapshotted tree's future; the engine keeps its own model and
+    /// stack-distance state, which the snapshot does not cover.
+    pub fn install_tree(&mut self, tree: PrefetchTree) {
+        self.tree = tree;
+    }
+
     /// The cost-benefit model (read access).
     pub fn model(&self) -> &CostBenefitModel {
         &self.model

@@ -157,6 +157,22 @@ pub trait PrefetchPolicy: Send {
     fn phase_times(&self) -> prefetch_telemetry::PhaseTimes {
         prefetch_telemetry::PhaseTimes::default()
     }
+
+    /// The prefetch tree this policy trains, if it keeps one — snapshot
+    /// support (`pftree-snap/v1`): `pfserve` persists it on drain and
+    /// `pfsim --save-tree` at end of run. Default: stateless policies
+    /// have no tree.
+    fn tree(&self) -> Option<&prefetch_tree::PrefetchTree> {
+        None
+    }
+
+    /// Warm-start: replace this policy's tree with one restored from a
+    /// snapshot. Returns `false` (and drops the tree) for policies that
+    /// keep no tree, so callers can report a warm start that did not
+    /// take. Default: refuse.
+    fn install_tree(&mut self, _tree: prefetch_tree::PrefetchTree) -> bool {
+        false
+    }
 }
 
 /// Apply a victim choice, freeing exactly one buffer. Returns whether the

@@ -96,6 +96,15 @@ impl PrefetchPolicy for PerfectSelector {
         act.prefetch_probability_sum += probability;
         self.period += 1;
     }
+
+    fn tree(&self) -> Option<&PrefetchTree> {
+        Some(&self.tree)
+    }
+
+    fn install_tree(&mut self, tree: PrefetchTree) -> bool {
+        self.tree = tree;
+        true
+    }
 }
 
 #[cfg(test)]

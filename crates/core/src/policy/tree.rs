@@ -79,6 +79,15 @@ impl PrefetchPolicy for TreePolicy {
     fn phase_times(&self) -> prefetch_telemetry::PhaseTimes {
         self.engine.phase_times()
     }
+
+    fn tree(&self) -> Option<&prefetch_tree::PrefetchTree> {
+        Some(self.engine.tree())
+    }
+
+    fn install_tree(&mut self, tree: prefetch_tree::PrefetchTree) -> bool {
+        self.engine.install_tree(tree);
+        true
+    }
 }
 
 #[cfg(test)]

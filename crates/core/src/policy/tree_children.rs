@@ -106,6 +106,15 @@ impl PrefetchPolicy for TreeChildren {
         }
         self.period += 1;
     }
+
+    fn tree(&self) -> Option<&PrefetchTree> {
+        Some(&self.tree)
+    }
+
+    fn install_tree(&mut self, tree: PrefetchTree) -> bool {
+        self.tree = tree;
+        true
+    }
 }
 
 #[cfg(test)]

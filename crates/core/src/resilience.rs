@@ -19,8 +19,8 @@
 //! Both mechanisms are deterministic: no clocks, no randomness, state is a
 //! pure function of the fault sequence fed in.
 
+use prefetch_hash::FxHashMap;
 use prefetch_trace::BlockId;
-use std::collections::HashMap;
 
 /// Exponential backoff for retrying failed demand reads, in simulated
 /// milliseconds.
@@ -119,7 +119,7 @@ pub struct Quarantine {
     /// Consecutive failures after which a block is quarantined.
     threshold: u32,
     /// Consecutive prefetch-read failures per block.
-    failures: HashMap<u64, u32>,
+    failures: FxHashMap<u64, u32>,
     /// Blocks currently quarantined (failure count ≥ threshold).
     quarantined: u64,
     /// Total quarantine events, monotone (a block re-entering after a
@@ -132,7 +132,7 @@ impl Quarantine {
     pub fn new(threshold: u32) -> Self {
         Quarantine {
             threshold: threshold.max(1),
-            failures: HashMap::new(),
+            failures: FxHashMap::default(),
             quarantined: 0,
             total_quarantined: 0,
         }

@@ -60,6 +60,19 @@ impl Admission {
         self.reserved_bytes = self.reserved_bytes.saturating_sub(estimate);
     }
 
+    /// Re-price a live tenant's reservation from `old` to `new` bytes —
+    /// the exact-accounting path: tenants are admitted on a pessimistic
+    /// estimate and re-charged with `PrefetchTree::bytes_in_use` after
+    /// each flush. The adjustment always applies (the tenant is already
+    /// resident; refusing would reclaim nothing), but returns `true`
+    /// when the aggregate now exceeds the budget so the caller can log
+    /// the overshoot — new `OPEN`s are refused until reservations
+    /// shrink.
+    pub fn recharge(&mut self, old: u64, new: u64) -> bool {
+        self.reserved_bytes = self.reserved_bytes.saturating_sub(old).saturating_add(new);
+        self.cfg.memory_budget_bytes.is_some_and(|b| self.reserved_bytes > b)
+    }
+
     /// Tenants currently admitted.
     pub fn live(&self) -> usize {
         self.live
@@ -97,5 +110,23 @@ mod tests {
         assert_eq!(a.reserved_bytes(), 100);
         a.release(60);
         a.try_admit(50).unwrap();
+    }
+
+    #[test]
+    fn recharge_reprices_and_reports_overshoot() {
+        let mut a =
+            Admission::new(AdmissionConfig { max_tenants: 100, memory_budget_bytes: Some(100) });
+        a.try_admit(80).unwrap();
+        // Shrinking to the measured size frees headroom for new opens.
+        assert!(!a.recharge(80, 30));
+        assert_eq!(a.reserved_bytes(), 30);
+        a.try_admit(60).unwrap();
+        // Growth past the budget is absorbed but reported...
+        assert!(a.recharge(30, 50));
+        assert_eq!(a.reserved_bytes(), 110);
+        // ...and blocks further admission until something shrinks.
+        assert!(a.try_admit(1).is_err());
+        assert!(!a.recharge(50, 20));
+        a.try_admit(1).unwrap();
     }
 }

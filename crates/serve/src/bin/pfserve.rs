@@ -45,11 +45,14 @@ fn usage() -> String {
     "usage: pfserve [--socket PATH] [--threads N] [--batch N] [--queue-cap N]\n\
      \x20             [--max-tenants N] [--memory-budget-mb N]\n\
      \x20             [--default-cache N] [--default-nodes N]\n\
-     \x20             [--advice-dir DIR] [--log-json PATH] [--bench-json PATH]\n\
+     \x20             [--advice-dir DIR] [--snapshot-dir DIR]\n\
+     \x20             [--log-json PATH] [--bench-json PATH]\n\
      \x20             [--no-echo-advice] [--quiet]\n\
      \n\
      Serves the pfserve line protocol on stdin (default) or a unix socket.\n\
-     SHUTDOWN or stdin EOF drains every tenant and exits 0."
+     SHUTDOWN or stdin EOF drains every tenant and exits 0.\n\
+     --snapshot-dir persists each tenant's prefetch tree (pftree-snap/v1)\n\
+     at CLOSE/drain and warm-starts same-named tenants on OPEN."
         .to_string()
 }
 
@@ -108,6 +111,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--advice-dir" => {
                 args.opts.advice_dir = Some(next_val(&mut it, "--advice-dir")?.into())
+            }
+            "--snapshot-dir" => {
+                args.opts.snapshot_dir = Some(next_val(&mut it, "--snapshot-dir")?.into())
             }
             "--log-json" => args.log_json = Some(next_val(&mut it, "--log-json")?.into()),
             "--bench-json" => args.bench_json = Some(next_val(&mut it, "--bench-json")?.into()),

@@ -66,6 +66,11 @@ pub struct ServeOpts {
     /// Echo `ADV` lines to the requesting connection (disable for load
     /// tests that only want the advice files and final reports).
     pub echo_advice: bool,
+    /// Persist per-tenant prefetch trees as `pftree-snap/v1` snapshots
+    /// under this directory: written at `CLOSE` and drain, restored
+    /// (warm start) when a tenant of the same name `OPEN`s. A corrupt or
+    /// unreadable snapshot is logged and ignored — the tenant opens cold.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for ServeOpts {
@@ -76,6 +81,7 @@ impl Default for ServeOpts {
             queue_cap: 1024,
             advice_dir: None,
             echo_advice: true,
+            snapshot_dir: None,
         }
     }
 }
@@ -156,6 +162,9 @@ impl Service {
     pub fn new(opts: ServeOpts) -> std::io::Result<Self> {
         install_quiet_panic_hook();
         if let Some(dir) = &opts.advice_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        if let Some(dir) = &opts.snapshot_dir {
             std::fs::create_dir_all(dir)?;
         }
         Ok(Service {
@@ -286,7 +295,8 @@ impl Service {
                         match taken {
                             Some(mut state) => {
                                 let line = state.final_line();
-                                self.admission.release(state.spec.estimated_bytes());
+                                self.persist_tree(&state);
+                                self.admission.release(state.charged_bytes);
                                 self.stats.closes += 1;
                                 out.push((conn, line));
                             }
@@ -405,18 +415,20 @@ impl Service {
         if let Err(reason) = self.admission.try_admit(spec.estimated_bytes()) {
             return self.reject(out, conn, &tenant, reason);
         }
-        let state = match TenantState::new(&tenant, spec.clone(), self.opts.advice_dir.as_deref()) {
-            Ok(state) => state,
-            Err(e) => {
-                self.admission.release(spec.estimated_bytes());
-                return self.reject(
-                    out,
-                    conn,
-                    &tenant,
-                    RejectReason::BadConfig(format!("advice file: {e}")),
-                );
-            }
-        };
+        let mut state =
+            match TenantState::new(&tenant, spec.clone(), self.opts.advice_dir.as_deref()) {
+                Ok(state) => state,
+                Err(e) => {
+                    self.admission.release(spec.estimated_bytes());
+                    return self.reject(
+                        out,
+                        conn,
+                        &tenant,
+                        RejectReason::BadConfig(format!("advice file: {e}")),
+                    );
+                }
+            };
+        self.try_warm_start(&tenant, &mut state);
         match self.index.get(&tenant) {
             Some(&i) => {
                 let mut guard = lock_slot(&self.slots[i]);
@@ -432,6 +444,81 @@ impl Service {
         }
         self.stats.opens += 1;
         out.push((conn, format!("OK open {tenant}")));
+    }
+
+    /// Warm-start a freshly-opened tenant from `<snapshot_dir>/<name>.pftree`
+    /// when one exists. Restore failures (corrupt, truncated, version
+    /// mismatch) are logged and ignored — the tenant opens cold; a bad
+    /// snapshot must never refuse an otherwise-valid `OPEN`. A restored
+    /// tree immediately re-prices the tenant's reservation to its exact
+    /// measured bytes.
+    fn try_warm_start(&mut self, tenant: &str, state: &mut TenantState) {
+        let Some(dir) = &self.opts.snapshot_dir else { return };
+        let path = dir.join(format!("{tenant}.pftree"));
+        if !path.exists() {
+            return;
+        }
+        match prefetch_tree::PrefetchTree::load_snapshot(&path) {
+            Ok(tree) => {
+                let nodes = tree.node_count() as u64;
+                if state.warm_start(tree) {
+                    let resident = state.resident_bytes();
+                    let over = self.admission.recharge(state.charged_bytes, resident);
+                    state.charged_bytes = resident;
+                    tlog::info("serve_warm_start")
+                        .str("tenant", tenant)
+                        .u64("nodes", nodes)
+                        .u64("resident_bytes", resident)
+                        .emit();
+                    if over {
+                        self.log_over_budget();
+                    }
+                } else {
+                    tlog::warn("serve_warm_start_dropped")
+                        .str("tenant", tenant)
+                        .str("reason", "policy keeps no tree")
+                        .emit();
+                }
+            }
+            Err(e) => {
+                tlog::warn("serve_snapshot_unreadable")
+                    .str("tenant", tenant)
+                    .str("path", path.display().to_string())
+                    .str("error", e.to_string())
+                    .emit();
+            }
+        }
+    }
+
+    /// Persist a tenant's tree under the snapshot directory (close and
+    /// drain paths; quarantined tenants are deliberately not persisted —
+    /// a state that just took down a worker is not worth resurrecting).
+    fn persist_tree(&self, state: &TenantState) {
+        let Some(dir) = &self.opts.snapshot_dir else { return };
+        let Some(tree) = state.tree() else { return };
+        let path = dir.join(format!("{}.pftree", state.name));
+        match tree.save_snapshot(&path) {
+            Ok(info) => {
+                tlog::info("serve_snapshot_saved")
+                    .str("tenant", state.name.to_string())
+                    .u64("nodes", tree.node_count() as u64)
+                    .u64("encoded_bytes", info.encoded_bytes as u64)
+                    .bool("entropy_coded", info.entropy_coded)
+                    .emit();
+            }
+            Err(e) => {
+                tlog::warn("serve_snapshot_failed")
+                    .str("tenant", state.name.to_string())
+                    .str("error", e.to_string())
+                    .emit();
+            }
+        }
+    }
+
+    fn log_over_budget(&self) {
+        tlog::warn("serve_budget_exceeded")
+            .u64("reserved_bytes", self.admission.reserved_bytes())
+            .emit();
     }
 
     /// Flush one tenant's queued events inline (control-request path).
@@ -462,6 +549,26 @@ impl Service {
         for us in &flush.latencies_us {
             self.advice_latency_us.record(*us);
         }
+        // Exact accounting: re-price the reservation from the tenant's
+        // measured footprint now that this batch's events are applied.
+        // Skipped on a panic — quarantine releases the whole reservation.
+        if flush.panicked.is_none() {
+            let (old, new) = {
+                let mut guard = lock_slot(&self.slots[idx]);
+                match guard.state.as_mut() {
+                    Some(state) => {
+                        let resident = state.resident_bytes();
+                        let old = state.charged_bytes;
+                        state.charged_bytes = resident;
+                        (old, resident)
+                    }
+                    None => (0, 0),
+                }
+            };
+            if old != new && self.admission.recharge(old, new) {
+                self.log_over_budget();
+            }
+        }
         if self.opts.echo_advice {
             out.extend(flush.responses);
         }
@@ -483,10 +590,10 @@ impl Service {
     /// quarantine so it is never silently resurrected.
     fn quarantine_tenant(&mut self, idx: usize, message: &str) {
         let mut guard = lock_slot(&self.slots[idx]);
-        let (events, skipped, shed, estimate) = match guard.state.take() {
+        let (events, skipped, shed, charged) = match guard.state.take() {
             Some(mut state) => {
                 state.flush_advice();
-                (state.seq, state.skipped, state.shed, state.spec.estimated_bytes())
+                (state.seq, state.skipped, state.shed, state.charged_bytes)
             }
             None => (0, 0, 0, 0),
         };
@@ -494,8 +601,8 @@ impl Service {
             Some(Gone::Quarantined { message: message.to_string(), events, skipped, shed });
         drop(guard);
         self.quarantine.record_failure(BlockId(idx as u64));
-        if estimate > 0 {
-            self.admission.release(estimate);
+        if charged > 0 {
+            self.admission.release(charged);
         }
         self.stats.quarantined += 1;
         tlog::warn("serve_tenant_quarantined")
@@ -513,6 +620,7 @@ impl Service {
             let mut guard = lock_slot(&self.slots[i]);
             if let Some(state) = guard.state.as_mut() {
                 out.push(state.final_line());
+                self.persist_tree(state);
             } else if let Some(Gone::Quarantined { message, events, skipped, shed }) = &guard.gone {
                 out.push(format!(
                     "FINAL {} events={events} skipped={skipped} shed={shed} quarantined=true \

@@ -13,6 +13,7 @@ use crate::protocol::RejectReason;
 use prefetch_core::policy::RefKind;
 use prefetch_sim::{PolicySpec, SimConfig, SimEvent, SimMetrics, SimObserver, Simulator};
 use prefetch_trace::{BlockId, TraceRecord};
+use prefetch_tree::PrefetchTree;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -162,15 +163,21 @@ impl TenantSpec {
     /// server's aggregate memory budget at admission time. Per tree node:
     /// 40 paper bytes plus arena/edge-map/LRU overhead (~96 B total); per
     /// cache block: LRU + prefetch metadata (~64 B); plus a fixed floor
-    /// for the simulator itself.
+    /// for the simulator itself. This pessimistic estimate only gates the
+    /// `OPEN`; afterwards the reservation is re-priced to the tenant's
+    /// measured [`TenantState::resident_bytes`] at every flush.
     pub fn estimated_bytes(&self) -> u64 {
         const NODE_BYTES: u64 = 96;
-        const CACHE_BLOCK_BYTES: u64 = 64;
-        const FIXED_BYTES: u64 = 8 * 1024;
         let nodes = self.node_limit.min(1 << 32) as u64;
         FIXED_BYTES + nodes * NODE_BYTES + self.cache_blocks as u64 * CACHE_BLOCK_BYTES
     }
 }
+
+/// Per-cache-block overhead (LRU + prefetch metadata) used by both the
+/// admission estimate and the exact re-pricing.
+const CACHE_BLOCK_BYTES: u64 = 64;
+/// Fixed floor for the simulator itself.
+const FIXED_BYTES: u64 = 8 * 1024;
 
 /// Captures one event's advice from the simulator event stream: how the
 /// reference was served, the stall it absorbed, and the blocks the policy
@@ -213,6 +220,10 @@ pub struct TenantState {
     pub shed: u64,
     /// Chaos hook: the next event processing panics.
     pub panic_armed: bool,
+    /// Bytes currently reserved against the server's memory budget for
+    /// this tenant: the admission estimate at `OPEN`, then the measured
+    /// [`TenantState::resident_bytes`] after each flush re-prices it.
+    pub charged_bytes: u64,
     advice_file: Option<BufWriter<File>>,
 }
 
@@ -228,6 +239,7 @@ impl TenantState {
             None => None,
         };
         let config = spec.to_sim_config();
+        let charged_bytes = spec.estimated_bytes();
         Ok(TenantState {
             name: Arc::from(name),
             sim: Simulator::new(&config),
@@ -237,8 +249,30 @@ impl TenantState {
             skipped: 0,
             shed: 0,
             panic_armed: false,
+            charged_bytes,
             advice_file,
         })
+    }
+
+    /// The tenant's prefetch tree, when its policy keeps one.
+    pub fn tree(&self) -> Option<&PrefetchTree> {
+        self.sim.tree()
+    }
+
+    /// Warm-start the tenant's policy from a restored snapshot (called at
+    /// `OPEN` before any event). Returns `false` when the policy keeps no
+    /// tree.
+    pub fn warm_start(&mut self, tree: PrefetchTree) -> bool {
+        self.sim.install_tree(tree)
+    }
+
+    /// Exact resident bytes of this tenant right now: the tree's measured
+    /// arena footprint (`PrefetchTree::bytes_in_use`, zero for treeless
+    /// policies) plus the cache and simulator overheads of the admission
+    /// model. Replaces the `OPEN`-time estimate once events flow.
+    pub fn resident_bytes(&self) -> u64 {
+        let tree_bytes = self.sim.tree().map_or(0, |t| t.bytes_in_use() as u64);
+        FIXED_BYTES + tree_bytes + self.spec.cache_blocks as u64 * CACHE_BLOCK_BYTES
     }
 
     /// Process one access event and return the `ADV` response line.

@@ -16,6 +16,11 @@
 //! runs append to one file, each terminated by an `end` record);
 //! `--log-json PATH` mirrors the structured run log to a JSONL file.
 //!
+//! Snapshot flags: `--save-tree PATH` writes the trained prefetch tree as
+//! a `pftree-snap/v1` snapshot at end of run (one `--policy` required);
+//! `--load-tree PATH` warm-starts every policy run from a snapshot, and
+//! continued training is bit-identical to the run that produced it.
+//!
 //! `--trace` takes a synthetic workload name (cello|snake|cad|sitar);
 //! `--trace-file` loads a `.trc` (binary) or text trace from disk. Traces
 //! are **streamed** through the simulator — synthetic records are drawn
@@ -38,13 +43,14 @@
 //! | 6    | lossy trace skipped more records than `--max-skipped`     |
 
 use prefetch_sim::{
-    run_source_guarded_with, JsonlEventSink, PolicySpec, QueueDelayObserver, SimConfig,
+    run_source_guarded_snapshot, JsonlEventSink, PolicySpec, QueueDelayObserver, SimConfig,
     StallHistogramObserver, SweepError,
 };
 use prefetch_telemetry::{log as tlog, Histogram, Phase};
 use prefetch_trace::io::{open_source, FileSource, ReadOptions, TraceIoError};
 use prefetch_trace::synth::{SynthSource, TraceKind};
 use prefetch_trace::{TraceMeta, TraceRecord, TraceSource};
+use prefetch_tree::PrefetchTree;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -65,6 +71,8 @@ struct Args {
     profile: bool,
     events_out: Option<std::path::PathBuf>,
     log_json: Option<std::path::PathBuf>,
+    save_tree: Option<std::path::PathBuf>,
+    load_tree: Option<std::path::PathBuf>,
 }
 
 /// Structured exit codes (see the module docs).
@@ -181,6 +189,8 @@ fn parse_args() -> Result<Args, String> {
     let mut profile = false;
     let mut events_out = None;
     let mut log_json = None;
+    let mut save_tree = None;
+    let mut load_tree = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -217,6 +227,8 @@ fn parse_args() -> Result<Args, String> {
             "--profile" => profile = true,
             "--events-out" => events_out = Some(std::path::PathBuf::from(val()?)),
             "--log-json" => log_json = Some(std::path::PathBuf::from(val()?)),
+            "--save-tree" => save_tree = Some(std::path::PathBuf::from(val()?)),
+            "--load-tree" => load_tree = Some(std::path::PathBuf::from(val()?)),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -239,6 +251,8 @@ fn parse_args() -> Result<Args, String> {
         profile,
         events_out,
         log_json,
+        save_tree,
+        load_tree,
     })
 }
 
@@ -246,7 +260,8 @@ fn usage() -> String {
     "usage: pfsim --trace <cello|snake|cad|sitar> | --trace-file <path> [--lenient] \
      [--refs N] [--seed S] [--cache BLOCKS] [--policy NAME|all] [--t-cpu MS] [--disks N] \
      [--fault-rate P] [--fault-seed S] [--deadline-ms N] [--max-skipped N] [--threads N] \
-     [--histograms] [--profile] [--events-out PATH] [--log-json PATH]"
+     [--histograms] [--profile] [--events-out PATH] [--log-json PATH] \
+     [--save-tree PATH] [--load-tree PATH]"
         .to_string()
 }
 
@@ -304,12 +319,37 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.save_tree.is_some() && args.policies.len() != 1 {
+        eprintln!("--save-tree needs exactly one --policy (whose tree would be saved?)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+
     if let Some(path) = &args.log_json {
         if let Err(e) = tlog::set_json_path(path) {
             eprintln!("cannot open --log-json {path:?}: {e}");
             return ExitCode::from(EXIT_USAGE);
         }
     }
+
+    // Restore the warm-start tree once; each policy run gets its own clone.
+    let warm_tree = match &args.load_tree {
+        Some(path) => match PrefetchTree::load_snapshot(path) {
+            Ok(t) => {
+                tlog::info("tree_loaded")
+                    .str("path", path.display().to_string())
+                    .u64("nodes", t.node_count() as u64)
+                    .u64("bytes_in_use", t.bytes_in_use() as u64)
+                    .emit();
+                Some(t)
+            }
+            Err(e) => {
+                eprintln!("cannot load --load-tree {}: {e}", path.display());
+                tlog::flush();
+                return ExitCode::from(EXIT_TRACE_IO);
+            }
+        },
+        None => None,
+    };
 
     let mut source = match &args.trace {
         TraceInput::Synthetic(kind) => StreamInput::Synth(kind.stream(args.refs, args.seed)),
@@ -395,7 +435,15 @@ fn main() -> ExitCode {
         let mut queues = args.histograms.then(QueueDelayObserver::new);
         let mut extra = (stalls.as_mut(), queues.as_mut(), sink.as_mut());
         let wall = Instant::now();
-        let r = match run_source_guarded_with(&mut source, &cfg, args.deadline_ms, &mut extra) {
+        let run = run_source_guarded_snapshot(
+            &mut source,
+            &cfg,
+            args.deadline_ms,
+            &mut extra,
+            warm_tree.clone(),
+            args.save_tree.is_some(),
+        );
+        let (r, trained_tree) = match run {
             Ok(r) => r,
             Err(e) => {
                 tlog::error("run_failed")
@@ -463,6 +511,29 @@ fn main() -> ExitCode {
         }
         if args.profile {
             print_phases(&r.phases);
+        }
+        if let Some(path) = &args.save_tree {
+            let Some(tree) = trained_tree.as_ref() else {
+                eprintln!("--save-tree: policy {:?} keeps no prefetch tree", spec.name());
+                tlog::flush();
+                return ExitCode::from(EXIT_USAGE);
+            };
+            match tree.save_snapshot(path) {
+                Ok(info) => {
+                    tlog::info("tree_saved")
+                        .str("path", path.display().to_string())
+                        .u64("nodes", tree.node_count() as u64)
+                        .u64("payload_bytes", info.payload_bytes as u64)
+                        .u64("encoded_bytes", info.encoded_bytes as u64)
+                        .bool("entropy_coded", info.entropy_coded)
+                        .emit();
+                }
+                Err(e) => {
+                    eprintln!("cannot save --save-tree {}: {e}", path.display());
+                    tlog::flush();
+                    return ExitCode::from(EXIT_TRACE_IO);
+                }
+            }
         }
     }
     if let Some(sink) = sink {

@@ -12,6 +12,7 @@ pub mod memory;
 pub mod oracle;
 pub mod parametric;
 pub mod resilience;
+pub mod snapshot;
 pub mod tables;
 pub mod tcpu;
 pub mod tree_behavior;
@@ -38,6 +39,12 @@ pub struct ExperimentOpts {
     /// shared outcome log. Cloning shares the log, so every experiment of
     /// one invocation reports into the same tally.
     pub harness: HarnessOpts,
+    /// `figures --save-tree DIR`: the `snapshot` experiment persists each
+    /// trained tree as `DIR/<trace>.pftree`.
+    pub save_tree: Option<std::path::PathBuf>,
+    /// `figures --load-tree DIR`: the `snapshot` experiment warm-starts
+    /// training from `DIR/<trace>.pftree` instead of an empty tree.
+    pub load_tree: Option<std::path::PathBuf>,
 }
 
 impl Default for ExperimentOpts {
@@ -47,6 +54,8 @@ impl Default for ExperimentOpts {
             seed: 1999,
             cache_sizes: crate::sweep::PAPER_CACHE_SIZES.to_vec(),
             harness: HarnessOpts::default(),
+            save_tree: None,
+            load_tree: None,
         }
     }
 }
@@ -59,6 +68,8 @@ impl ExperimentOpts {
             seed: 1999,
             cache_sizes: vec![64, 256, 1024],
             harness: HarnessOpts::default(),
+            save_tree: None,
+            load_tree: None,
         }
     }
 
@@ -140,6 +151,7 @@ pub fn run_experiment(id: &str, traces: &TraceSet, opts: &ExperimentOpts) -> Vec
         "ablation" => vec![ablation::ablation(traces, opts)],
         "disks" => disks::disks(traces, opts),
         "resilience" => resilience::resilience(traces, opts),
+        "snapshot" => vec![snapshot::snapshot(traces, opts)],
         other => panic!("unknown experiment id {other:?}; known: {ALL_IDS:?}"),
     }
 }

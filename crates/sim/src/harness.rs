@@ -539,6 +539,71 @@ pub fn run_source_guarded_with<S: TraceSource>(
     }
 }
 
+/// [`run_source_guarded_with`] plus `pftree-snap/v1` plumbing: `warm_tree`
+/// (restored by the caller from a snapshot) is installed into the policy
+/// before the first reference, and when `want_tree` is set the policy's
+/// trained tree is returned alongside the result so the caller can
+/// persist it. A warm tree handed to a treeless policy (e.g.
+/// `no-prefetch`) is dropped; the run proceeds cold and the mismatch is
+/// logged rather than fatal — the caller asked for that policy.
+pub fn run_source_guarded_snapshot<S: TraceSource>(
+    source: &mut S,
+    config: &SimConfig,
+    deadline_ms: Option<u64>,
+    extra: &mut dyn SimObserver,
+    warm_tree: Option<prefetch_tree::PrefetchTree>,
+    want_tree: bool,
+) -> Result<(SimResult, Option<prefetch_tree::PrefetchTree>), SweepError> {
+    config.validate().map_err(SweepError::InvalidConfig)?;
+    let io_error: Mutex<Option<String>> = Mutex::new(None);
+    let run = quiet_catch(AssertUnwindSafe(|| {
+        let mut obs = (SimMetrics::default(), DeadlineGuard::new(deadline_ms), extra);
+        let mut sim = Simulator::new(config);
+        if let Some(tree) = warm_tree {
+            if !sim.install_tree(tree) {
+                tlog::warn("warm_start_dropped").str("policy", config.policy.name()).emit();
+            }
+        }
+        let mut drive = || -> Result<(), prefetch_trace::io::TraceIoError> {
+            let mut pending = source.next_record()?;
+            while let Some(rec) = pending {
+                let next = source.next_record()?;
+                sim.step(rec, next.map(|r| r.block), &mut obs);
+                pending = next;
+            }
+            Ok(())
+        };
+        match drive() {
+            Ok(()) => {
+                let tree = if want_tree { sim.tree().cloned() } else { None };
+                let phases = sim.finish(&mut obs);
+                obs.0.check_invariants();
+                Some((obs.0, phases, tree))
+            }
+            Err(e) => {
+                *io_error.lock().unwrap() = Some(e.to_string());
+                None
+            }
+        }
+    }))?;
+    match run {
+        Some((metrics, phases, tree)) => Ok((
+            SimResult {
+                config: *config,
+                trace: Arc::from(source.meta().name.as_str()),
+                metrics,
+                skipped_records: source.skipped(),
+                phases,
+            },
+            tree,
+        )),
+        None => {
+            let message = io_error.lock().unwrap().take().unwrap_or_default();
+            Err(SweepError::TraceIo { message })
+        }
+    }
+}
+
 fn attempt_cell(
     trace: &Trace,
     name: &Arc<str>,

@@ -12,8 +12,8 @@ use crate::clock::VirtualClock;
 use crate::config::SimConfig;
 use crate::observer::{DiskSummary, SimEvent};
 use prefetch_core::{RetryPolicy, SystemParams};
+use prefetch_hash::FxHashMap;
 use prefetch_trace::BlockId;
-use std::collections::HashMap;
 
 /// Outcome of a demand fetch.
 #[derive(Clone, Copy, Debug)]
@@ -48,7 +48,7 @@ pub struct FiniteIo {
     /// bookkeeping engage only then).
     pub faults_active: bool,
     /// Completion time of each outstanding prefetch, by block.
-    pub prefetch_completion: HashMap<u64, f64>,
+    pub prefetch_completion: FxHashMap<u64, f64>,
 }
 
 impl IoSubsystem {
@@ -73,7 +73,7 @@ impl IoSubsystem {
                     array,
                     retry: config.faults.map(|f| f.retry).unwrap_or_default(),
                     faults_active,
-                    prefetch_completion: HashMap::new(),
+                    prefetch_completion: FxHashMap::default(),
                 }))
             }
         }

@@ -38,8 +38,8 @@ pub use clock::VirtualClock;
 pub use config::{FaultConfig, PolicySpec, SimConfig, SimConfigError};
 pub use harness::{
     cell_status_record, run_cells_checkpointed, run_grid_checkpointed, run_source_guarded,
-    run_source_guarded_with, CellOutcome, CellStatus, DeadlineGuard, HarnessOpts, SweepError,
-    SweepLog, SweepRun, SweepSummary,
+    run_source_guarded_snapshot, run_source_guarded_with, CellOutcome, CellStatus, DeadlineGuard,
+    HarnessOpts, SweepError, SweepLog, SweepRun, SweepSummary,
 };
 pub use instrument::{JsonlEventSink, QueueDelayObserver, StallHistogramObserver};
 pub use io_subsystem::IoSubsystem;

@@ -71,6 +71,19 @@ impl Simulator {
         &self.clock
     }
 
+    /// The policy's prefetch tree, if the configured policy keeps one
+    /// (`--save-tree` snapshots it at end of run).
+    pub fn tree(&self) -> Option<&prefetch_tree::PrefetchTree> {
+        self.policy.tree()
+    }
+
+    /// Warm-start the policy from a restored `pftree-snap/v1` tree before
+    /// the first step. Returns `false` (dropping the tree) when the
+    /// configured policy keeps no tree.
+    pub fn install_tree(&mut self, tree: prefetch_tree::PrefetchTree) -> bool {
+        self.policy.install_tree(tree)
+    }
+
     /// Process one reference: serve it from the cache (demand hits touch,
     /// prefetch hits migrate — Figure 2), demand-fetch on a miss with a
     /// policy-chosen victim, hand the completed reference to the policy,

@@ -9,6 +9,7 @@
 
 use crate::synth::Workload;
 use crate::{BlockId, TraceRecord};
+use prefetch_hash::{FxBuildHasher, FxHashMap};
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
 
@@ -21,7 +22,7 @@ use std::collections::HashMap;
 pub struct LruSet {
     capacity: usize,
     // index into `nodes` per resident block
-    map: HashMap<u64, usize>,
+    map: FxHashMap<u64, usize>,
     // doubly-linked list over a slab: (block, prev, next)
     nodes: Vec<(u64, usize, usize)>,
     free: Vec<usize>,
@@ -40,7 +41,7 @@ impl LruSet {
         assert!(capacity > 0, "LruSet capacity must be positive");
         LruSet {
             capacity,
-            map: HashMap::with_capacity(capacity + 1),
+            map: HashMap::with_capacity_and_hasher(capacity + 1, FxBuildHasher::default()),
             nodes: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,

@@ -30,6 +30,17 @@ pub enum TreeIoError {
     Io(std::io::Error),
     /// Bad magic or version.
     BadHeader,
+    /// A `pftree-snap` header with a version this reader does not speak
+    /// (version negotiation: refuse loudly rather than misparse).
+    UnsupportedVersion(u16),
+    /// The decompressed payload does not hash to the header's FNV-1a
+    /// fingerprint.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the header.
+        expected: u64,
+        /// Fingerprint of the payload actually read.
+        actual: u64,
+    },
     /// The stream ended early or contained invalid structure.
     Corrupt(&'static str),
 }
@@ -39,6 +50,13 @@ impl std::fmt::Display for TreeIoError {
         match self {
             TreeIoError::Io(e) => write!(f, "tree i/o error: {e}"),
             TreeIoError::BadHeader => write!(f, "not a prefetch-tree snapshot (bad magic/version)"),
+            TreeIoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported pftree-snap version {v} (this reader speaks v1)")
+            }
+            TreeIoError::FingerprintMismatch { expected, actual } => write!(
+                f,
+                "snapshot fingerprint mismatch: header {expected:#018x}, payload {actual:#018x}"
+            ),
             TreeIoError::Corrupt(what) => write!(f, "corrupt tree snapshot: {what}"),
         }
     }
@@ -52,7 +70,7 @@ impl From<std::io::Error> for TreeIoError {
     }
 }
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -64,7 +82,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TreeIoError> {
+pub(crate) fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TreeIoError> {
     let mut v: u64 = 0;
     for shift in (0..70).step_by(7) {
         let byte = *buf.get(*pos).ok_or(TreeIoError::Corrupt("truncated varint"))?;

@@ -41,14 +41,17 @@
 //! assert_eq!(t.child_probability(root, a), 5.0 / 6.0);
 //! ```
 
+pub(crate) mod arena;
 pub mod candidates;
 pub mod io;
 pub mod node;
+pub mod snap;
 pub mod stats;
 pub mod tree;
 
 pub use candidates::Candidate;
 pub use io::{read_tree, to_dot, write_tree, TreeIoError};
 pub use node::NodeId;
+pub use snap::SnapshotInfo;
 pub use stats::TreeStats;
 pub use tree::{AccessOutcome, OverflowPolicy, PrefetchTree};

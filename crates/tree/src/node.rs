@@ -1,9 +1,21 @@
-//! Tree node storage.
-
-use prefetch_trace::BlockId;
+//! Node identity for the arena-backed tree.
+//!
+//! The seed kept a `Node` struct per tree node (scalars plus a `Vec<u32>`
+//! of children); storage now lives in the struct-of-arrays
+//! [`crate::arena::Arena`], and this module keeps only what identifies a
+//! node and the paper's per-node memory constant.
+//!
+//! Children-index invariant (held by the arena for every live node `c`
+//! with parent `p`): `children(p)[pos_in_parent(c)] == c`, so child
+//! removal is O(1) lookup + O(shifted suffix).
 
 /// Sentinel for "no node".
 pub(crate) const NIL: u32 = u32::MAX;
+
+/// The per-node memory the paper's Figure 13 assumes (Section 9.3);
+/// [`crate::PrefetchTree::approx_memory_bytes`] accounts memory the same
+/// way, while `bytes_in_use()` reports the arena's exact footprint.
+pub(crate) const PAPER_BYTES: usize = 40;
 
 /// Opaque handle to a node in a [`crate::PrefetchTree`] arena.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -16,68 +28,17 @@ impl NodeId {
     }
 }
 
-/// One tree node. The paper budgets 40 bytes per node in its memory study
-/// (Section 9.3, Figure 13); `crate::PrefetchTree::approx_memory_bytes`
-/// accounts memory the same way.
-#[derive(Clone, Debug)]
-pub(crate) struct Node {
-    /// The disk block this node represents (undefined for the root).
-    pub block: BlockId,
-    /// Visit count.
-    pub weight: u64,
-    /// Parent node (NIL for the root).
-    pub parent: u32,
-    /// This node's position in `parent.children` (kept in sync so child
-    /// removal is O(1)).
-    pub pos_in_parent: u32,
-    /// Child node indices.
-    pub children: Vec<u32>,
-    /// The child taken on the most recent visit (NIL if never), for the
-    /// last-visited-child analysis and the `tree-lvc` policy.
-    pub last_visited_child: u32,
-    /// Intrusive LRU list links for node limiting.
-    pub lru_prev: u32,
-    pub lru_next: u32,
-}
-
-impl Node {
-    /// The per-node memory the paper's Figure 13 assumes.
-    pub const PAPER_BYTES: usize = 40;
-
-    pub(crate) fn new(block: BlockId, parent: u32, pos_in_parent: u32) -> Self {
-        Node {
-            block,
-            weight: 0,
-            parent,
-            pos_in_parent,
-            children: Vec::new(),
-            last_visited_child: NIL,
-            lru_prev: NIL,
-            lru_next: NIL,
-        }
-    }
-
-    pub(crate) fn is_leaf(&self) -> bool {
-        self.children.is_empty()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn new_node_is_leaf_with_zero_weight() {
-        let n = Node::new(BlockId(5), 0, 2);
-        assert!(n.is_leaf());
-        assert_eq!(n.weight, 0);
-        assert_eq!(n.parent, 0);
-        assert_eq!(n.pos_in_parent, 2);
-        assert_eq!(n.last_visited_child, NIL);
+    fn node_id_exposes_index() {
+        assert_eq!(NodeId(7).index(), 7);
     }
 
     #[test]
-    fn node_id_exposes_index() {
-        assert_eq!(NodeId(7).index(), 7);
+    fn nil_is_not_a_valid_index() {
+        assert_eq!(NIL as usize, u32::MAX as usize);
     }
 }

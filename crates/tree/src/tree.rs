@@ -1,9 +1,10 @@
 //! The prefetch tree proper: LZ78 parsing, weights, probabilities, and LRU
 //! node limiting.
 
-use crate::node::{Node, NodeId, NIL};
+use crate::arena::Arena;
+use crate::node::{NodeId, NIL, PAPER_BYTES};
+use crate::snap::RawTree;
 use crate::stats::TreeStats;
-use prefetch_hash::FxHashMap;
 use prefetch_trace::BlockId;
 
 /// What happened when an access was recorded — the per-reference signals
@@ -42,15 +43,14 @@ pub enum OverflowPolicy {
 
 /// The LZ prefetch tree.
 ///
-/// See the crate docs for semantics. All operations are O(1) amortized
-/// except candidate enumeration (proportional to candidates returned) and
-/// node eviction (bounded leaf scan).
+/// See the crate docs for semantics. Node storage is the struct-of-arrays
+/// [`Arena`] (parallel field vectors plus one shared child slab); all
+/// operations are O(1) amortized except candidate enumeration
+/// (proportional to candidates returned) and node eviction (bounded leaf
+/// scan).
 #[derive(Clone, Debug)]
 pub struct PrefetchTree {
-    nodes: Vec<Node>,
-    free: Vec<u32>,
-    /// (parent index, block) → child index
-    edges: FxHashMap<(u32, u64), u32>,
+    arena: Arena,
     /// parse position
     cursor: u32,
     /// true before the first access of a substring (root weight is bumped
@@ -96,11 +96,8 @@ impl PrefetchTree {
     /// Panics if `node_limit == 0`.
     pub fn with_node_budget(node_limit: usize, overflow: OverflowPolicy) -> Self {
         assert!(node_limit > 0, "node limit must be positive");
-        let root = Node::new(BlockId(u64::MAX), NIL, NIL);
         PrefetchTree {
-            nodes: vec![root],
-            free: Vec::new(),
-            edges: FxHashMap::default(),
+            arena: Arena::with_root(),
             cursor: 0,
             fresh_substring: true,
             node_limit,
@@ -124,7 +121,17 @@ impl PrefetchTree {
 
     /// Number of live nodes, excluding the root.
     pub fn node_count(&self) -> usize {
-        self.nodes.len() - self.free.len() - 1
+        self.arena.len() - self.arena.free.len() - 1
+    }
+
+    /// The node budget this tree was built with (`usize::MAX` = unlimited).
+    pub fn node_limit(&self) -> usize {
+        self.node_limit
+    }
+
+    /// The overflow policy this tree was built with.
+    pub fn overflow_policy(&self) -> OverflowPolicy {
+        self.overflow
     }
 
     /// Statistics accumulated so far.
@@ -134,7 +141,7 @@ impl PrefetchTree {
 
     /// Visit count of a node.
     pub fn weight(&self, n: NodeId) -> u64 {
-        self.nodes[n.0 as usize].weight
+        self.arena.weights[n.0 as usize]
     }
 
     /// The block a node represents (`None` for the root).
@@ -142,13 +149,13 @@ impl PrefetchTree {
         if n.0 == 0 {
             None
         } else {
-            Some(self.nodes[n.0 as usize].block)
+            Some(BlockId(self.arena.blocks[n.0 as usize]))
         }
     }
 
     /// Parent of a node (`None` for the root).
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
-        let p = self.nodes[n.0 as usize].parent;
+        let p = self.arena.parents[n.0 as usize];
         if p == NIL {
             None
         } else {
@@ -158,22 +165,22 @@ impl PrefetchTree {
 
     /// Number of children of a node.
     pub fn child_count(&self, n: NodeId) -> usize {
-        self.nodes[n.0 as usize].children.len()
+        self.arena.ch_len[n.0 as usize] as usize
     }
 
     /// Iterate a node's children.
     pub fn children(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes[n.0 as usize].children.iter().map(|&c| NodeId(c))
+        self.arena.children(n.0).iter().map(|&c| NodeId(c))
     }
 
     /// The child of `n` representing `block`, if present.
     pub fn child_by_block(&self, n: NodeId, block: BlockId) -> Option<NodeId> {
-        self.edges.get(&(n.0, block.0)).map(|&c| NodeId(c))
+        self.arena.edges.get(&(n.0, block.0)).map(|&c| NodeId(c))
     }
 
     /// The child taken on the most recent visit to `n`.
     pub fn last_visited_child(&self, n: NodeId) -> Option<NodeId> {
-        let c = self.nodes[n.0 as usize].last_visited_child;
+        let c = self.arena.lvc[n.0 as usize];
         if c == NIL {
             None
         } else {
@@ -185,20 +192,27 @@ impl PrefetchTree {
     /// `child` follows `parent` (paper Section 2). Returns 0 for a
     /// zero-weight parent.
     pub fn child_probability(&self, parent: NodeId, child: NodeId) -> f64 {
-        debug_assert_eq!(self.nodes[child.0 as usize].parent, parent.0);
-        let pw = self.nodes[parent.0 as usize].weight;
+        debug_assert_eq!(self.arena.parents[child.0 as usize], parent.0);
+        let pw = self.arena.weights[parent.0 as usize];
         if pw == 0 {
             0.0
         } else {
-            self.nodes[child.0 as usize].weight as f64 / pw as f64
+            self.arena.weights[child.0 as usize] as f64 / pw as f64
         }
     }
 
-    /// Approximate resident memory of the tree, counting
-    /// 40 bytes (`Node::PAPER_BYTES`) per node the way the paper's Figure 13
-    /// does.
+    /// Approximate resident memory of the tree, counting 40 bytes per node
+    /// the way the paper's Figure 13 does. For the arena's true footprint
+    /// use [`PrefetchTree::bytes_in_use`].
     pub fn approx_memory_bytes(&self) -> usize {
-        self.node_count() * Node::PAPER_BYTES
+        self.node_count() * PAPER_BYTES
+    }
+
+    /// Exact heap bytes owned by this tree, computed from container
+    /// capacities (see [`Arena::bytes_in_use`]). This is what `pfserve`
+    /// admission control charges per tenant.
+    pub fn bytes_in_use(&self) -> usize {
+        std::mem::size_of::<Self>() + self.arena.bytes_in_use()
     }
 
     /// Record one access and advance the parse. Returns the per-access
@@ -207,11 +221,11 @@ impl PrefetchTree {
         self.stats.accesses += 1;
         if self.fresh_substring {
             // Root weight counts substrings started.
-            self.nodes[0].weight += 1;
+            self.arena.weights[0] += 1;
             self.fresh_substring = false;
         }
         let cur = self.cursor;
-        let existing = self.edges.get(&(cur, block.0)).copied();
+        let existing = self.arena.edges.get(&(cur, block.0)).copied();
 
         // Table 2: was the request predictable from the current position?
         let predictable = existing.is_some();
@@ -220,10 +234,10 @@ impl PrefetchTree {
         }
 
         // Table 3: does this visit repeat the node's last-visited child?
-        let lvc = self.nodes[cur as usize].last_visited_child;
+        let lvc = self.arena.lvc[cur as usize];
         let lvc_repeat = if lvc != NIL {
             self.stats.lvc_opportunities += 1;
-            let repeat = self.nodes[lvc as usize].block == block && existing == Some(lvc);
+            let repeat = self.arena.blocks[lvc as usize] == block.0 && existing == Some(lvc);
             if repeat {
                 self.stats.lvc_repeats += 1;
             }
@@ -235,7 +249,7 @@ impl PrefetchTree {
         match existing {
             Some(child) => {
                 self.increment_child_weight(cur, child);
-                self.nodes[cur as usize].last_visited_child = child;
+                self.arena.lvc[cur as usize] = child;
                 self.cursor = child;
                 self.touch_lru(child);
                 AccessOutcome { predictable, lvc_repeat, created_node: false, reset: false }
@@ -257,8 +271,8 @@ impl PrefetchTree {
                     };
                 }
                 let child = self.create_child(cur, block);
-                self.nodes[child as usize].weight = 1;
-                self.nodes[cur as usize].last_visited_child = child;
+                self.arena.weights[child as usize] = 1;
+                self.arena.lvc[cur as usize] = child;
                 self.touch_lru(child);
                 // Novel access ends the substring: back to the root.
                 self.cursor = 0;
@@ -296,17 +310,16 @@ impl PrefetchTree {
     /// The child swaps with the leftmost member of its old weight class:
     /// O(log k) via binary search, O(1) data movement.
     fn increment_child_weight(&mut self, parent: u32, child: u32) {
-        let pos = self.nodes[child as usize].pos_in_parent as usize;
-        let w = self.nodes[child as usize].weight;
+        let pos = self.arena.pos_in_parent[child as usize] as usize;
+        let w = self.arena.weights[child as usize];
         // Leftmost index in 0..=pos whose weight equals w (the weight
         // class is contiguous because the list is sorted descending).
         let class_start = {
-            let kids = &self.nodes[parent as usize].children;
             let mut lo = 0usize;
             let mut hi = pos;
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                if self.nodes[kids[mid] as usize].weight > w {
+                if self.arena.weights[self.arena.child_at(parent, mid) as usize] > w {
                     lo = mid + 1;
                 } else {
                     hi = mid;
@@ -315,30 +328,19 @@ impl PrefetchTree {
             lo
         };
         if class_start != pos {
-            let kids = &mut self.nodes[parent as usize].children;
-            kids.swap(class_start, pos);
-            let other = kids[pos];
-            self.nodes[other as usize].pos_in_parent = pos as u32;
-            self.nodes[child as usize].pos_in_parent = class_start as u32;
+            self.arena.child_swap(parent, class_start, pos);
+            let other = self.arena.child_at(parent, pos);
+            self.arena.pos_in_parent[other as usize] = pos as u32;
+            self.arena.pos_in_parent[child as usize] = class_start as u32;
         }
-        self.nodes[child as usize].weight = w + 1;
+        self.arena.weights[child as usize] = w + 1;
     }
 
     fn create_child(&mut self, parent: u32, block: BlockId) -> u32 {
-        let pos = self.nodes[parent as usize].children.len() as u32;
-        let idx = match self.free.pop() {
-            Some(i) => {
-                self.nodes[i as usize] = Node::new(block, parent, pos);
-                i
-            }
-            None => {
-                assert!(self.nodes.len() < NIL as usize, "prefetch tree arena overflow");
-                self.nodes.push(Node::new(block, parent, pos));
-                (self.nodes.len() - 1) as u32
-            }
-        };
-        self.nodes[parent as usize].children.push(idx);
-        self.edges.insert((parent, block.0), idx);
+        let pos = self.arena.ch_len[parent as usize];
+        let idx = self.arena.alloc(block, parent, pos);
+        self.arena.child_push(parent, idx);
+        self.arena.edges.insert((parent, block.0), idx);
         self.stats.nodes_created += 1;
         idx
     }
@@ -347,24 +349,24 @@ impl PrefetchTree {
     fn touch_lru(&mut self, n: u32) {
         debug_assert_ne!(n, 0, "root is not in the LRU list");
         // Unlink if present.
-        let (prev, next) = (self.nodes[n as usize].lru_prev, self.nodes[n as usize].lru_next);
+        let (prev, next) = (self.arena.lru_prev[n as usize], self.arena.lru_next[n as usize]);
         if prev != NIL || next != NIL || self.lru_head == n {
             if prev != NIL {
-                self.nodes[prev as usize].lru_next = next;
+                self.arena.lru_next[prev as usize] = next;
             } else {
                 self.lru_head = next;
             }
             if next != NIL {
-                self.nodes[next as usize].lru_prev = prev;
+                self.arena.lru_prev[next as usize] = prev;
             } else {
                 self.lru_tail = prev;
             }
         }
         // Push front.
-        self.nodes[n as usize].lru_prev = NIL;
-        self.nodes[n as usize].lru_next = self.lru_head;
+        self.arena.lru_prev[n as usize] = NIL;
+        self.arena.lru_next[n as usize] = self.lru_head;
         if self.lru_head != NIL {
-            self.nodes[self.lru_head as usize].lru_prev = n;
+            self.arena.lru_prev[self.lru_head as usize] = n;
         }
         self.lru_head = n;
         if self.lru_tail == NIL {
@@ -373,19 +375,19 @@ impl PrefetchTree {
     }
 
     fn unlink_lru(&mut self, n: u32) {
-        let (prev, next) = (self.nodes[n as usize].lru_prev, self.nodes[n as usize].lru_next);
+        let (prev, next) = (self.arena.lru_prev[n as usize], self.arena.lru_next[n as usize]);
         if prev != NIL {
-            self.nodes[prev as usize].lru_next = next;
+            self.arena.lru_next[prev as usize] = next;
         } else if self.lru_head == n {
             self.lru_head = next;
         }
         if next != NIL {
-            self.nodes[next as usize].lru_prev = prev;
+            self.arena.lru_prev[next as usize] = prev;
         } else if self.lru_tail == n {
             self.lru_tail = prev;
         }
-        self.nodes[n as usize].lru_prev = NIL;
-        self.nodes[n as usize].lru_next = NIL;
+        self.arena.lru_prev[n as usize] = NIL;
+        self.arena.lru_next[n as usize] = NIL;
     }
 
     /// Enforce the node limit by evicting least-recently-visited leaves
@@ -405,11 +407,10 @@ impl PrefetchTree {
                 if scanned >= MAX_SCAN {
                     break NIL;
                 }
-                let node = &self.nodes[candidate as usize];
-                if node.is_leaf() && candidate != self.cursor {
+                if self.arena.is_leaf(candidate) && candidate != self.cursor {
                     break candidate;
                 }
-                candidate = node.lru_prev;
+                candidate = self.arena.lru_prev[candidate as usize];
                 scanned += 1;
             };
             if victim != NIL {
@@ -435,33 +436,28 @@ impl PrefetchTree {
             if n == a {
                 return true;
             }
-            n = self.nodes[n as usize].parent;
+            n = self.arena.parents[n as usize];
         }
         false
     }
 
     fn remove_leaf(&mut self, n: u32) {
-        debug_assert!(self.nodes[n as usize].is_leaf());
+        debug_assert!(self.arena.is_leaf(n));
         debug_assert_ne!(n, 0);
-        let parent = self.nodes[n as usize].parent;
-        let pos = self.nodes[n as usize].pos_in_parent as usize;
-        let block = self.nodes[n as usize].block;
+        let parent = self.arena.parents[n as usize];
+        let pos = self.arena.pos_in_parent[n as usize] as usize;
+        let block = self.arena.blocks[n as usize];
         // Shifting removal keeps the children sorted by weight; the
-        // shifted suffix needs its positions refreshed. Eviction only
+        // arena refreshes the shifted suffix's positions. Eviction only
         // happens under a node limit, which also bounds the fan-out.
-        let kids = &mut self.nodes[parent as usize].children;
-        debug_assert_eq!(kids[pos], n);
-        kids.remove(pos);
-        let shifted: Vec<u32> = self.nodes[parent as usize].children[pos..].to_vec();
-        for (off, moved) in shifted.into_iter().enumerate() {
-            self.nodes[moved as usize].pos_in_parent = (pos + off) as u32;
+        debug_assert_eq!(self.arena.child_at(parent, pos), n);
+        self.arena.child_remove_at(parent, pos);
+        if self.arena.lvc[parent as usize] == n {
+            self.arena.lvc[parent as usize] = NIL;
         }
-        if self.nodes[parent as usize].last_visited_child == n {
-            self.nodes[parent as usize].last_visited_child = NIL;
-        }
-        self.edges.remove(&(parent, block.0));
+        self.arena.edges.remove(&(parent, block));
         self.unlink_lru(n);
-        self.free.push(n);
+        self.arena.release(n);
         self.stats.nodes_evicted += 1;
     }
 
@@ -471,7 +467,7 @@ impl PrefetchTree {
         let mut order = Vec::new();
         while let Some(x) = stack.pop() {
             order.push(x);
-            stack.extend(self.nodes[x as usize].children.iter().copied());
+            stack.extend_from_slice(self.arena.children(x));
         }
         for &x in order.iter().rev() {
             self.remove_leaf(x);
@@ -481,7 +477,7 @@ impl PrefetchTree {
     /// Snapshot support: set the root weight on a freshly created tree.
     pub(crate) fn restore_root_weight(&mut self, weight: u64) {
         debug_assert_eq!(self.node_count(), 0, "restore into a fresh tree only");
-        self.nodes[0].weight = weight;
+        self.arena.weights[0] = weight;
     }
 
     /// Snapshot support: append a child with an explicit weight. Children
@@ -494,16 +490,16 @@ impl PrefetchTree {
         block: BlockId,
         weight: u64,
     ) -> Result<NodeId, &'static str> {
-        if self.edges.contains_key(&(parent.0, block.0)) {
+        if self.arena.edges.contains_key(&(parent.0, block.0)) {
             return Err("duplicate child block");
         }
-        if let Some(&last) = self.nodes[parent.0 as usize].children.last() {
-            if self.nodes[last as usize].weight < weight {
+        if let Some(&last) = self.arena.children(parent.0).last() {
+            if self.arena.weights[last as usize] < weight {
                 return Err("children not in descending weight order");
             }
         }
         let idx = self.create_child(parent.0, block);
-        self.nodes[idx as usize].weight = weight;
+        self.arena.weights[idx as usize] = weight;
         self.touch_lru(idx);
         // Snapshot restoration is not live training.
         self.stats.nodes_created -= 1;
@@ -516,12 +512,212 @@ impl PrefetchTree {
         self.check_invariants();
     }
 
+    /// Dump complete tree state (arena arrays, free list, parse position,
+    /// LRU order, stats, budget) for the `pftree-snap/v1` writer. The dump
+    /// is everything needed to continue training bit-identically.
+    pub(crate) fn to_raw(&self) -> RawTree {
+        let n = self.arena.len();
+        RawTree {
+            node_limit: if self.node_limit == usize::MAX {
+                u64::MAX
+            } else {
+                self.node_limit as u64
+            },
+            overflow: match self.overflow {
+                OverflowPolicy::Evict => 0,
+                OverflowPolicy::Freeze => 1,
+            },
+            cursor: self.cursor,
+            fresh_substring: self.fresh_substring,
+            lru_head: self.lru_head,
+            lru_tail: self.lru_tail,
+            stats: self.stats,
+            blocks: self.arena.blocks.clone(),
+            weights: self.arena.weights.clone(),
+            lvc: self.arena.lvc.clone(),
+            lru_prev: self.arena.lru_prev.clone(),
+            lru_next: self.arena.lru_next.clone(),
+            children: (0..n).map(|i| self.arena.children(i as u32).to_vec()).collect(),
+            free: self.arena.free.clone(),
+        }
+    }
+
+    /// Rebuild a tree from a decoded [`RawTree`], validating every
+    /// structural invariant so corrupt or adversarial snapshots fail with
+    /// an error instead of panicking (or worse, yielding a tree that
+    /// panics later). Child slots and the edge index are rebuilt
+    /// compactly; node ids, child order, LRU order, free-list order, the
+    /// parse position and statistics are restored verbatim, so continued
+    /// training is bit-identical to the snapshotted tree's future.
+    pub(crate) fn from_raw(raw: RawTree) -> Result<PrefetchTree, &'static str> {
+        let n = raw.blocks.len();
+        if n == 0 || n > NIL as usize {
+            return Err("node array empty or too large");
+        }
+        if raw.weights.len() != n
+            || raw.lvc.len() != n
+            || raw.lru_prev.len() != n
+            || raw.lru_next.len() != n
+            || raw.children.len() != n
+        {
+            return Err("array length mismatch");
+        }
+        if raw.node_limit == 0 {
+            return Err("zero node limit");
+        }
+        if raw.overflow > 1 {
+            return Err("unknown overflow policy");
+        }
+
+        // Liveness: everything not on the free list. The root is never free.
+        let mut live = vec![true; n];
+        for &f in &raw.free {
+            let fi = f as usize;
+            if fi == 0 || fi >= n {
+                return Err("free-list entry out of range");
+            }
+            if !live[fi] {
+                return Err("duplicate free-list entry");
+            }
+            live[fi] = false;
+        }
+        let live_count = n - raw.free.len();
+
+        // Children: derive parents/pos_in_parent, enforcing single-parent,
+        // weight order, and that freed nodes hold no children.
+        let mut parents = vec![NIL; n];
+        let mut pos_in_parent = vec![NIL; n];
+        for (i, kids) in raw.children.iter().enumerate() {
+            if !live[i] {
+                if !kids.is_empty() {
+                    return Err("freed node has children");
+                }
+                continue;
+            }
+            let mut prev_weight = u64::MAX;
+            let mut child_sum = 0u64;
+            for (pos, &c) in kids.iter().enumerate() {
+                let ci = c as usize;
+                if ci == 0 || ci >= n || !live[ci] {
+                    return Err("child reference out of range or dead");
+                }
+                if parents[ci] != NIL {
+                    return Err("node has two parents");
+                }
+                parents[ci] = i as u32;
+                pos_in_parent[ci] = pos as u32;
+                let w = raw.weights[ci];
+                if w == 0 {
+                    return Err("zero node weight");
+                }
+                if w > prev_weight {
+                    return Err("children not in descending weight order");
+                }
+                prev_weight = w;
+                child_sum = child_sum.checked_add(w).ok_or("weight overflow")?;
+            }
+            if child_sum > raw.weights[i] {
+                return Err("children outweigh their parent");
+            }
+        }
+        // Reachability from the root covers every live node exactly once
+        // (rules out cycles and orphans).
+        let mut reached = 1usize;
+        let mut stack = vec![0u32];
+        while let Some(x) = stack.pop() {
+            for &c in &raw.children[x as usize] {
+                reached += 1;
+                stack.push(c);
+            }
+        }
+        if reached != live_count {
+            return Err("unreachable nodes");
+        }
+
+        // Parse position must be a live node.
+        if raw.cursor as usize >= n || !live[raw.cursor as usize] {
+            return Err("cursor out of range or dead");
+        }
+        // lvc must be NIL or an actual child of its node.
+        for (i, &l) in raw.lvc.iter().enumerate().take(n) {
+            if l != NIL && (!live[i] || (l as usize) >= n || parents[l as usize] != i as u32) {
+                return Err("last-visited child is not a child");
+            }
+        }
+        // The LRU list must thread every live non-root node exactly once.
+        let mut seen = 0usize;
+        let mut prev = NIL;
+        let mut cur = raw.lru_head;
+        while cur != NIL {
+            let ci = cur as usize;
+            if ci == 0 || ci >= n || !live[ci] || seen >= live_count {
+                return Err("lru link out of range, dead, or cyclic");
+            }
+            if raw.lru_prev[ci] != prev {
+                return Err("lru prev link inconsistent");
+            }
+            seen += 1;
+            prev = cur;
+            cur = raw.lru_next[ci];
+        }
+        if prev != raw.lru_tail || seen != live_count - 1 {
+            return Err("lru list does not cover live nodes");
+        }
+
+        // Rebuild child slots compactly (minimal power-of-two class per
+        // list — slab geometry is not behavior, see DESIGN.md §12) and the
+        // edge index.
+        let mut arena = Arena::with_root();
+        arena.blocks = raw.blocks;
+        arena.weights = raw.weights;
+        arena.parents = parents;
+        arena.pos_in_parent = pos_in_parent;
+        arena.lvc = raw.lvc;
+        arena.lru_prev = raw.lru_prev;
+        arena.lru_next = raw.lru_next;
+        arena.ch_start = vec![0; n];
+        arena.ch_len = vec![0; n];
+        arena.ch_class = vec![crate::arena::NO_CLASS; n];
+        arena.parents[0] = NIL;
+        arena.pos_in_parent[0] = NIL;
+        arena.free = raw.free;
+        for (i, kids) in raw.children.iter().enumerate() {
+            for &c in kids {
+                arena.child_push(i as u32, c);
+                if arena.edges.insert((i as u32, arena.blocks[c as usize]), c).is_some() {
+                    return Err("duplicate child block");
+                }
+            }
+        }
+
+        let tree = PrefetchTree {
+            arena,
+            cursor: raw.cursor,
+            fresh_substring: raw.fresh_substring,
+            node_limit: if raw.node_limit == u64::MAX {
+                usize::MAX
+            } else {
+                raw.node_limit as usize
+            },
+            overflow: if raw.overflow == 0 {
+                OverflowPolicy::Evict
+            } else {
+                OverflowPolicy::Freeze
+            },
+            lru_head: raw.lru_head,
+            lru_tail: raw.lru_tail,
+            stats: raw.stats,
+        };
+        tree.check_restored();
+        Ok(tree)
+    }
+
     /// Validate internal invariants (test support; O(nodes)).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
         let mut live = 0usize;
-        for (i, n) in self.nodes.iter().enumerate() {
-            if self.free.contains(&(i as u32)) {
+        for i in 0..self.arena.len() {
+            if self.arena.free.contains(&(i as u32)) {
                 continue;
             }
             live += 1;
@@ -529,27 +725,30 @@ impl PrefetchTree {
             // map agrees.
             let mut child_sum = 0u64;
             let mut prev_weight = u64::MAX;
-            for (pos, &c) in n.children.iter().enumerate() {
-                let child = &self.nodes[c as usize];
-                assert_eq!(child.parent, i as u32, "parent link broken at {c}");
-                assert_eq!(child.pos_in_parent as usize, pos, "pos_in_parent broken at {c}");
+            for (pos, &c) in self.arena.children(i as u32).iter().enumerate() {
+                assert_eq!(self.arena.parents[c as usize], i as u32, "parent link broken at {c}");
                 assert_eq!(
-                    self.edges.get(&(i as u32, child.block.0)),
+                    self.arena.pos_in_parent[c as usize] as usize, pos,
+                    "pos_in_parent broken at {c}"
+                );
+                assert_eq!(
+                    self.arena.edges.get(&(i as u32, self.arena.blocks[c as usize])),
                     Some(&c),
                     "edge map broken at {c}"
                 );
-                assert!(child.weight <= prev_weight, "children not weight-sorted at {i}");
-                prev_weight = child.weight;
-                child_sum += child.weight;
+                let w = self.arena.weights[c as usize];
+                assert!(w <= prev_weight, "children not weight-sorted at {i}");
+                prev_weight = w;
+                child_sum += w;
             }
             assert!(
-                child_sum <= n.weight,
+                child_sum <= self.arena.weights[i],
                 "children weight {child_sum} exceeds node weight {} at {i}",
-                n.weight
+                self.arena.weights[i]
             );
         }
         assert_eq!(live, self.node_count() + 1, "live node accounting broken");
-        assert_eq!(self.edges.len(), self.node_count(), "edge count mismatch");
+        assert_eq!(self.arena.edges.len(), self.node_count(), "edge count mismatch");
     }
 }
 
@@ -864,5 +1063,20 @@ mod tests {
         }
         assert_eq!(t.stats().nodes_capped, 0);
         assert_eq!(t.stats().nodes_evicted, 0);
+    }
+
+    #[test]
+    fn bytes_in_use_is_exact_scale_not_paper_estimate() {
+        let mut t = PrefetchTree::new();
+        for b in 0..10_000u64 {
+            t.record_access(BlockId(b % 500));
+        }
+        let exact = t.bytes_in_use();
+        let paper = t.approx_memory_bytes();
+        // The exact figure charges real container capacities: nonzero,
+        // and within a small constant factor of the 40-byte/node study.
+        assert!(exact > 0);
+        assert!(exact < paper * 8, "exact {exact} vs paper {paper}");
+        assert!(exact > paper / 8, "exact {exact} vs paper {paper}");
     }
 }

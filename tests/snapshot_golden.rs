@@ -1,0 +1,44 @@
+//! Golden-snapshot compatibility: `tests/golden/cad-10k.pftree` is a
+//! checked-in `pftree-snap/v1` file (CAD trace, 10 k refs, `tree`
+//! policy). Every future reader must keep restoring it bit-exactly —
+//! if the format evolves, bump the version and add a new fixture
+//! instead of regenerating this one. The CI `snapshot-compat` job
+//! additionally replays a warm-started `pfsim` run against the
+//! checked-in advice baseline (`tests/golden/snapshot-compat.txt`).
+
+use prefetch_tree::PrefetchTree;
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/cad-10k.pftree")
+}
+
+#[test]
+fn golden_snapshot_restores_with_pinned_state() {
+    let tree = PrefetchTree::load_snapshot(fixture_path()).expect("golden fixture must restore");
+    tree.check_invariants();
+    // Pinned at fixture-creation time; a mismatch means the reader's
+    // interpretation of v1 drifted, which is a compatibility break.
+    assert_eq!(tree.node_count(), 7041);
+    assert_eq!(tree.stats().accesses, 10_000);
+    assert_eq!(tree.stats().nodes_created, 7041);
+    assert_eq!(tree.node_limit(), usize::MAX);
+}
+
+#[test]
+fn golden_snapshot_continues_training_deterministically() {
+    use prefetch_trace::synth::TraceKind;
+    let mut tree = PrefetchTree::load_snapshot(fixture_path()).unwrap();
+    // Continue on a fresh CAD stream (different seed than training).
+    for b in TraceKind::Cad.generate(5_000, 7).blocks() {
+        tree.record_access(b);
+    }
+    tree.check_invariants();
+    assert_eq!(tree.stats().accesses, 15_000);
+    // Re-serializing the continued tree is stable across runs: snapshot
+    // bytes are a pure function of the access history.
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    tree.write_snapshot(&mut a).unwrap();
+    tree.write_snapshot(&mut b).unwrap();
+    assert_eq!(a, b);
+}
