@@ -322,6 +322,111 @@ impl FaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durability faults (write path)
+// ---------------------------------------------------------------------------
+
+/// Declarative durability faults for the append-only write path
+/// (`prefetch-wal`): short writes, fsync errors, and silent bit flips,
+/// all driven by SplitMix64 streams derived from one seed — the same
+/// determinism contract as [`FaultPlan`]. Rates are per-operation
+/// probabilities; [`DurabilityFaultPlan::disabled`] is the identity.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DurabilityFaultPlan {
+    /// Seed for the per-log fault streams.
+    pub seed: u64,
+    /// Probability an append stops after a prefix of the record buffer
+    /// and fails (the torn tail a crash mid-append leaves).
+    pub short_write_rate: f64,
+    /// Probability a sync fails with an injected I/O error.
+    pub fsync_error_rate: f64,
+    /// Probability an append silently flips one bit of the record buffer
+    /// (media corruption, caught later by the record fingerprint).
+    pub bit_flip_rate: f64,
+}
+
+impl DurabilityFaultPlan {
+    /// The identity plan: no durability faults ever fire.
+    pub fn disabled() -> Self {
+        DurabilityFaultPlan {
+            seed: 0,
+            short_write_rate: 0.0,
+            fsync_error_rate: 0.0,
+            bit_flip_rate: 0.0,
+        }
+    }
+
+    /// Does any fault class have a nonzero firing rate?
+    pub fn is_active(&self) -> bool {
+        self.short_write_rate > 0.0 || self.fsync_error_rate > 0.0 || self.bit_flip_rate > 0.0
+    }
+
+    /// Validate rates.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("short_write_rate", self.short_write_rate),
+            ("fsync_error_rate", self.fsync_error_rate),
+            ("bit_flip_rate", self.bit_flip_rate),
+        ] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(ConfigError::FaultRateOutOfRange { field, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// A deterministic injector for one log. `stream` decorrelates
+    /// independent logs (e.g. per-tenant WAL segments) the way the disk
+    /// index decorrelates [`FaultInjector`] streams.
+    pub fn injector(&self, stream: u64) -> DurabilityInjector {
+        let derive = |salt: u64| {
+            let mut s = self.seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407) ^ salt;
+            splitmix64(&mut s);
+            s
+        };
+        DurabilityInjector { plan: *self, append_rng: derive(0x57A1), sync_rng: derive(0x5F5C) }
+    }
+}
+
+impl Default for DurabilityFaultPlan {
+    fn default() -> Self {
+        DurabilityFaultPlan::disabled()
+    }
+}
+
+/// Deterministic [`prefetch_wal::WriteFaults`] source for one log; built
+/// by [`DurabilityFaultPlan::injector`]. Three RNG words per append
+/// decision and one per sync decision, drawn unconditionally, so a log's
+/// fault schedule is a pure function of its own operation sequence.
+#[derive(Clone, Debug)]
+pub struct DurabilityInjector {
+    plan: DurabilityFaultPlan,
+    append_rng: u64,
+    sync_rng: u64,
+}
+
+impl prefetch_wal::WriteFaults for DurabilityInjector {
+    fn on_append(&mut self, _index: u64, len: usize) -> Option<prefetch_wal::AppendFault> {
+        let u_short = unit_f64(splitmix64(&mut self.append_rng));
+        let u_flip = unit_f64(splitmix64(&mut self.append_rng));
+        let position = splitmix64(&mut self.append_rng);
+        if u_short < self.plan.short_write_rate {
+            return Some(prefetch_wal::AppendFault::ShortWrite {
+                keep: position as usize % len.max(1),
+            });
+        }
+        if u_flip < self.plan.bit_flip_rate {
+            let bits = (len * 8).max(1) as u64;
+            return Some(prefetch_wal::AppendFault::BitFlip { bit: (position % bits) as u32 });
+        }
+        None
+    }
+
+    fn on_sync(&mut self, _index: u64) -> bool {
+        unit_f64(splitmix64(&mut self.sync_rng)) < self.plan.fsync_error_rate
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +533,79 @@ mod tests {
         assert_eq!(u.disk(), 1);
         assert!(e.to_string().contains("transient"));
         assert!(u.to_string().contains("unavailable"));
+    }
+
+    // -- durability faults ---------------------------------------------------
+
+    use prefetch_wal::{AppendFault, WriteFaults};
+
+    fn schedule(plan: &DurabilityFaultPlan, stream: u64, ops: usize) -> Vec<Option<AppendFault>> {
+        let mut inj = plan.injector(stream);
+        (0..ops).map(|i| inj.on_append(i as u64, 64)).collect()
+    }
+
+    #[test]
+    fn durability_disabled_never_fires() {
+        let plan = DurabilityFaultPlan::disabled();
+        assert!(!plan.is_active());
+        let mut inj = plan.injector(3);
+        for i in 0..200 {
+            assert_eq!(inj.on_append(i, 64), None);
+            assert!(!inj.on_sync(i));
+        }
+    }
+
+    #[test]
+    fn durability_schedule_is_deterministic_and_stream_decorrelated() {
+        let plan = DurabilityFaultPlan {
+            seed: 42,
+            short_write_rate: 0.2,
+            fsync_error_rate: 0.1,
+            bit_flip_rate: 0.2,
+        };
+        assert!(plan.is_active());
+        let a = schedule(&plan, 0, 256);
+        assert_eq!(a, schedule(&plan, 0, 256), "same stream must replay identically");
+        let b = schedule(&plan, 1, 256);
+        assert_ne!(a, b, "distinct streams must not share a fault schedule");
+        let fired = a.iter().flatten().count();
+        assert!(fired > 10, "rates this high must fire often, got {fired}");
+        for fault in a.iter().flatten() {
+            match *fault {
+                AppendFault::ShortWrite { keep } => assert!(keep < 64),
+                AppendFault::BitFlip { bit } => assert!(bit < 64 * 8),
+            }
+        }
+    }
+
+    #[test]
+    fn durability_sync_stream_is_independent_of_appends() {
+        let plan = DurabilityFaultPlan {
+            seed: 9,
+            short_write_rate: 0.0,
+            fsync_error_rate: 0.5,
+            bit_flip_rate: 0.0,
+        };
+        // Sync decisions must not shift when the append count differs.
+        let mut a = plan.injector(0);
+        let mut b = plan.injector(0);
+        for i in 0..50 {
+            let _ = a.on_append(i, 32);
+        }
+        let sa: Vec<bool> = (0..64).map(|i| a.on_sync(i)).collect();
+        let sb: Vec<bool> = (0..64).map(|i| b.on_sync(i)).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&x| x) && sa.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn durability_validation_rejects_bad_rates() {
+        let mut p = DurabilityFaultPlan::disabled();
+        p.bit_flip_rate = -0.1;
+        assert!(matches!(p.validate(), Err(ConfigError::FaultRateOutOfRange { .. })));
+        let mut p = DurabilityFaultPlan::disabled();
+        p.fsync_error_rate = f64::NAN;
+        assert!(matches!(p.validate(), Err(ConfigError::FaultRateOutOfRange { .. })));
+        assert!(DurabilityFaultPlan::disabled().validate().is_ok());
     }
 }

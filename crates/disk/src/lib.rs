@@ -32,5 +32,8 @@ pub mod fault;
 pub mod stats;
 
 pub use array::{Completion, DiskArray, DiskArrayConfig, Striping};
-pub use fault::{ConfigError, DiskFault, FaultDecision, FaultInjector, FaultPlan};
+pub use fault::{
+    ConfigError, DiskFault, DurabilityFaultPlan, DurabilityInjector, FaultDecision, FaultInjector,
+    FaultPlan,
+};
 pub use stats::DiskStats;

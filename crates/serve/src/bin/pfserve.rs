@@ -24,6 +24,7 @@
 //! | 4    | listener I/O error                   |
 
 use prefetch_serve::{ServeOpts, Service};
+use prefetch_wal::FsyncPolicy;
 use std::process::ExitCode;
 
 const EXIT_PANIC: u8 = 1;
@@ -37,6 +38,7 @@ struct Args {
     batch: usize,
     opts: ServeOpts,
     bench_json: Option<std::path::PathBuf>,
+    recovery_bench_json: Option<std::path::PathBuf>,
     log_json: Option<std::path::PathBuf>,
     quiet: bool,
 }
@@ -46,13 +48,24 @@ fn usage() -> String {
      \x20             [--max-tenants N] [--memory-budget-mb N]\n\
      \x20             [--default-cache N] [--default-nodes N]\n\
      \x20             [--advice-dir DIR] [--snapshot-dir DIR]\n\
+     \x20             [--wal-dir DIR] [--recover DIR]\n\
+     \x20             [--fsync always|never] [--fsync-every-n N]\n\
+     \x20             [--fsync-interval-ms N] [--checkpoint-every N]\n\
+     \x20             [--recover-cap-events N] [--recovery-bench-json PATH]\n\
      \x20             [--log-json PATH] [--bench-json PATH]\n\
      \x20             [--no-echo-advice] [--quiet]\n\
      \n\
      Serves the pfserve line protocol on stdin (default) or a unix socket.\n\
      SHUTDOWN or stdin EOF drains every tenant and exits 0.\n\
      --snapshot-dir persists each tenant's prefetch tree (pftree-snap/v1)\n\
-     at CLOSE/drain and warm-starts same-named tenants on OPEN."
+     at CLOSE/drain and warm-starts same-named tenants on OPEN.\n\
+     --wal-dir logs every accepted event to a per-tenant write-ahead log\n\
+     (group-committed per batch; --fsync picks the durability/throughput\n\
+     point). After a crash, --recover DIR replays the logs through the\n\
+     real event path: tenant state, counters, and advice files come back\n\
+     bit-identical; damaged logs quarantine only their own tenant.\n\
+     --recover-cap-events bounds replay; longer logs warm-start degraded\n\
+     from their latest checkpoint (--checkpoint-every, 0 disables)."
         .to_string()
 }
 
@@ -63,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         batch: 256,
         opts: ServeOpts::default(),
         bench_json: None,
+        recovery_bench_json: None,
         log_json: None,
         quiet: false,
     };
@@ -114,6 +128,44 @@ fn parse_args() -> Result<Args, String> {
             }
             "--snapshot-dir" => {
                 args.opts.snapshot_dir = Some(next_val(&mut it, "--snapshot-dir")?.into())
+            }
+            "--wal-dir" => args.opts.wal.dir = Some(next_val(&mut it, "--wal-dir")?.into()),
+            "--recover" => {
+                args.opts.wal.dir = Some(next_val(&mut it, "--recover")?.into());
+                args.opts.wal.recover = true;
+            }
+            "--fsync" => {
+                args.opts.wal.fsync = match next_val(&mut it, "--fsync")?.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "never" => FsyncPolicy::Never,
+                    other => return Err(format!("--fsync {other:?} must be always or never")),
+                };
+            }
+            "--fsync-every-n" => {
+                let n: u64 = next_val(&mut it, "--fsync-every-n")?
+                    .parse()
+                    .map_err(|_| "--fsync-every-n needs an integer".to_string())?;
+                args.opts.wal.fsync = FsyncPolicy::EveryN(n);
+            }
+            "--fsync-interval-ms" => {
+                let ms: u64 = next_val(&mut it, "--fsync-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--fsync-interval-ms needs an integer".to_string())?;
+                args.opts.wal.fsync = FsyncPolicy::IntervalMs(ms);
+            }
+            "--checkpoint-every" => {
+                args.opts.wal.checkpoint_every =
+                    next_val(&mut it, "--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| "--checkpoint-every needs an integer".to_string())?;
+            }
+            "--recover-cap-events" => {
+                args.opts.wal.recover_cap_events = next_val(&mut it, "--recover-cap-events")?
+                    .parse()
+                    .map_err(|_| "--recover-cap-events needs an integer".to_string())?;
+            }
+            "--recovery-bench-json" => {
+                args.recovery_bench_json = Some(next_val(&mut it, "--recovery-bench-json")?.into());
             }
             "--log-json" => args.log_json = Some(next_val(&mut it, "--log-json")?.into()),
             "--bench-json" => args.bench_json = Some(next_val(&mut it, "--bench-json")?.into()),
@@ -169,6 +221,25 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_INVALID_CONFIG);
         }
     };
+    if args.opts.wal.recover {
+        let r = service.recover();
+        if !args.quiet {
+            eprintln!(
+                "pfserve: recovered: replayed={} degraded={} closed={} quarantined={} \
+                 torn_truncated={} replayed_events={} elapsed_ms={}",
+                r.replayed,
+                r.degraded,
+                r.closed,
+                r.quarantined,
+                r.torn_truncated,
+                r.replayed_events,
+                r.elapsed_ms
+            );
+            for (tenant, err) in &r.errors {
+                eprintln!("pfserve: recovery: {tenant}: {err}");
+            }
+        }
+    }
     if !args.quiet {
         eprintln!(
             "pfserve: serving on {} ({} worker threads, batch {})",
@@ -200,6 +271,12 @@ fn main() -> ExitCode {
     if let Some(path) = &args.bench_json {
         if let Err(e) = std::fs::write(path, service.bench_json()) {
             eprintln!("pfserve: cannot write --bench-json {}: {e}", path.display());
+            return ExitCode::from(EXIT_LISTENER_IO);
+        }
+    }
+    if let Some(path) = &args.recovery_bench_json {
+        if let Err(e) = std::fs::write(path, service.recovery_bench_json()) {
+            eprintln!("pfserve: cannot write --recovery-bench-json {}: {e}", path.display());
             return ExitCode::from(EXIT_LISTENER_IO);
         }
     }

@@ -19,7 +19,12 @@
 //!   count** and to a sequential run, because a tenant's state depends
 //!   only on its own ordered events;
 //! * shutdown **drains**: every tenant (including quarantined ones)
-//!   gets a deterministic `FINAL` report before the process exits.
+//!   gets a deterministic `FINAL` report before the process exits;
+//! * with `--wal-dir`, tenants are **crash-durable** ([`wal`]): every
+//!   accepted event is logged before processing, group-committed per
+//!   batch, and `--recover` replays each tenant through the real event
+//!   path to bit-identical state — damage quarantines one tenant, a
+//!   vanished WAL directory degrades to in-memory, never a crash.
 //!
 //! Binaries: `pfserve` (the server, stdin or unix-socket mode) and
 //! `pfserve-loadgen` (script generator, [`loadgen`]).
@@ -32,8 +37,10 @@ pub mod loadgen;
 pub mod protocol;
 pub mod service;
 pub mod tenant;
+pub mod wal;
 
 pub use admission::{Admission, AdmissionConfig};
 pub use protocol::{parse_line, ParseError, RejectReason, Request};
 pub use service::{ConnId, ServeOpts, Service, ServiceStats};
 pub use tenant::{TenantDefaults, TenantSpec, TenantState};
+pub use wal::{RecoveryError, RecoveryReport, WalOpts, WalRecord};

@@ -37,10 +37,12 @@
 use crate::admission::{Admission, AdmissionConfig};
 use crate::protocol::{parse_line, RejectReason, Request};
 use crate::tenant::{TenantDefaults, TenantSpec, TenantState};
+use crate::wal::{Durability, RecoveryError, RecoveryReport, WalOpts, WalRecord};
 use prefetch_core::Quarantine;
 use prefetch_hash::FxHashMap;
 use prefetch_telemetry::{log as tlog, Histogram};
 use prefetch_trace::BlockId;
+use prefetch_wal::{AppendLog, Tail};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -71,6 +73,10 @@ pub struct ServeOpts {
     /// (warm start) when a tenant of the same name `OPEN`s. A corrupt or
     /// unreadable snapshot is logged and ignored — the tenant opens cold.
     pub snapshot_dir: Option<PathBuf>,
+    /// Crash durability: per-tenant write-ahead logs, group commit, and
+    /// recovery (see [`crate::wal`]). An unusable WAL directory degrades
+    /// the service to in-memory-only with a warning, never a hard exit.
+    pub wal: WalOpts,
 }
 
 impl Default for ServeOpts {
@@ -82,6 +88,7 @@ impl Default for ServeOpts {
             advice_dir: None,
             echo_advice: true,
             snapshot_dir: None,
+            wal: WalOpts::default(),
         }
     }
 }
@@ -155,10 +162,23 @@ pub struct Service {
     advice_latency_us: Histogram,
     shutdown: bool,
     started: Instant,
+    /// Durability layer; `None` when no WAL directory is configured or
+    /// when it was unusable at startup (see `wal_disabled`).
+    wal: Option<Durability>,
+    /// Why durability was disabled at startup, when it was requested
+    /// but the directory could not be used.
+    wal_disabled: Option<String>,
+    /// Report of the recovery pass, when one ran.
+    recovery: Option<RecoveryReport>,
 }
 
 impl Service {
     /// Build a service; creates the advice directory when configured.
+    ///
+    /// An unusable WAL directory does **not** fail construction: the
+    /// service degrades to in-memory-only operation with a telemetry
+    /// warning and a `wal=degraded` marker in `BYE` — losing durability
+    /// must never take down an otherwise healthy advisor.
     pub fn new(opts: ServeOpts) -> std::io::Result<Self> {
         install_quiet_panic_hook();
         if let Some(dir) = &opts.advice_dir {
@@ -167,6 +187,19 @@ impl Service {
         if let Some(dir) = &opts.snapshot_dir {
             std::fs::create_dir_all(dir)?;
         }
+        let mut wal_disabled = None;
+        let wal = match &opts.wal.dir {
+            Some(dir) => match Durability::new(dir, opts.wal.fsync, opts.wal.checkpoint_every) {
+                Ok(d) => Some(d),
+                Err(e) => {
+                    let reason = format!("wal dir {} unusable: {e}", dir.display());
+                    tlog::warn("serve_wal_disabled").str("reason", reason.clone()).emit();
+                    wal_disabled = Some(reason);
+                    None
+                }
+            },
+            None => None,
+        };
         Ok(Service {
             admission: Admission::new(opts.admission),
             opts,
@@ -180,6 +213,9 @@ impl Service {
             advice_latency_us: Histogram::new(),
             shutdown: false,
             started: Instant::now(),
+            wal,
+            wal_disabled,
+            recovery: None,
         })
     }
 
@@ -225,9 +261,18 @@ impl Service {
                     self.stats.parse_errors += 1;
                     if let Some(t) = &e.tenant {
                         if let Some(&i) = self.index.get(t) {
-                            let mut guard = lock_slot(&self.slots[i]);
-                            if let Some(state) = guard.state.as_mut() {
-                                state.skipped += 1;
+                            let charged = {
+                                let mut guard = lock_slot(&self.slots[i]);
+                                match guard.state.as_mut() {
+                                    Some(state) => {
+                                        state.skipped += 1;
+                                        true
+                                    }
+                                    None => false,
+                                }
+                            };
+                            if charged {
+                                self.wal_append(i, &WalRecord::Skip);
                             }
                         }
                     }
@@ -252,12 +297,16 @@ impl Service {
                             if let Some(state) = lock_slot(&self.slots[i]).state.as_mut() {
                                 state.shed += 1;
                             }
+                            self.wal_append(i, &WalRecord::Shed);
                             out.push((
                                 conn,
                                 format!("SHED {tenant} queue-full cap={}", self.opts.queue_cap),
                             ));
                         } else {
                             queue.push((conn, block));
+                            // Logged at accept time: the WAL holds exactly
+                            // the events that will be processed, in order.
+                            self.wal_append(i, &WalRecord::Event(block));
                         }
                     }
                     Some(&i) => {
@@ -296,6 +345,10 @@ impl Service {
                             Some(mut state) => {
                                 let line = state.final_line();
                                 self.persist_tree(&state);
+                                // Snapshot first, then the durable C: a
+                                // crash in between replays the tenant
+                                // live, never resurrects it half-closed.
+                                self.wal_close(i, &tenant);
                                 self.admission.release(state.charged_bytes);
                                 self.stats.closes += 1;
                                 out.push((conn, line));
@@ -321,6 +374,7 @@ impl Service {
                             }
                         };
                         if armed {
+                            self.wal_append(i, &WalRecord::PanicArm);
                             out.push((conn, format!("OK panic-armed {tenant}")));
                         } else {
                             self.reject(&mut out, conn, &tenant, RejectReason::Quarantined)
@@ -361,7 +415,119 @@ impl Service {
                 self.absorb_flush(*idx, events, flush, &mut out);
             }
         }
+        // Group commit BEFORE the responses leave this method: under
+        // `--fsync always` every acknowledged line is durable.
+        self.wal_commit_pass();
         out
+    }
+
+    /// Append one record to a tenant's WAL; an append failure degrades
+    /// that one tenant to in-memory-only (typed, logged, counted) while
+    /// everything else keeps its durability.
+    fn wal_append(&mut self, idx: usize, record: &WalRecord) {
+        let Some(w) = self.wal.as_mut() else { return };
+        if let Err(e) = w.append(idx, record) {
+            self.degrade_tenant_wal(idx, &format!("append failed: {e}"));
+        }
+    }
+
+    /// Retire a closing tenant's WAL: durable `C`, then delete its
+    /// on-disk artifacts. The close-time snapshot was already saved, so
+    /// after this the tenant's whole life collapses to the snapshot.
+    fn wal_close(&mut self, idx: usize, tenant: &str) {
+        let Some(w) = self.wal.as_mut() else { return };
+        let sealed = match w.append(idx, &WalRecord::Close) {
+            Ok(()) => match w.logs.get_mut(&idx) {
+                Some(t) => match t.log.sync() {
+                    Ok(()) => {
+                        w.fsyncs += 1;
+                        true
+                    }
+                    Err(_) => {
+                        w.sync_errors += 1;
+                        false
+                    }
+                },
+                None => false,
+            },
+            Err(_) => false,
+        };
+        if sealed {
+            w.retire(idx, tenant);
+        } else {
+            // Could not seal: keep the log on disk — it ends mid-life,
+            // so a recovery replays the tenant live, which is the safe
+            // direction (at-least-once, never lost).
+            w.drop_log(idx);
+            tlog::warn("serve_wal_close_unsealed").str("tenant", tenant.to_string()).emit();
+        }
+    }
+
+    /// Lose durability for one tenant but keep serving it: drop the log
+    /// handle (the file stays for postmortem), flag the tenant, count it.
+    fn degrade_tenant_wal(&mut self, idx: usize, reason: &str) {
+        if let Some(w) = self.wal.as_mut() {
+            w.drop_log(idx);
+            w.degraded_tenants += 1;
+        }
+        if let Some(state) = lock_slot(&self.slots[idx]).state.as_mut() {
+            state.wal_state = "degraded";
+        }
+        tlog::warn("serve_wal_degraded")
+            .str("tenant", self.names[idx].to_string())
+            .str("reason", reason)
+            .emit();
+    }
+
+    /// Batch-end durability pass: sync dirty logs when the group-commit
+    /// policy says so (a failed sync degrades its tenant), then write
+    /// any due checkpoint snapshots.
+    fn wal_commit_pass(&mut self) {
+        let (sync_failures, ckpt_due) = {
+            let Some(w) = self.wal.as_mut() else { return };
+            let failures = if w.commit.due() { w.sync_all() } else { Vec::new() };
+            (failures, w.checkpoint_due())
+        };
+        for idx in sync_failures {
+            self.degrade_tenant_wal(idx, "fsync failed");
+        }
+        for idx in ckpt_due {
+            self.checkpoint_tenant(idx);
+        }
+    }
+
+    /// Write one tenant's periodic checkpoint: rotate the previous
+    /// generation aside, then save a fresh `pftree-snap/v1`. Failures
+    /// only warn — checkpoints accelerate degraded recovery, they are
+    /// not load-bearing for the sound (full-replay) path.
+    fn checkpoint_tenant(&mut self, idx: usize) {
+        let name = Arc::clone(&self.names[idx]);
+        let (ckpt, prev) = match self.wal.as_ref() {
+            Some(w) => (w.ckpt_path(&name), w.ckpt_prev_path(&name)),
+            None => return,
+        };
+        let guard = lock_slot(&self.slots[idx]);
+        let Some(state) = guard.state.as_ref() else { return };
+        let Some(tree) = state.tree() else { return };
+        if ckpt.exists() {
+            let _ = std::fs::rename(&ckpt, &prev);
+        }
+        match tree.save_snapshot(&ckpt) {
+            Ok(_) => {
+                drop(guard);
+                if let Some(w) = self.wal.as_mut() {
+                    w.checkpoints += 1;
+                }
+                tlog::info("serve_wal_checkpoint").str("tenant", name.to_string()).emit();
+            }
+            Err(e) => {
+                drop(guard);
+                tlog::warn("serve_wal_checkpoint_failed")
+                    .str("tenant", name.to_string())
+                    .str("error", e.to_string())
+                    .emit();
+            }
+        }
     }
 
     /// Look up a live tenant, with the typed reason when it is not.
@@ -428,19 +594,50 @@ impl Service {
                     );
                 }
             };
-        self.try_warm_start(&tenant, &mut state);
-        match self.index.get(&tenant) {
+        let warm_from = self.try_warm_start(&tenant, &mut state);
+        // Durability: capture the warm-start base (so replay starts from
+        // the very tree this tenant did, even after later checkpoints
+        // rewrite the main snapshot), then open the tenant's log. Any
+        // failure degrades this tenant to in-memory-only — an `OPEN`
+        // is never refused over durability.
+        let mut tenant_log = None;
+        if let Some(w) = self.wal.as_mut() {
+            let base = match &warm_from {
+                Some(snap) => std::fs::copy(snap, w.base_path(&tenant)).is_ok(),
+                None => false,
+            };
+            match w.create_log(&tenant, &spec, base) {
+                Ok(tl) => {
+                    state.wal_state = "on";
+                    tenant_log = Some(tl);
+                }
+                Err(e) => {
+                    w.degraded_tenants += 1;
+                    state.wal_state = "degraded";
+                    tlog::warn("serve_wal_degraded")
+                        .str("tenant", tenant.clone())
+                        .str("reason", format!("open failed: {e}"))
+                        .emit();
+                }
+            }
+        }
+        let i = match self.index.get(&tenant) {
             Some(&i) => {
                 let mut guard = lock_slot(&self.slots[i]);
                 guard.state = Some(state);
                 guard.gone = None;
+                i
             }
             None => {
                 let i = self.slots.len();
                 self.slots.push(Arc::new(Mutex::new(Slot { state: Some(state), gone: None })));
                 self.names.push(Arc::from(tenant.as_str()));
                 self.index.insert(tenant.clone(), i);
+                i
             }
+        };
+        if let (Some(w), Some(tl)) = (self.wal.as_mut(), tenant_log) {
+            w.logs.insert(i, tl);
         }
         self.stats.opens += 1;
         out.push((conn, format!("OK open {tenant}")));
@@ -452,11 +649,13 @@ impl Service {
     /// snapshot must never refuse an otherwise-valid `OPEN`. A restored
     /// tree immediately re-prices the tenant's reservation to its exact
     /// measured bytes.
-    fn try_warm_start(&mut self, tenant: &str, state: &mut TenantState) {
-        let Some(dir) = &self.opts.snapshot_dir else { return };
+    /// Returns the snapshot path when a tree was installed, so the
+    /// durability layer can capture it as the tenant's replay base.
+    fn try_warm_start(&mut self, tenant: &str, state: &mut TenantState) -> Option<PathBuf> {
+        let dir = self.opts.snapshot_dir.as_ref()?;
         let path = dir.join(format!("{tenant}.pftree"));
         if !path.exists() {
-            return;
+            return None;
         }
         match prefetch_tree::PrefetchTree::load_snapshot(&path) {
             Ok(tree) => {
@@ -473,11 +672,13 @@ impl Service {
                     if over {
                         self.log_over_budget();
                     }
+                    Some(path)
                 } else {
                     tlog::warn("serve_warm_start_dropped")
                         .str("tenant", tenant)
                         .str("reason", "policy keeps no tree")
                         .emit();
+                    None
                 }
             }
             Err(e) => {
@@ -486,6 +687,7 @@ impl Service {
                     .str("path", path.display().to_string())
                     .str("error", e.to_string())
                     .emit();
+                None
             }
         }
     }
@@ -600,6 +802,17 @@ impl Service {
         guard.gone =
             Some(Gone::Quarantined { message: message.to_string(), events, skipped, shed });
         drop(guard);
+        // Make the poisonous history durable and keep the file: recovery
+        // replays it and reproduces this quarantine faithfully.
+        if let Some(w) = self.wal.as_mut() {
+            if let Some(t) = w.logs.get_mut(&idx) {
+                match t.log.sync() {
+                    Ok(()) => w.fsyncs += 1,
+                    Err(_) => w.sync_errors += 1,
+                }
+            }
+            w.drop_log(idx);
+        }
         self.quarantine.record_failure(BlockId(idx as u64));
         if charged > 0 {
             self.admission.release(charged);
@@ -630,13 +843,44 @@ impl Service {
             }
             // Closed tenants already reported at close time.
         }
+        // Final durability pass: whatever is still dirty becomes durable
+        // (a clean drain leaves resumable logs — `--recover` after a
+        // graceful shutdown restores the live tenants too).
+        if let Some(w) = self.wal.as_mut() {
+            // Tenants are already drained; sync_all counts any failures.
+            let _ = w.sync_all();
+        }
         let s = &self.stats;
-        out.push(format!(
+        let mut bye = format!(
             "BYE tenants={} events={} sheds={} rejects={} parse_errors={} quarantined={}",
             s.opens, s.events, s.sheds, s.rejects, s.parse_errors, s.quarantined
-        ));
+        );
+        bye.push_str(&self.durability_fields());
+        out.push(bye);
         self.log_summary();
         out
+    }
+
+    /// The durability/recovery fields appended to `BYE` (stable order,
+    /// always rendered so consumers can rely on their presence).
+    fn durability_fields(&self) -> String {
+        let mut s = match &self.wal {
+            Some(w) => format!(
+                " wal=on wal_appends={} wal_fsyncs={} wal_sync_errors={} wal_degraded={} \
+                 checkpoints={}",
+                w.appends, w.fsyncs, w.sync_errors, w.degraded_tenants, w.checkpoints
+            ),
+            None if self.wal_disabled.is_some() => " wal=degraded".to_string(),
+            None => " wal=off".to_string(),
+        };
+        if let Some(r) = &self.recovery {
+            s.push_str(&format!(
+                " recovered_replayed={} recovered_degraded={} recovered_closed={} \
+                 recovered_quarantined={} replayed_events={}",
+                r.replayed, r.degraded, r.closed, r.quarantined, r.replayed_events
+            ));
+        }
+        s
     }
 
     /// Emit a live-stats record to the telemetry log (the listener calls
@@ -701,6 +945,409 @@ impl Service {
             h.p90(),
             h.p99(),
             h.max(),
+        )
+    }
+
+    // -- recovery -----------------------------------------------------------
+
+    /// Recover tenants from the WAL directory before serving.
+    ///
+    /// Per tenant log, in name order:
+    ///
+    /// * ends in `C` → the tenant closed cleanly; its artifacts are
+    ///   deleted (the close-time snapshot under `--snapshot-dir`, when
+    ///   configured, already carries its tree);
+    /// * live, within `--recover-cap-events` → **full replay** through a
+    ///   fresh tenant: advice file, counters, and future advice are
+    ///   bit-identical to the uninterrupted run (a replayed panic
+    ///   re-quarantines, faithfully);
+    /// * live, over the cap → **degraded** warm start from the freshest
+    ///   readable checkpoint generation (event counters restored from
+    ///   the log, simulator cache state lost);
+    /// * torn tail → truncated, then one of the above;
+    /// * corrupt, malformed, or refused by admission → that one tenant
+    ///   is quarantined with a typed [`RecoveryError`]; every other
+    ///   tenant recovers normally. Recovery never aborts the service.
+    pub fn recover(&mut self) -> RecoveryReport {
+        let t0 = Instant::now();
+        let mut report = RecoveryReport::default();
+        let Some(dir) = self.wal.as_ref().map(|w| w.dir().to_path_buf()) else {
+            return report;
+        };
+        let mut logs: Vec<(String, PathBuf)> = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries
+                .filter_map(|e| {
+                    let path = e.ok()?.path();
+                    let name = path.file_name()?.to_str()?.strip_suffix(".wal")?.to_string();
+                    Some((name, path))
+                })
+                .collect(),
+            Err(e) => {
+                tlog::warn("serve_recovery_listing_failed")
+                    .str("dir", dir.display().to_string())
+                    .str("error", e.to_string())
+                    .emit();
+                return report;
+            }
+        };
+        logs.sort();
+        for (name, path) in logs {
+            self.recover_tenant(&name, &path, &mut report);
+        }
+        report.elapsed_ms = t0.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+        tlog::info("serve_recovered")
+            .u64("replayed", report.replayed)
+            .u64("degraded", report.degraded)
+            .u64("closed", report.closed)
+            .u64("quarantined", report.quarantined)
+            .u64("torn_truncated", report.torn_truncated)
+            .u64("replayed_events", report.replayed_events)
+            .u64("elapsed_ms", report.elapsed_ms)
+            .emit();
+        self.recovery = Some(report.clone());
+        report
+    }
+
+    /// Recover one tenant from its log (see [`Service::recover`]).
+    fn recover_tenant(&mut self, name: &str, path: &PathBuf, report: &mut RecoveryReport) {
+        let scan = match prefetch_wal::scan(path) {
+            Ok(scan) => scan,
+            Err(e) => {
+                return self.quarantine_recovered(name, RecoveryError::Io(e.to_string()), report);
+            }
+        };
+        match &scan.tail {
+            Tail::Corrupt { at, reason } => {
+                return self.quarantine_recovered(
+                    name,
+                    RecoveryError::Corrupt { at: *at, reason: reason.clone() },
+                    report,
+                );
+            }
+            Tail::Torn { .. } => report.torn_truncated += 1,
+            Tail::Clean => {}
+        }
+        let records = match crate::wal::decode_log(&scan.records) {
+            Ok(records) => records,
+            Err(e) => return self.quarantine_recovered(name, e, report),
+        };
+        if matches!(records.last(), Some(WalRecord::Close)) {
+            // Closed cleanly; nothing lives here any more.
+            if let Some(w) = self.wal.as_mut() {
+                w.retire(usize::MAX, name);
+            }
+            report.closed += 1;
+            return;
+        }
+        let Some(WalRecord::Open { spec, base }) = records.first().cloned() else {
+            // decode_log guarantees a leading Open when records exist, so
+            // this is an empty log: a crash before the O record became
+            // durable. The tenant never observably existed; clean up.
+            let _ = std::fs::remove_file(path);
+            return;
+        };
+        if let Err(reason) = self.admission.try_admit(spec.estimated_bytes()) {
+            return self.quarantine_recovered(
+                name,
+                RecoveryError::AdmissionRefused(reason.render(name)),
+                report,
+            );
+        }
+        let events = records.iter().filter(|r| matches!(r, WalRecord::Event(_))).count() as u64;
+        let cap = self.opts.wal.recover_cap_events;
+        let mut state = match TenantState::new(name, spec.clone(), self.opts.advice_dir.as_deref())
+        {
+            Ok(state) => state,
+            Err(e) => {
+                self.admission.release(spec.estimated_bytes());
+                return self.quarantine_recovered(
+                    name,
+                    RecoveryError::Io(format!("advice file: {e}")),
+                    report,
+                );
+            }
+        };
+        state.wal_state = "on";
+        if cap > 0 && events > cap {
+            self.recover_degraded(name, &mut state, &records, events, report);
+        } else if !self.recover_replayed(name, &mut state, &records, base, report) {
+            return; // quarantined during replay; slot already registered
+        }
+        // Resume the log in place (truncating any torn tail) and
+        // register the live slot.
+        let resumed = AppendLog::resume(path, scan.valid_len);
+        let idx = self.register_recovered(name, state);
+        if let Some(w) = self.wal.as_mut() {
+            match resumed {
+                Ok(log) => {
+                    w.logs.insert(idx, crate::wal::TenantLog { log, since_ckpt: 0 });
+                }
+                Err(e) => {
+                    w.degraded_tenants += 1;
+                    if let Some(s) = lock_slot(&self.slots[idx]).state.as_mut() {
+                        s.wal_state = "degraded";
+                    }
+                    tlog::warn("serve_wal_degraded")
+                        .str("tenant", name.to_string())
+                        .str("reason", format!("resume failed: {e}"))
+                        .emit();
+                }
+            }
+        }
+        // Exact accounting, as after any flush.
+        let (old, new) = {
+            let mut guard = lock_slot(&self.slots[idx]);
+            match guard.state.as_mut() {
+                Some(s) => {
+                    let resident = s.resident_bytes();
+                    let old = s.charged_bytes;
+                    s.charged_bytes = resident;
+                    (old, resident)
+                }
+                None => (0, 0),
+            }
+        };
+        if old != new && self.admission.recharge(old, new) {
+            self.log_over_budget();
+        }
+        self.stats.opens += 1;
+    }
+
+    /// Full replay: feed every logged record through the real event
+    /// path. Returns `false` when a reproduced panic quarantined the
+    /// tenant (the slot is registered and quarantined before returning).
+    fn recover_replayed(
+        &mut self,
+        name: &str,
+        state: &mut TenantState,
+        records: &[WalRecord],
+        base: bool,
+        report: &mut RecoveryReport,
+    ) -> bool {
+        if base {
+            // The live tenant warm-started; replay must start from the
+            // captured base tree or the streams diverge.
+            let base_path = self.wal.as_ref().expect("recover requires wal").base_path(name);
+            match prefetch_tree::PrefetchTree::load_snapshot(&base_path) {
+                Ok(tree) => {
+                    state.warm_start(tree);
+                }
+                Err(e) => {
+                    tlog::warn("serve_recovery_base_lost")
+                        .str("tenant", name.to_string())
+                        .str("error", e.to_string())
+                        .emit();
+                    // Without the base the replay cannot be bit-identical;
+                    // fall back to the degraded path honestly.
+                    let events =
+                        records.iter().filter(|r| matches!(r, WalRecord::Event(_))).count() as u64;
+                    self.recover_degraded(name, state, records, events, report);
+                    return true;
+                }
+            }
+        }
+        let mut replayed = 0u64;
+        for (i, record) in records.iter().enumerate() {
+            SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+            let result = catch_unwind(AssertUnwindSafe(|| crate::wal::apply_record(state, record)));
+            SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+            match result {
+                Ok(true) => replayed += 1,
+                Ok(false) => {}
+                Err(payload) => {
+                    // The panic reproduces: quarantine exactly like the
+                    // live run did.
+                    let message = payload_message(payload);
+                    state.flush_advice();
+                    let (events, skipped, shed) = (state.seq, state.skipped, state.shed);
+                    let idx = self.register_recovered_gone(
+                        name,
+                        Gone::Quarantined { message: message.clone(), events, skipped, shed },
+                    );
+                    self.quarantine.record_failure(BlockId(idx as u64));
+                    self.admission.release(state.spec.estimated_bytes());
+                    self.stats.quarantined += 1;
+                    report.quarantined += 1;
+                    report.replayed_events += replayed;
+                    report.errors.push((
+                        name.to_string(),
+                        format!("panic reproduced at record {i}: {message}"),
+                    ));
+                    tlog::warn("serve_recovery_requarantined")
+                        .str("tenant", name.to_string())
+                        .str("err", message)
+                        .emit();
+                    return false;
+                }
+            }
+        }
+        state.recovered = "replayed";
+        report.replayed += 1;
+        report.replayed_events += replayed;
+        true
+    }
+
+    /// Degraded restore: the log exceeds the replay cap (or its base
+    /// snapshot is gone). Restore the tree from the freshest readable
+    /// checkpoint generation and the counters from the log; the
+    /// simulator's cache state is lost — documented, bounded, honest.
+    fn recover_degraded(
+        &mut self,
+        name: &str,
+        state: &mut TenantState,
+        records: &[WalRecord],
+        events: u64,
+        report: &mut RecoveryReport,
+    ) {
+        let candidates: Vec<PathBuf> = {
+            let w = self.wal.as_ref().expect("recover requires wal");
+            let mut c = vec![w.ckpt_path(name), w.ckpt_prev_path(name), w.base_path(name)];
+            if let Some(dir) = &self.opts.snapshot_dir {
+                c.push(dir.join(format!("{name}.pftree")));
+            }
+            c
+        };
+        let mut restored = false;
+        for path in candidates {
+            if !path.exists() {
+                continue;
+            }
+            match prefetch_tree::PrefetchTree::load_snapshot(&path) {
+                Ok(tree) => {
+                    restored = state.warm_start(tree);
+                    if restored {
+                        tlog::info("serve_recovery_degraded_restore")
+                            .str("tenant", name.to_string())
+                            .str("snapshot", path.display().to_string())
+                            .emit();
+                        break;
+                    }
+                }
+                Err(_) => continue, // try the previous generation
+            }
+        }
+        if !restored {
+            tlog::warn("serve_recovery_degraded_cold").str("tenant", name.to_string()).emit();
+        }
+        // Counters survive in the log even when the state does not.
+        state.seq = events;
+        state.skipped = records.iter().filter(|r| matches!(r, WalRecord::Skip)).count() as u64;
+        state.shed = records.iter().filter(|r| matches!(r, WalRecord::Shed)).count() as u64;
+        state.panic_armed = matches!(records.last(), Some(WalRecord::PanicArm));
+        state.recovered = "degraded";
+        report.degraded += 1;
+    }
+
+    /// Register a recovered live tenant in the registry (fresh service:
+    /// names cannot collide).
+    fn register_recovered(&mut self, name: &str, state: TenantState) -> usize {
+        let i = self.slots.len();
+        self.slots.push(Arc::new(Mutex::new(Slot { state: Some(state), gone: None })));
+        self.names.push(Arc::from(name));
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Register a recovered-but-gone tenant (quarantined at recovery).
+    fn register_recovered_gone(&mut self, name: &str, gone: Gone) -> usize {
+        let i = self.slots.len();
+        self.slots.push(Arc::new(Mutex::new(Slot { state: None, gone: Some(gone) })));
+        self.names.push(Arc::from(name));
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Quarantine a tenant that could not be recovered: the slot exists
+    /// (so requests get typed `REJECT ... quarantined` answers), the
+    /// damaged log stays on disk for postmortem, and the failure is a
+    /// typed entry in the report. Never aborts recovery.
+    fn quarantine_recovered(
+        &mut self,
+        name: &str,
+        error: RecoveryError,
+        report: &mut RecoveryReport,
+    ) {
+        let message = error.to_string();
+        let idx = self.register_recovered_gone(
+            name,
+            Gone::Quarantined { message: message.clone(), events: 0, skipped: 0, shed: 0 },
+        );
+        self.quarantine.record_failure(BlockId(idx as u64));
+        self.stats.quarantined += 1;
+        report.quarantined += 1;
+        report.errors.push((name.to_string(), message.clone()));
+        tlog::warn("serve_recovery_quarantined")
+            .str("tenant", name.to_string())
+            .str("err", message)
+            .emit();
+    }
+
+    /// The report of the recovery pass, when `recover` ran.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Arm injected durability faults on `tenant`'s live WAL (fault-drill
+    /// support: chaos tests hand in a [`prefetch_wal::WriteFaults`]
+    /// schedule, e.g. `prefetch_disk::DurabilityInjector`). Returns false
+    /// when the tenant has no live log to arm.
+    pub fn inject_wal_faults(
+        &mut self,
+        tenant: &str,
+        faults: Box<dyn prefetch_wal::WriteFaults>,
+    ) -> bool {
+        let Some(&idx) = self.index.get(tenant) else { return false };
+        let Some(w) = self.wal.as_mut() else { return false };
+        match w.logs.get_mut(&idx) {
+            Some(t) => {
+                t.log.set_faults(Some(faults));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Render the `pfserve-recovery-bench/v1` JSON artifact: WAL volume
+    /// and fsync counts (for fsync-policy overhead comparisons) plus the
+    /// recovery outcome and replay throughput, when a recovery ran.
+    pub fn recovery_bench_json(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let s = &self.stats;
+        let wal = match &self.wal {
+            Some(w) => format!(
+                "{{\"enabled\":true,\"appends\":{},\"fsyncs\":{},\"sync_errors\":{},\
+                 \"degraded_tenants\":{},\"checkpoints\":{}}}",
+                w.appends, w.fsyncs, w.sync_errors, w.degraded_tenants, w.checkpoints
+            ),
+            None => "{\"enabled\":false}".to_string(),
+        };
+        let recovery = match &self.recovery {
+            Some(r) => {
+                let secs = r.elapsed_ms as f64 / 1000.0;
+                format!(
+                    "{{\"replayed_tenants\":{},\"degraded_tenants\":{},\"closed_tenants\":{},\
+                     \"quarantined_tenants\":{},\"torn_truncated\":{},\"replayed_events\":{},\
+                     \"recovery_ms\":{},\"replay_events_per_sec\":{:.3}}}",
+                    r.replayed,
+                    r.degraded,
+                    r.closed,
+                    r.quarantined,
+                    r.torn_truncated,
+                    r.replayed_events,
+                    r.elapsed_ms,
+                    if secs > 0.0 { r.replayed_events as f64 / secs } else { 0.0 },
+                )
+            }
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"schema\":\"pfserve-recovery-bench/v1\",\"fsync_policy\":\"{}\",\
+             \"events\":{},\"elapsed_s\":{:.3},\"events_per_sec\":{:.3},\"wal\":{wal},\
+             \"recovery\":{recovery}}}",
+            self.opts.wal.fsync.name(),
+            s.events,
+            elapsed,
+            if elapsed > 0.0 { s.events as f64 / elapsed } else { 0.0 },
         )
     }
 }

@@ -37,7 +37,7 @@ impl Default for TenantDefaults {
 }
 
 /// A tenant's parsed `OPEN` configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TenantSpec {
     /// Cache blocks.
     pub cache_blocks: usize,
@@ -224,6 +224,14 @@ pub struct TenantState {
     /// this tenant: the admission estimate at `OPEN`, then the measured
     /// [`TenantState::resident_bytes`] after each flush re-prices it.
     pub charged_bytes: u64,
+    /// How this tenant's state came to be: `"none"` (opened live),
+    /// `"replayed"` (full WAL replay, bit-identical), or `"degraded"`
+    /// (checkpoint warm start after a capped replay).
+    pub recovered: &'static str,
+    /// Durability health: `"off"` (no WAL configured), `"on"` (events
+    /// are logged), or `"degraded"` (the WAL failed mid-run; the tenant
+    /// keeps serving in-memory only).
+    pub wal_state: &'static str,
     advice_file: Option<BufWriter<File>>,
 }
 
@@ -250,6 +258,8 @@ impl TenantState {
             shed: 0,
             panic_armed: false,
             charged_bytes,
+            recovered: "none",
+            wal_state: "off",
             advice_file,
         })
     }
@@ -311,11 +321,14 @@ impl TenantState {
         line
     }
 
-    /// Render the live `STATS` response line.
+    /// Render the live `STATS` response line. The durability field is
+    /// appended last so consumers pinned to the counter prefix keep
+    /// parsing.
     pub fn stats_line(&self) -> String {
         format!(
             "STATS {} events={} skipped={} shed={} demand_hits={} prefetch_hits={} misses={} \
-             prefetches={} prefetch_faults={} quarantined_blocks={} stall_ms={} elapsed_ms={}",
+             prefetches={} prefetch_faults={} quarantined_blocks={} stall_ms={} elapsed_ms={} \
+             wal={}",
             self.name,
             self.seq,
             self.skipped,
@@ -328,6 +341,7 @@ impl TenantState {
             self.metrics.blocks_quarantined,
             self.metrics.stall_ms,
             self.sim.clock().now(),
+            self.wal_state,
         )
     }
 
@@ -337,7 +351,8 @@ impl TenantState {
     pub fn final_line(&mut self) -> String {
         let line = format!(
             "FINAL {} events={} skipped={} shed={} demand_hits={} prefetch_hits={} misses={} \
-             prefetches={} prefetch_faults={} stall_ms={} elapsed_ms={} quarantined=false",
+             prefetches={} prefetch_faults={} stall_ms={} elapsed_ms={} quarantined=false \
+             recovered={} wal={}",
             self.name,
             self.seq,
             self.skipped,
@@ -349,6 +364,8 @@ impl TenantState {
             self.metrics.prefetch_faults,
             self.metrics.stall_ms,
             self.sim.clock().now(),
+            self.recovered,
+            self.wal_state,
         );
         if let Some(f) = &mut self.advice_file {
             let _ = writeln!(f, "{line}");

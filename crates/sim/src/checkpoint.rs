@@ -25,7 +25,6 @@ use prefetch_trace::Trace;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -487,7 +486,9 @@ impl CheckpointJournal {
 
     /// Durably persist every recorded entry: write the full journal to a
     /// temporary sibling, fsync it, and atomically rename it over the live
-    /// file, so a crash mid-flush can never tear the journal.
+    /// file ([`prefetch_wal::atomic::replace_file`], the same discipline
+    /// the WAL checkpoints use), so a crash mid-flush can never tear the
+    /// journal.
     pub fn flush(&self) -> Result<(), CheckpointError> {
         let text = {
             let mut state = self.state.lock().unwrap();
@@ -505,21 +506,8 @@ impl CheckpointJournal {
             }
             text
         };
-        let write = |path: &Path| -> std::io::Result<()> {
-            let mut f = fs::File::create(path)?;
-            f.write_all(text.as_bytes())?;
-            f.sync_all()
-        };
-        write(&self.tmp_path).map_err(|e| CheckpointError::new(&self.tmp_path, &e))?;
-        fs::rename(&self.tmp_path, &self.path).map_err(|e| CheckpointError::new(&self.path, &e))?;
-        // Make the rename itself durable where the platform allows it;
-        // failure here only risks replaying work, never corruption.
-        if let Some(dir) = self.path.parent() {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-        Ok(())
+        prefetch_wal::atomic::replace_file(&self.tmp_path, &self.path, text.as_bytes())
+            .map_err(|e| CheckpointError::new(&self.path, &e))
     }
 }
 

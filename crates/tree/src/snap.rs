@@ -537,19 +537,16 @@ impl PrefetchTree {
         PrefetchTree::from_raw(raw).map_err(TreeIoError::Corrupt)
     }
 
-    /// Snapshot to a file (atomic: tmp + rename, the checkpoint-journal
-    /// discipline, so a crash mid-write never leaves a torn snapshot under
-    /// the final name).
+    /// Snapshot to a file (atomic: tmp + fsync + rename via
+    /// [`prefetch_wal::atomic::replace_file`], the write-then-rename
+    /// discipline shared with the checkpoint journal, so a crash mid-write
+    /// never leaves a torn snapshot under the final name).
     pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<SnapshotInfo, TreeIoError> {
         let path = path.as_ref();
         let tmp = path.with_extension("pftree.tmp");
-        let info = {
-            let mut f = std::fs::File::create(&tmp)?;
-            let info = self.write_snapshot(&mut f)?;
-            f.sync_all()?;
-            info
-        };
-        std::fs::rename(&tmp, path)?;
+        let mut buf = Vec::new();
+        let info = self.write_snapshot(&mut buf)?;
+        prefetch_wal::atomic::replace_file(&tmp, path, &buf)?;
         Ok(info)
     }
 

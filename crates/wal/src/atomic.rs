@@ -1,0 +1,54 @@
+//! Atomic whole-file replacement: the write-then-rename discipline shared
+//! by the checkpoint journal, the tree snapshots, and pfserve's recovery
+//! metadata. The destination is never in a torn state — a crash at any
+//! instant leaves either the previous file or the complete new one.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Write `bytes` to `tmp`, fsync, and atomically rename over `dst`.
+///
+/// The parent directory is fsync'd best-effort afterwards: where the
+/// platform honours it, the rename itself is durable; where it does not,
+/// the worst case is the previous file — never corruption.
+pub fn replace_file(tmp: &Path, dst: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    {
+        let mut f = fs::File::create(tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(tmp, dst)?;
+    if let Some(dir) = dst.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// [`replace_file`] with the conventional sibling temp path
+/// (`<dst>.tmp`, extension appended rather than replaced).
+pub fn replace_file_auto(dst: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = dst.as_os_str().to_owned();
+    tmp.push(".tmp");
+    replace_file(Path::new(&tmp), dst, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_is_atomic_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("pfwal-atomic-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let dst = dir.join("artifact.bin");
+        replace_file_auto(&dst, b"generation 1").unwrap();
+        assert_eq!(fs::read(&dst).unwrap(), b"generation 1");
+        replace_file_auto(&dst, b"generation 2, longer").unwrap();
+        assert_eq!(fs::read(&dst).unwrap(), b"generation 2, longer");
+        assert!(!dir.join("artifact.bin.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
