@@ -1,0 +1,196 @@
+//! Estimator calibration tracking: predicted vs realized stall economics.
+//!
+//! The cost-benefit scheme stands or falls on its runtime estimators —
+//! Eq. 1–6 benefit and Eq. 11 ejection cost are only as good as the
+//! probability and latency estimates feeding them. The
+//! [`CalibrationTracker`] accumulates, per tenant:
+//!
+//! * **Benefit side** — at issue time the engine records the expected
+//!   stall saving of each prefetch, `p_b · ΔT_pf(d_b)` (Eq. 2 weighted
+//!   by the path probability that feeds Eq. 1); when a prefetched block
+//!   is later referenced (a prefetch hit), the *realized* saving is the
+//!   full demand stall it avoided minus the residual stall actually
+//!   charged, `T_disk − stall`. The two sides are commensurable totals:
+//!   an honest estimator's expected savings sum to the realized savings,
+//!   issues that never hit realize nothing, and systematic
+//!   over-prediction (inflated probabilities or an `s` estimate that
+//!   hides stalls which actually occur) shows up directly.
+//! * **Ejection side** — when a prefetched block is ejected, the engine
+//!   records its Eq. 11 predicted re-fetch cost and starts tracking the
+//!   block; the next reference to that block realizes the actual cost
+//!   (the miss stall, or zero if it returns as a hit).
+//!
+//! Each side exposes a normalized calibration error in `[0, 1]`:
+//! `|predicted − realized| / max(predicted, realized)` — 0 for a
+//! perfectly calibrated estimator, → 1 as prediction and reality diverge
+//! in either direction. All accumulation is pure `f64` arithmetic over
+//! the tenant's own event order, so the tracker obeys the same
+//! any-thread-count bit-identity contract as the advice stream.
+
+/// Running predicted-vs-realized accumulators for one engine (one tenant).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CalibrationTracker {
+    predicted_benefit_ms: f64,
+    realized_benefit_ms: f64,
+    benefit_predictions: u64,
+    benefit_realizations: u64,
+    predicted_eject_ms: f64,
+    realized_eject_ms: f64,
+    eject_predictions: u64,
+    eject_realizations: u64,
+    eject_untracked: u64,
+}
+
+/// `|predicted − realized| / max(predicted, realized)`, 0 when both are
+/// (near) zero.
+fn normalized_error(predicted: f64, realized: f64) -> f64 {
+    let denom = predicted.max(realized);
+    if denom <= f64::EPSILON {
+        0.0
+    } else {
+        (predicted - realized).abs() / denom
+    }
+}
+
+impl CalibrationTracker {
+    /// A fresh tracker with all accumulators at zero.
+    pub fn new() -> Self {
+        CalibrationTracker::default()
+    }
+
+    /// A prefetch was issued with expected stall saving `benefit_ms`
+    /// (`p_b · ΔT_pf(d_b)`, Eq. 2 weighted by path probability).
+    pub fn record_predicted_benefit(&mut self, benefit_ms: f64) {
+        self.predicted_benefit_ms += benefit_ms.max(0.0);
+        self.benefit_predictions += 1;
+    }
+
+    /// A prefetched block was referenced, realizing `saved_ms` of avoided
+    /// stall (`T_disk` minus the residual stall charged).
+    pub fn record_realized_benefit(&mut self, saved_ms: f64) {
+        self.realized_benefit_ms += saved_ms.max(0.0);
+        self.benefit_realizations += 1;
+    }
+
+    /// A prefetched block was ejected with Eq. 11 predicted re-fetch cost
+    /// `cost_ms`. `tracked` is false when the engine's ejection map was
+    /// full and the realized side of this sample cannot be observed.
+    pub fn record_predicted_eject(&mut self, cost_ms: f64, tracked: bool) {
+        self.predicted_eject_ms += cost_ms.max(0.0);
+        self.eject_predictions += 1;
+        if !tracked {
+            self.eject_untracked += 1;
+        }
+    }
+
+    /// A tracked ejected block was referenced again, realizing `stall_ms`
+    /// of actual re-fetch cost (zero when it came back as a hit).
+    pub fn record_realized_eject(&mut self, stall_ms: f64) {
+        self.realized_eject_ms += stall_ms.max(0.0);
+        self.eject_realizations += 1;
+    }
+
+    /// Sum of Eq. 1 predicted stall savings (ms) over issued prefetches.
+    pub fn predicted_benefit_ms(&self) -> f64 {
+        self.predicted_benefit_ms
+    }
+
+    /// Sum of realized stall savings (ms) over prefetch hits.
+    pub fn realized_benefit_ms(&self) -> f64 {
+        self.realized_benefit_ms
+    }
+
+    /// Sum of Eq. 11 predicted ejection costs (ms).
+    pub fn predicted_eject_ms(&self) -> f64 {
+        self.predicted_eject_ms
+    }
+
+    /// Sum of realized re-fetch costs (ms) for tracked ejections.
+    pub fn realized_eject_ms(&self) -> f64 {
+        self.realized_eject_ms
+    }
+
+    /// Prefetches issued (benefit predictions recorded).
+    pub fn benefit_predictions(&self) -> u64 {
+        self.benefit_predictions
+    }
+
+    /// Prefetch hits (benefit realizations recorded).
+    pub fn benefit_realizations(&self) -> u64 {
+        self.benefit_realizations
+    }
+
+    /// Prefetch ejections (cost predictions recorded).
+    pub fn eject_predictions(&self) -> u64 {
+        self.eject_predictions
+    }
+
+    /// Re-references of tracked ejected blocks.
+    pub fn eject_realizations(&self) -> u64 {
+        self.eject_realizations
+    }
+
+    /// Ejections whose realized cost could not be tracked (map full).
+    pub fn eject_untracked(&self) -> u64 {
+        self.eject_untracked
+    }
+
+    /// Normalized benefit calibration error in `[0, 1]` (0 = perfectly
+    /// calibrated, including the no-traffic case).
+    pub fn benefit_error(&self) -> f64 {
+        normalized_error(self.predicted_benefit_ms, self.realized_benefit_ms)
+    }
+
+    /// Normalized ejection-cost calibration error in `[0, 1]`.
+    pub fn eject_error(&self) -> f64 {
+        normalized_error(self.predicted_eject_ms, self.realized_eject_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_has_zero_error() {
+        let mut c = CalibrationTracker::new();
+        c.record_predicted_benefit(10.0);
+        c.record_realized_benefit(10.0);
+        assert_eq!(c.benefit_error(), 0.0);
+        assert_eq!(c.eject_error(), 0.0, "no eject traffic is calibrated by definition");
+    }
+
+    #[test]
+    fn error_is_normalized_and_symmetric() {
+        let mut over = CalibrationTracker::new();
+        over.record_predicted_benefit(20.0);
+        over.record_realized_benefit(10.0);
+        let mut under = CalibrationTracker::new();
+        under.record_predicted_benefit(10.0);
+        under.record_realized_benefit(20.0);
+        assert_eq!(over.benefit_error(), 0.5);
+        assert_eq!(under.benefit_error(), 0.5);
+        assert!(over.benefit_error() <= 1.0);
+    }
+
+    #[test]
+    fn eject_side_tracks_untracked_samples() {
+        let mut c = CalibrationTracker::new();
+        c.record_predicted_eject(3.0, true);
+        c.record_predicted_eject(4.0, false);
+        c.record_realized_eject(2.0);
+        assert_eq!(c.eject_predictions(), 2);
+        assert_eq!(c.eject_untracked(), 1);
+        assert_eq!(c.predicted_eject_ms(), 7.0);
+        assert_eq!(c.realized_eject_ms(), 2.0);
+        assert!((c.eject_error() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_samples_are_clamped() {
+        let mut c = CalibrationTracker::new();
+        c.record_realized_benefit(-1.0);
+        assert_eq!(c.realized_benefit_ms(), 0.0);
+        assert_eq!(c.benefit_realizations(), 1);
+    }
+}

@@ -19,16 +19,23 @@
 //!    net benefit no longer exceeds the replacement cost (Section 7,
 //!    step 4), realizing "prefetch along multiple paths simultaneously".
 
+use crate::calibration::CalibrationTracker;
 use crate::model::{CostBenefitModel, ModelConfig};
 use crate::params::SystemParams;
-use crate::policy::{PeriodActivity, Victim};
+use crate::policy::{PeriodActivity, RefKind, Victim};
 use crate::resilience::Quarantine;
 use prefetch_cache::{BufferCache, PrefetchMeta, StackDistanceEstimator};
 use prefetch_telemetry::{Phase, PhaseTimer, PhaseTimes};
 use prefetch_trace::BlockId;
 use prefetch_tree::{AccessOutcome, Candidate, PrefetchTree};
 use serde::{Deserialize, Serialize};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Bound on the ejected-block tracking map (calibration bookkeeping).
+/// Ejections past the cap still accumulate predicted cost but their
+/// realized side is uncounted (reported via `eject_untracked`), keeping
+/// memory bounded without perturbing determinism.
+const EJECT_TRACK_CAP: usize = 4096;
 
 /// Configuration of the cost-benefit engine.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -111,6 +118,11 @@ pub struct CostBenefitEngine {
     scratch: Vec<Candidate>,
     quarantine: Quarantine,
     timer: PhaseTimer,
+    calibration: CalibrationTracker,
+    /// Ejected prefetched blocks awaiting their realized re-fetch cost
+    /// (block → Eq. 11 predicted cost at ejection), bounded by
+    /// [`EJECT_TRACK_CAP`].
+    ejected: HashMap<BlockId, f64>,
 }
 
 impl CostBenefitEngine {
@@ -135,6 +147,8 @@ impl CostBenefitEngine {
             scratch: Vec::new(),
             quarantine: Quarantine::default(),
             timer: PhaseTimer::null(),
+            calibration: CalibrationTracker::new(),
+            ejected: HashMap::new(),
         }
     }
 
@@ -182,6 +196,39 @@ impl CostBenefitEngine {
     /// The fault quarantine (read access for diagnostics).
     pub fn quarantine(&self) -> &Quarantine {
         &self.quarantine
+    }
+
+    /// Predicted-vs-realized estimator calibration accumulators.
+    pub fn calibration(&self) -> &CalibrationTracker {
+        &self.calibration
+    }
+
+    /// A prefetched block is being ejected with Eq. 11 predicted cost
+    /// `cost`: accumulate the prediction and start tracking the block so
+    /// its next reference realizes the actual re-fetch cost.
+    fn track_ejection(&mut self, block: BlockId, cost: f64) {
+        let tracked = self.ejected.len() < EJECT_TRACK_CAP;
+        if tracked {
+            self.ejected.insert(block, cost);
+        }
+        self.calibration.record_predicted_eject(cost, tracked);
+    }
+
+    /// The simulator served a reference to `block` as `kind` with
+    /// `stall_ms` of stall. Realizes the calibration counterparts of the
+    /// engine's earlier predictions: a prefetch hit realizes its expected
+    /// saving (`T_disk − stall`, the demand stall avoided); any reference to a
+    /// tracked ejected block realizes its Eq. 11 re-fetch cost (the miss
+    /// stall, or zero when it came back as a hit).
+    pub fn observe_outcome(&mut self, block: BlockId, kind: RefKind, stall_ms: f64) {
+        if kind == RefKind::PrefetchHit {
+            let saved = self.model.params().t_disk - stall_ms;
+            self.calibration.record_realized_benefit(saved);
+        }
+        if self.ejected.remove(&block).is_some() {
+            let realized = if kind == RefKind::Miss { stall_ms } else { 0.0 };
+            self.calibration.record_realized_eject(realized);
+        }
     }
 
     /// A prefetch read of `block` failed on the disk array. Returns `true`
@@ -300,6 +347,12 @@ impl CostBenefitEngine {
         let tok = self.timer.begin();
         let v = self.demand_victim(cache);
         self.timer.end(Phase::CostBenefit, tok);
+        if let Victim::Prefetch(b) = v {
+            // `demand_victim` chose the cheapest Eq. 11 ejection, so its
+            // cost is exactly the heap winner's.
+            let cost = self.best_prefetch_eject(cache).map_or(0.0, |(_, c)| c);
+            self.track_ejection(b, cost);
+        }
         v
     }
 
@@ -397,11 +450,18 @@ impl CostBenefitEngine {
                 break;
             }
             if let Some(v) = victim {
+                if let Victim::Prefetch(b) = v {
+                    // `cost` is the Eq. 11 side of the min when the
+                    // prefetch partition supplied the victim.
+                    self.track_ejection(b, cost);
+                }
                 match crate::policy::apply_victim(v, cache) {
                     true => act.prefetch_evictions += 1,
                     false => act.demand_evictions_for_prefetch += 1,
                 }
             }
+            self.calibration
+                .record_predicted_benefit(self.model.expected_saving(cand.probability, cand.depth));
             cache.insert_prefetch(
                 cand.block,
                 PrefetchMeta {

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod benefit;
+pub mod calibration;
 pub mod cost;
 pub mod engine;
 pub mod model;
@@ -59,6 +60,7 @@ pub mod policy;
 pub mod resilience;
 pub mod timing;
 
+pub use calibration::CalibrationTracker;
 pub use engine::{CostBenefitEngine, EngineConfig};
 pub use model::{CostBenefitModel, ModelConfig};
 pub use params::SystemParams;

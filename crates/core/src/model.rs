@@ -110,6 +110,16 @@ impl CostBenefitModel {
         benefit::benefit(p_b, d_b, p_x, &self.params, self.s)
     }
 
+    /// Expected stall saving of prefetching at distance `d_b` with path
+    /// probability `p_b`: `p_b · ΔT_pf(d_b)` (Eq. 2 weighted by the
+    /// probability of the path materializing). This is the calibration
+    /// counterpart of a realized prefetch hit's `T_disk − stall`; unlike
+    /// the marginal `B(b)` used for the issue decision, the two are
+    /// commensurable totals.
+    pub fn expected_saving(&self, p_b: f64, d_b: u32) -> f64 {
+        p_b * crate::timing::delta_t_pf(d_b, &self.params, self.s)
+    }
+
     /// `T_oh` (Eq. 14) for the same candidate.
     pub fn t_oh(&self, p_b: f64, p_x: f64) -> f64 {
         overhead::t_oh(p_b, p_x, &self.params)

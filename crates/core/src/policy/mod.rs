@@ -147,6 +147,18 @@ pub trait PrefetchPolicy: Send {
     /// may clear it. Default: no-op.
     fn note_read_success(&mut self, _block: BlockId) {}
 
+    /// Called once per reference with how it was served and the stall it
+    /// cost, *before* [`PrefetchPolicy::after_reference`]. Engine-backed
+    /// policies use it to realize the calibration counterparts of their
+    /// earlier cost-benefit predictions. Default: no-op.
+    fn observe_served(&mut self, _block: BlockId, _kind: RefKind, _stall_ms: f64) {}
+
+    /// Predicted-vs-realized calibration accumulators, for policies that
+    /// track them (the cost-benefit engine). Default: none.
+    fn calibration(&self) -> Option<&crate::calibration::CalibrationTracker> {
+        None
+    }
+
     /// Turn on per-phase profiling inside the policy (tree update,
     /// candidate selection, cost-benefit). Default: stateless policies
     /// have nothing to profile.

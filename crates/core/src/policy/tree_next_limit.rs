@@ -71,6 +71,19 @@ impl PrefetchPolicy for TreeNextLimit {
         self.engine.note_read_success(block);
     }
 
+    fn observe_served(
+        &mut self,
+        block: prefetch_trace::BlockId,
+        kind: crate::policy::RefKind,
+        stall_ms: f64,
+    ) {
+        self.engine.observe_outcome(block, kind, stall_ms);
+    }
+
+    fn calibration(&self) -> Option<&crate::calibration::CalibrationTracker> {
+        Some(self.engine.calibration())
+    }
+
     fn enable_profiling(&mut self) {
         self.engine.enable_profiling();
     }

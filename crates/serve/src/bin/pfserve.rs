@@ -9,9 +9,10 @@
 //! ```
 //!
 //! Requests are lines of the `prefetch-serve` protocol (`OPEN`, `EV`,
-//! `STATS`, `CLOSE`, `PANIC`, `SHUTDOWN`); responses are typed lines
-//! (`OK`, `ADV`, `REJECT`, `SHED`, `ERR`, `PANIC`, `STATS`, `FINAL`,
-//! `BYE`). Overload and malformed input degrade gracefully — typed
+//! `STATS`, `CLOSE`, `PANIC`, `METRICS`, `HEALTH`, `SHUTDOWN`);
+//! responses are typed lines (`OK`, `ADV`, `REJECT`, `SHED`, `ERR`,
+//! `PANIC`, `TRACE`, `STATS`, `FINAL`, `METRIC`, `HEALTH`, `BYE`).
+//! Overload and malformed input degrade gracefully — typed
 //! shed/reject/skip responses, never a crash — and `SHUTDOWN` (or stdin
 //! EOF) drains every tenant to a deterministic `FINAL` report.
 //!
@@ -52,6 +53,7 @@ fn usage() -> String {
      \x20             [--fsync always|never] [--fsync-every-n N]\n\
      \x20             [--fsync-interval-ms N] [--checkpoint-every N]\n\
      \x20             [--recover-cap-events N] [--recovery-bench-json PATH]\n\
+     \x20             [--metrics-out PATH] [--metrics-every N] [--trace-ring N]\n\
      \x20             [--log-json PATH] [--bench-json PATH]\n\
      \x20             [--no-echo-advice] [--quiet]\n\
      \n\
@@ -65,7 +67,14 @@ fn usage() -> String {
      real event path: tenant state, counters, and advice files come back\n\
      bit-identical; damaged logs quarantine only their own tenant.\n\
      --recover-cap-events bounds replay; longer logs warm-start degraded\n\
-     from their latest checkpoint (--checkpoint-every, 0 disables)."
+     from their latest checkpoint (--checkpoint-every, 0 disables).\n\
+     --metrics-out enables the sharded metrics registry and appends\n\
+     pfmetrics-snap/v1 JSONL snapshots to PATH: every --metrics-every\n\
+     events (0 = at drain only) and always once at drain. The METRICS\n\
+     verb renders the same registry as Prometheus-style METRIC lines;\n\
+     HEALTH answers one liveness line. --trace-ring N keeps the last N\n\
+     request-lifecycle trace events per tenant (sequence-stamped, never\n\
+     wall clock) and dumps them as TRACE lines on panic or WAL degrade."
         .to_string()
 }
 
@@ -167,6 +176,19 @@ fn parse_args() -> Result<Args, String> {
             "--recovery-bench-json" => {
                 args.recovery_bench_json = Some(next_val(&mut it, "--recovery-bench-json")?.into());
             }
+            "--metrics-out" => {
+                args.opts.metrics_out = Some(next_val(&mut it, "--metrics-out")?.into());
+            }
+            "--metrics-every" => {
+                args.opts.metrics_every = next_val(&mut it, "--metrics-every")?
+                    .parse()
+                    .map_err(|_| "--metrics-every needs an integer".to_string())?;
+            }
+            "--trace-ring" => {
+                args.opts.trace_ring = next_val(&mut it, "--trace-ring")?
+                    .parse()
+                    .map_err(|_| "--trace-ring needs an integer".to_string())?;
+            }
             "--log-json" => args.log_json = Some(next_val(&mut it, "--log-json")?.into()),
             "--bench-json" => args.bench_json = Some(next_val(&mut it, "--bench-json")?.into()),
             "--no-echo-advice" => args.opts.echo_advice = false,
@@ -190,6 +212,9 @@ fn check_config(args: &Args) -> Result<(), String> {
     }
     if args.opts.defaults.cache_blocks == 0 || args.opts.defaults.node_limit == 0 {
         return Err("--default-cache and --default-nodes must be positive".into());
+    }
+    if args.opts.metrics_every > 0 && args.opts.metrics_out.is_none() {
+        return Err("--metrics-every needs --metrics-out".into());
     }
     Ok(())
 }

@@ -83,15 +83,22 @@ pub struct Generated {
     pub lines: Vec<String>,
     /// `(tenant, fate)` for every tenant, in tenant order.
     pub manifest: Vec<(String, Fate)>,
+    /// Per-tenant fate detail fields, aligned with `manifest`: always
+    /// `events=`, plus the chaos parameters that fate drew (`panic_at=`
+    /// for panicked tenants, `disks=`/`fault_rate=`/`fault_seed=` for
+    /// faulty ones).
+    details: Vec<String>,
 }
 
 impl Generated {
-    /// Render the manifest as `tenant fate` lines (the CI job reads this
-    /// to pick which advice files to diff).
+    /// Render the manifest as `tenant fate detail...` lines. Consumers
+    /// keyed on the first two fields (the CI advice-diff job) keep
+    /// parsing; the detail fields tell a postmortem exactly which chaos
+    /// each tenant was dealt without re-deriving the index arithmetic.
     pub fn manifest_text(&self) -> String {
         let mut out = String::new();
-        for (tenant, fate) in &self.manifest {
-            let _ = writeln!(out, "{tenant} {}", fate.name());
+        for ((tenant, fate), detail) in self.manifest.iter().zip(&self.details) {
+            let _ = writeln!(out, "{tenant} {} {detail}", fate.name());
         }
         out
     }
@@ -164,20 +171,32 @@ pub fn generate(opts: &LoadgenOpts) -> Generated {
 
     // OPEN everyone first (they are all concurrently live), then
     // round-robin event slices.
+    let panic_at = opts.events_per_tenant / 2;
+    let mut details = Vec::with_capacity(opts.tenants);
     for i in 0..opts.tenants {
         let name = tenant_name(i);
         let fate = fate_for(i, opts.chaos);
         match fate {
-            Fate::Faulty => lines.push(format!(
-                "OPEN {name} disks=2 fault_rate=0.05 fault_seed={}",
-                opts.seed.wrapping_add(i as u64)
-            )),
-            _ => lines.push(format!("OPEN {name}")),
+            Fate::Faulty => {
+                let fault_seed = opts.seed.wrapping_add(i as u64);
+                lines.push(format!("OPEN {name} disks=2 fault_rate=0.05 fault_seed={fault_seed}"));
+                details.push(format!(
+                    "events={} disks=2 fault_rate=0.05 fault_seed={fault_seed}",
+                    opts.events_per_tenant
+                ));
+            }
+            Fate::Panicked => {
+                lines.push(format!("OPEN {name}"));
+                details.push(format!("events={} panic_at={panic_at}", opts.events_per_tenant));
+            }
+            Fate::Clean => {
+                lines.push(format!("OPEN {name}"));
+                details.push(format!("events={}", opts.events_per_tenant));
+            }
         }
         manifest.push((name, fate));
     }
 
-    let panic_at = opts.events_per_tenant / 2;
     let mut emitted = vec![0usize; opts.tenants];
     let mut remaining = opts.tenants;
     while remaining > 0 {
@@ -215,7 +234,7 @@ pub fn generate(opts: &LoadgenOpts) -> Generated {
     if opts.shutdown {
         lines.push("SHUTDOWN".to_string());
     }
-    Generated { lines, manifest }
+    Generated { lines, manifest, details }
 }
 
 #[cfg(test)]
@@ -273,6 +292,43 @@ mod tests {
             generate(&LoadgenOpts { tenants: 5, events_per_tenant: 2, ..LoadgenOpts::default() });
         let text = g.manifest_text();
         assert_eq!(text.lines().count(), 5);
-        assert!(text.contains("t00000 clean"));
+        assert!(text.contains("t00000 clean events=2"));
+    }
+
+    #[test]
+    fn manifest_records_chaos_fate_details() {
+        let g = generate(&LoadgenOpts {
+            tenants: 40,
+            events_per_tenant: 12,
+            seed: 7,
+            chaos: true,
+            ..LoadgenOpts::default()
+        });
+        let text = g.manifest_text();
+        for (i, line) in text.lines().enumerate() {
+            let mut f = line.split_ascii_whitespace();
+            let (tenant, fate) = (f.next().unwrap(), f.next().unwrap());
+            assert_eq!(tenant, tenant_name(i));
+            match fate {
+                "clean" => assert_eq!(line, format!("{tenant} clean events=12")),
+                "panic" => assert_eq!(line, format!("{tenant} panic events=12 panic_at=6")),
+                "faulty" => assert_eq!(
+                    line,
+                    format!(
+                        "{tenant} faulty events=12 disks=2 fault_rate=0.05 fault_seed={}",
+                        7 + i as u64
+                    )
+                ),
+                other => panic!("unknown fate {other:?} in {line:?}"),
+            }
+        }
+        // The detail fields echo exactly what the script dealt: a faulty
+        // tenant's OPEN line carries the same fault parameters.
+        let (faulty, _) = g.manifest.iter().find(|(_, f)| *f == Fate::Faulty).unwrap();
+        let open = g.lines.iter().find(|l| l.starts_with(&format!("OPEN {faulty}"))).unwrap();
+        let detail = text.lines().find(|l| l.starts_with(faulty.as_str())).unwrap();
+        for field in open.split_ascii_whitespace().skip(2) {
+            assert!(detail.contains(field), "{field} missing from manifest line {detail:?}");
+        }
     }
 }

@@ -16,6 +16,8 @@
 //! STATS <tenant>                  live per-tenant counters
 //! CLOSE <tenant>                  drain the tenant and emit its FINAL line
 //! PANIC <tenant>                  chaos hook: the tenant's next event panics
+//! METRICS                         point-in-time metrics exposition
+//! HEALTH                          one-line service health summary
 //! SHUTDOWN                        drain every tenant and stop the server
 //! # ...                           comment; blank lines are ignored
 //! ```
@@ -29,8 +31,11 @@
 //! SHED <tenant> queue-full [detail]               backpressure: event dropped
 //! ERR parse <detail>                              malformed line, skipped
 //! PANIC <tenant> quarantined err=<msg>            tenant quarantined
+//! TRACE <tenant> <seq> <stage> <detail>           flight-recorder dump line
 //! STATS <tenant> k=v ...                          live counters
 //! FINAL <tenant> k=v ...                          end-of-life report
+//! METRIC <exposition line>                        one metrics line (METRICS)
+//! HEALTH k=v ...                                  health summary (HEALTH)
 //! BYE k=v ...                                     drain complete
 //! ```
 
@@ -71,6 +76,11 @@ pub enum Request {
         /// Tenant name.
         tenant: String,
     },
+    /// Flush every pending event and emit a point-in-time metrics
+    /// exposition (`METRIC` lines + `OK metrics` trailer).
+    Metrics,
+    /// Emit a one-line service health summary.
+    Health,
     /// Drain every tenant and stop the server.
     Shutdown,
 }
@@ -155,6 +165,18 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, ParseError> {
         "STATS" => Ok(Some(Request::Stats { tenant: named_tenant(&mut fields, "STATS")? })),
         "CLOSE" => Ok(Some(Request::Close { tenant: named_tenant(&mut fields, "CLOSE")? })),
         "PANIC" => Ok(Some(Request::Panic { tenant: named_tenant(&mut fields, "PANIC")? })),
+        "METRICS" => {
+            if fields.next().is_some() {
+                return err(None, "METRICS takes no arguments".into());
+            }
+            Ok(Some(Request::Metrics))
+        }
+        "HEALTH" => {
+            if fields.next().is_some() {
+                return err(None, "HEALTH takes no arguments".into());
+            }
+            Ok(Some(Request::Health))
+        }
         "SHUTDOWN" => Ok(Some(Request::Shutdown)),
         other => err(None, format!("unknown verb {other:?}")),
     }
@@ -188,6 +210,28 @@ pub enum RejectReason {
     BadConfig(String),
 }
 
+/// Number of distinct [`RejectReason`] codes (per-reason tally width).
+pub const N_REJECT_REASONS: usize = 6;
+
+/// Every reason code in the stable tally order of
+/// [`RejectReason::index`].
+pub const REJECT_CODES: [&str; N_REJECT_REASONS] =
+    ["tenant-limit", "memory-budget", "quarantined", "unknown-tenant", "duplicate", "bad-config"];
+
+/// Render a per-reason reject tally as the stable
+/// `rejects=<code>:<n>,...` field value (every code, [`REJECT_CODES`]
+/// order).
+pub fn render_reject_tally(tally: &[u64; N_REJECT_REASONS]) -> String {
+    let mut s = String::new();
+    for (i, (code, n)) in REJECT_CODES.iter().zip(tally).enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{code}:{n}"));
+    }
+    s
+}
+
 impl RejectReason {
     /// Stable machine-readable reason code.
     pub fn code(&self) -> &'static str {
@@ -198,6 +242,18 @@ impl RejectReason {
             RejectReason::UnknownTenant => "unknown-tenant",
             RejectReason::Duplicate => "duplicate",
             RejectReason::BadConfig(_) => "bad-config",
+        }
+    }
+
+    /// Position of this reason in [`REJECT_CODES`] (per-reason tallies).
+    pub fn index(&self) -> usize {
+        match self {
+            RejectReason::TenantLimit { .. } => 0,
+            RejectReason::MemoryBudget { .. } => 1,
+            RejectReason::Quarantined => 2,
+            RejectReason::UnknownTenant => 3,
+            RejectReason::Duplicate => 4,
+            RejectReason::BadConfig(_) => 5,
         }
     }
 
@@ -245,7 +301,40 @@ mod tests {
             parse_line("PANIC t1").unwrap().unwrap(),
             Request::Panic { tenant: "t1".into() }
         );
+        assert_eq!(parse_line("METRICS").unwrap().unwrap(), Request::Metrics);
+        assert_eq!(parse_line("HEALTH").unwrap().unwrap(), Request::Health);
         assert_eq!(parse_line("SHUTDOWN").unwrap().unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn metrics_and_health_take_no_arguments() {
+        assert!(parse_line("METRICS t1").is_err());
+        assert!(parse_line("HEALTH now").is_err());
+    }
+
+    #[test]
+    fn reject_tally_renders_every_code_in_order() {
+        let mut tally = [0u64; N_REJECT_REASONS];
+        tally[RejectReason::Quarantined.index()] = 2;
+        tally[RejectReason::BadConfig("x".into()).index()] = 1;
+        assert_eq!(
+            render_reject_tally(&tally),
+            "tenant-limit:0,memory-budget:0,quarantined:2,unknown-tenant:0,duplicate:0,\
+             bad-config:1"
+        );
+        // index() and code() agree with REJECT_CODES.
+        for (i, code) in REJECT_CODES.iter().enumerate() {
+            let reason = match i {
+                0 => RejectReason::TenantLimit { limit: 1 },
+                1 => RejectReason::MemoryBudget { requested: 1, available: 0 },
+                2 => RejectReason::Quarantined,
+                3 => RejectReason::UnknownTenant,
+                4 => RejectReason::Duplicate,
+                _ => RejectReason::BadConfig(String::new()),
+            };
+            assert_eq!(reason.index(), i);
+            assert_eq!(&reason.code(), code);
+        }
     }
 
     #[test]

@@ -35,15 +35,18 @@
 //! and the `serve-chaos` CI job).
 
 use crate::admission::{Admission, AdmissionConfig};
-use crate::protocol::{parse_line, RejectReason, Request};
-use crate::tenant::{TenantDefaults, TenantSpec, TenantState};
+use crate::protocol::{parse_line, render_reject_tally, RejectReason, Request, N_REJECT_REASONS};
+use crate::tenant::{BatchCounts, PendingMetrics, TenantDefaults, TenantSpec, TenantState};
 use crate::wal::{Durability, RecoveryError, RecoveryReport, WalOpts, WalRecord};
 use prefetch_core::Quarantine;
 use prefetch_hash::FxHashMap;
-use prefetch_telemetry::{log as tlog, Histogram};
+use prefetch_telemetry::registry::MetricSet;
+use prefetch_telemetry::registry::DEFAULT_SHARDS;
+use prefetch_telemetry::{log as tlog, Histogram, MetricsRegistry};
 use prefetch_trace::BlockId;
 use prefetch_wal::{AppendLog, Tail};
 use std::cell::Cell;
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard, Once};
@@ -52,6 +55,17 @@ use std::time::Instant;
 /// Identifies the connection a request arrived on, so responses can be
 /// routed back (stdin mode uses a single id 0).
 pub type ConnId = u64;
+
+/// Registry metric names for the per-reason reject tally, in
+/// [`crate::protocol::REJECT_CODES`] order.
+const REJECT_METRIC_NAMES: [&str; N_REJECT_REASONS] = [
+    "rejects_tenant_limit",
+    "rejects_memory_budget",
+    "rejects_quarantined",
+    "rejects_unknown_tenant",
+    "rejects_duplicate",
+    "rejects_bad_config",
+];
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -77,6 +91,17 @@ pub struct ServeOpts {
     /// recovery (see [`crate::wal`]). An unusable WAL directory degrades
     /// the service to in-memory-only with a warning, never a hard exit.
     pub wal: WalOpts,
+    /// Append `pfmetrics-snap/v1` JSONL metric snapshots to this file.
+    /// Setting it also turns metric *recording* on — without it the
+    /// registry is never built and the hot path pays only a branch.
+    pub metrics_out: Option<PathBuf>,
+    /// Write a metrics snapshot every this many processed events
+    /// (checked at batch boundaries); `0` writes only the final
+    /// snapshot at drain.
+    pub metrics_every: u64,
+    /// Per-tenant flight-recorder ring capacity (trace events); `0`
+    /// disables tracing.
+    pub trace_ring: usize,
 }
 
 impl Default for ServeOpts {
@@ -89,6 +114,9 @@ impl Default for ServeOpts {
             echo_advice: true,
             snapshot_dir: None,
             wal: WalOpts::default(),
+            metrics_out: None,
+            metrics_every: 0,
+            trace_ring: 0,
         }
     }
 }
@@ -98,10 +126,18 @@ impl Default for ServeOpts {
 enum Gone {
     /// Closed by request; its `FINAL` line was emitted at close time.
     Closed,
-    /// Quarantined after a panic, with retained counters for the drain
-    /// report. Never silently resurrected: later requests are refused
-    /// with `REJECT <tenant> quarantined`.
-    Quarantined { message: String, events: u64, skipped: u64, shed: u64 },
+    /// Quarantined after a panic, with retained counters and the final
+    /// flight-recorder dump for the drain report. Never silently
+    /// resurrected: later requests are refused with
+    /// `REJECT <tenant> quarantined`.
+    Quarantined {
+        message: String,
+        events: u64,
+        skipped: u64,
+        shed: u64,
+        queue_hwm: u64,
+        trace: Vec<String>,
+    },
 }
 
 /// One tenant slot. The mutex makes slots shareable with pool workers;
@@ -170,6 +206,17 @@ pub struct Service {
     wal_disabled: Option<String>,
     /// Report of the recovery pass, when one ran.
     recovery: Option<RecoveryReport>,
+    /// Sharded metrics registry; built only when `metrics_out` asks for
+    /// recording, so the plain path stays unmetered.
+    registry: Option<Arc<MetricsRegistry>>,
+    /// Per-slot reject tallies, indexed like `slots` (grown lazily).
+    tallies: Vec<[u64; N_REJECT_REASONS]>,
+    /// Service-wide reject tally by [`RejectReason`] code.
+    reject_global: [u64; N_REJECT_REASONS],
+    /// `stats.events` at the last periodic metrics snapshot.
+    metrics_last_events: u64,
+    /// Metric snapshots written so far (the snapshot header counter).
+    metrics_snapshots: u64,
 }
 
 impl Service {
@@ -200,6 +247,8 @@ impl Service {
             },
             None => None,
         };
+        let registry =
+            opts.metrics_out.as_ref().map(|_| Arc::new(MetricsRegistry::new(DEFAULT_SHARDS)));
         Ok(Service {
             admission: Admission::new(opts.admission),
             opts,
@@ -216,7 +265,17 @@ impl Service {
             wal,
             wal_disabled,
             recovery: None,
+            registry,
+            tallies: Vec::new(),
+            reject_global: [0; N_REJECT_REASONS],
+            metrics_last_events: 0,
+            metrics_snapshots: 0,
         })
+    }
+
+    /// The live metrics registry, when `metrics_out` enabled recording.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.registry.as_deref()
     }
 
     /// Whether a `SHUTDOWN` request has been seen (the listener drains
@@ -283,7 +342,24 @@ impl Service {
             match req {
                 Request::Event { tenant, block } => match self.index.get(&tenant) {
                     Some(&i) if !self.is_quarantined(i) => {
-                        let gone = lock_slot(&self.slots[i]).state.is_none();
+                        let first = !pending.contains_key(&i);
+                        let batch = self.stats.batches;
+                        // One lock serves both the liveness check and the
+                        // first-enqueue trace record.
+                        let gone = {
+                            let mut guard = lock_slot(&self.slots[i]);
+                            match guard.state.as_mut() {
+                                None => true,
+                                Some(state) => {
+                                    if first {
+                                        if let Some(fr) = state.flight_mut() {
+                                            fr.record_kv("queue", "batch", batch);
+                                        }
+                                    }
+                                    false
+                                }
+                            }
+                        };
                         if gone {
                             self.reject(&mut out, conn, &tenant, RejectReason::UnknownTenant);
                             continue;
@@ -307,6 +383,9 @@ impl Service {
                             // Logged at accept time: the WAL holds exactly
                             // the events that will be processed, in order.
                             self.wal_append(i, &WalRecord::Event(block));
+                            if self.wal.as_ref().is_some_and(|w| w.logs.contains_key(&i)) {
+                                self.record_flight(i, "wal", "block", block);
+                            }
                         }
                     }
                     Some(&i) => {
@@ -321,9 +400,18 @@ impl Service {
                 Request::Stats { tenant } => match self.lookup_live(&tenant) {
                     Ok(i) => {
                         self.flush_and_absorb(i, &mut pending, &mut out);
-                        let line = lock_slot(&self.slots[i]).state.as_ref().map(|s| s.stats_line());
+                        let line = lock_slot(&self.slots[i])
+                            .state
+                            .as_ref()
+                            .map(|s| (s.stats_line(), s.queue_hwm));
                         match line {
-                            Some(line) => out.push((conn, line)),
+                            Some((line, queue_hwm)) => {
+                                let tally = render_reject_tally(&self.tally(i));
+                                out.push((
+                                    conn,
+                                    format!("{line} queue_hwm={queue_hwm} rejects={tally}"),
+                                ));
+                            }
                             // The inline flush itself quarantined it.
                             None => self.reject(&mut out, conn, &tenant, RejectReason::Quarantined),
                         }
@@ -343,6 +431,13 @@ impl Service {
                         };
                         match taken {
                             Some(mut state) => {
+                                // Closing drops the state: drain its last
+                                // batch's metric deltas first.
+                                if let Some(reg) = self.registry.as_ref() {
+                                    reg.update(&self.names[i], |m| {
+                                        publish_pending(m, &state.pending_metrics);
+                                    });
+                                }
                                 let line = state.final_line();
                                 self.persist_tree(&state);
                                 // Snapshot first, then the durable C: a
@@ -351,7 +446,11 @@ impl Service {
                                 self.wal_close(i, &tenant);
                                 self.admission.release(state.charged_bytes);
                                 self.stats.closes += 1;
-                                out.push((conn, line));
+                                let tally = render_reject_tally(&self.tally(i));
+                                out.push((
+                                    conn,
+                                    format!("{line} queue_hwm={} rejects={tally}", state.queue_hwm),
+                                ));
                             }
                             None => self.reject(&mut out, conn, &tenant, RejectReason::Quarantined),
                         }
@@ -382,6 +481,30 @@ impl Service {
                     }
                     Err(reason) => self.reject(&mut out, conn, &tenant, reason),
                 },
+                Request::Metrics => {
+                    // A snapshot reflects every event accepted before it:
+                    // apply everything queued so far, then render.
+                    let active: Vec<usize> = order.to_vec();
+                    for i in active {
+                        self.flush_and_absorb(i, &mut pending, &mut out);
+                    }
+                    match self.registry.clone() {
+                        Some(reg) => {
+                            self.refresh_gauges();
+                            let text = reg.snapshot().render_prometheus();
+                            let mut n = 0u64;
+                            for line in text.lines() {
+                                out.push((conn, format!("METRIC {line}")));
+                                n += 1;
+                            }
+                            out.push((conn, format!("OK metrics lines={n}")));
+                        }
+                        None => out.push((conn, "OK metrics lines=0 enabled=false".to_string())),
+                    }
+                }
+                Request::Health => {
+                    out.push((conn, self.health_line()));
+                }
                 Request::Shutdown => {
                     // Apply everything queued so far, then flag the drain.
                     let active: Vec<usize> = order.to_vec();
@@ -407,9 +530,10 @@ impl Service {
             .collect();
         if !active.is_empty() {
             let slots = &self.slots;
+            let metrics_on = self.registry.is_some();
             let flushes = prefetch_pool::run_indexed(active.len(), |j| {
                 let (idx, events) = &active[j];
-                flush_tenant(&slots[*idx], events)
+                flush_tenant(&slots[*idx], events, metrics_on)
             });
             for ((idx, events), flush) in active.iter().zip(flushes) {
                 self.absorb_flush(*idx, events, flush, &mut out);
@@ -418,7 +542,54 @@ impl Service {
         // Group commit BEFORE the responses leave this method: under
         // `--fsync always` every acknowledged line is durable.
         self.wal_commit_pass();
+        self.maybe_write_metrics();
         out
+    }
+
+    /// Record one `key=value` flight-recorder stage for a live tenant
+    /// (no-op when tracing is off or the tenant is gone). The payload is
+    /// two words, so the disabled path really is one branch.
+    fn record_flight(&self, idx: usize, stage: &'static str, key: &'static str, v: u64) {
+        if self.opts.trace_ring == 0 {
+            return;
+        }
+        if let Some(state) = lock_slot(&self.slots[idx]).state.as_mut() {
+            if let Some(fr) = state.flight_mut() {
+                fr.record_kv(stage, key, v);
+            }
+        }
+    }
+
+    /// This slot's reject tally (zeros when nothing was ever rejected).
+    fn tally(&self, idx: usize) -> [u64; N_REJECT_REASONS] {
+        self.tallies.get(idx).copied().unwrap_or([0; N_REJECT_REASONS])
+    }
+
+    /// The one-line `HEALTH` response: liveness plus the load/containment
+    /// counters an operator triages with first.
+    fn health_line(&self) -> String {
+        let s = &self.stats;
+        let wal = if self.wal.is_some() {
+            "on"
+        } else if self.wal_disabled.is_some() {
+            "degraded"
+        } else {
+            "off"
+        };
+        format!(
+            "HEALTH status=ok tenants={} opened={} quarantined={} sheds={} rejects={} \
+             parse_errors={} batches={} wal={} metrics={} trace_ring={}",
+            self.admission.live(),
+            s.opens,
+            s.quarantined,
+            s.sheds,
+            s.rejects,
+            s.parse_errors,
+            s.batches,
+            wal,
+            if self.registry.is_some() { "on" } else { "off" },
+            self.opts.trace_ring,
+        )
     }
 
     /// Append one record to a tenant's WAL; an append failure degrades
@@ -470,13 +641,26 @@ impl Service {
             w.drop_log(idx);
             w.degraded_tenants += 1;
         }
+        let mut trace = Vec::new();
         if let Some(state) = lock_slot(&self.slots[idx]).state.as_mut() {
             state.wal_state = "degraded";
+            if let Some(fr) = state.flight() {
+                trace = fr.dump_lines();
+            }
         }
         tlog::warn("serve_wal_degraded")
             .str("tenant", self.names[idx].to_string())
             .str("reason", reason)
             .emit();
+        // Losing durability is exactly the moment the request timeline
+        // matters: dump the ring to the telemetry log.
+        if !trace.is_empty() {
+            tlog::warn("serve_wal_degraded_trace")
+                .str("tenant", self.names[idx].to_string())
+                .u64("lines", trace.len() as u64)
+                .str("trace", trace.join(" | "))
+                .emit();
+        }
     }
 
     /// Batch-end durability pass: sync dirty logs when the group-commit
@@ -553,6 +737,13 @@ impl Service {
         reason: RejectReason,
     ) {
         self.stats.rejects += 1;
+        self.reject_global[reason.index()] += 1;
+        if let Some(&i) = self.index.get(tenant) {
+            if self.tallies.len() <= i {
+                self.tallies.resize(i + 1, [0; N_REJECT_REASONS]);
+            }
+            self.tallies[i][reason.index()] += 1;
+        }
         out.push((conn, reason.render(tenant)));
     }
 
@@ -595,6 +786,20 @@ impl Service {
                 }
             };
         let warm_from = self.try_warm_start(&tenant, &mut state);
+        if self.opts.trace_ring > 0 {
+            state.enable_flight(self.opts.trace_ring);
+            if let Some(fr) = state.flight_mut() {
+                fr.record_text(
+                    "admission",
+                    format!(
+                        "cache={} nodes={} warm={}",
+                        spec.cache_blocks,
+                        spec.node_limit,
+                        warm_from.is_some()
+                    ),
+                );
+            }
+        }
         // Durability: capture the warm-start base (so replay starts from
         // the very tree this tenant did, even after later checkpoints
         // rewrite the main snapshot), then open the tenant's log. Any
@@ -735,7 +940,7 @@ impl Service {
             return;
         }
         let events = std::mem::take(events);
-        let flush = flush_tenant(&self.slots[idx], &events);
+        let flush = flush_tenant(&self.slots[idx], &events, self.registry.is_some());
         self.absorb_flush(idx, &events, flush, out);
     }
 
@@ -775,10 +980,15 @@ impl Service {
             out.extend(flush.responses);
         }
         if let Some((at, message)) = flush.panicked {
-            self.quarantine_tenant(idx, &message);
+            let trace = self.quarantine_tenant(idx, &message);
             let name = Arc::clone(&self.names[idx]);
             let conn = events.get(at).map_or(0, |(c, _)| *c);
             out.push((conn, format!("PANIC {name} quarantined err={message:?}")));
+            // The flight-recorder dump rides along with the PANIC line:
+            // the last moments of the request lifecycle, already ordered.
+            for line in &trace {
+                out.push((conn, format!("TRACE {name} {line}")));
+            }
             // Events behind the panic are refused explicitly, never
             // silently dropped.
             for (conn, _) in &events[(at + 1).min(events.len())..] {
@@ -788,19 +998,35 @@ impl Service {
     }
 
     /// Retire a panicked tenant: drop its state (freeing its budget),
-    /// retain its counters for the drain report, and record it in the
-    /// quarantine so it is never silently resurrected.
-    fn quarantine_tenant(&mut self, idx: usize, message: &str) {
+    /// retain its counters and flight-recorder dump for the drain report,
+    /// and record it in the quarantine so it is never silently
+    /// resurrected. Returns the trace dump for immediate emission.
+    fn quarantine_tenant(&mut self, idx: usize, message: &str) -> Vec<String> {
         let mut guard = lock_slot(&self.slots[idx]);
-        let (events, skipped, shed, charged) = match guard.state.take() {
+        let (events, skipped, shed, charged, queue_hwm, trace) = match guard.state.take() {
             Some(mut state) => {
                 state.flush_advice();
-                (state.seq, state.skipped, state.shed, state.charged_bytes)
+                let trace = state.flight().map(|fr| fr.dump_lines()).unwrap_or_default();
+                // The dying tenant still publishes the events it served
+                // before the panic: drain its pending deltas now, before
+                // the state drops.
+                if let Some(reg) = self.registry.as_ref() {
+                    reg.update(&self.names[idx], |m| {
+                        publish_pending(m, &state.pending_metrics);
+                    });
+                }
+                (state.seq, state.skipped, state.shed, state.charged_bytes, state.queue_hwm, trace)
             }
-            None => (0, 0, 0, 0),
+            None => (0, 0, 0, 0, 0, Vec::new()),
         };
-        guard.gone =
-            Some(Gone::Quarantined { message: message.to_string(), events, skipped, shed });
+        guard.gone = Some(Gone::Quarantined {
+            message: message.to_string(),
+            events,
+            skipped,
+            shed,
+            queue_hwm,
+            trace: trace.clone(),
+        });
         drop(guard);
         // Make the poisonous history durable and keep the file: recovery
         // replays it and reproduces this quarantine faithfully.
@@ -822,24 +1048,42 @@ impl Service {
             .str("tenant", self.names[idx].to_string())
             .str("err", message)
             .emit();
+        trace
     }
 
     /// Graceful drain: deterministic per-tenant `FINAL` reports in
     /// admission order (quarantined tenants report their retained
     /// counters), then a `BYE` summary.
     pub fn drain(&mut self) -> Vec<String> {
+        // Final metrics snapshot first, while every tenant is still live.
+        if self.opts.metrics_out.is_some() {
+            self.write_metrics_snapshot();
+        }
         let mut out = Vec::new();
         for i in 0..self.slots.len() {
+            let tally = render_reject_tally(&self.tally(i));
             let mut guard = lock_slot(&self.slots[i]);
             if let Some(state) = guard.state.as_mut() {
-                out.push(state.final_line());
+                let line = state.final_line();
+                out.push(format!("{line} queue_hwm={} rejects={tally}", state.queue_hwm));
                 self.persist_tree(state);
-            } else if let Some(Gone::Quarantined { message, events, skipped, shed }) = &guard.gone {
+            } else if let Some(Gone::Quarantined {
+                message,
+                events,
+                skipped,
+                shed,
+                queue_hwm,
+                trace,
+            }) = &guard.gone
+            {
                 out.push(format!(
                     "FINAL {} events={events} skipped={skipped} shed={shed} quarantined=true \
-                     err={message:?}",
+                     err={message:?} queue_hwm={queue_hwm} rejects={tally}",
                     self.names[i]
                 ));
+                for line in trace {
+                    out.push(format!("TRACE {} {line}", self.names[i]));
+                }
             }
             // Closed tenants already reported at close time.
         }
@@ -881,6 +1125,97 @@ impl Service {
             ));
         }
         s
+    }
+
+    /// Refresh the point-in-time gauges the flush path cannot maintain
+    /// incrementally: per-tenant queue high-water marks and calibration
+    /// accumulators, plus the service-wide counters and the per-reason
+    /// reject tally. Called right before each snapshot/exposition so the
+    /// rendered values are current.
+    fn refresh_gauges(&mut self) {
+        let Some(reg) = self.registry.clone() else { return };
+        for i in 0..self.slots.len() {
+            let (queue_hwm, cal, pending) = {
+                let mut guard = lock_slot(&self.slots[i]);
+                let Some(state) = guard.state.as_mut() else { continue };
+                (
+                    state.queue_hwm,
+                    state.calibration().cloned(),
+                    std::mem::take(&mut state.pending_metrics),
+                )
+            };
+            reg.update(&self.names[i], |m| {
+                publish_pending(m, &pending);
+                m.gauge_set("queue_hwm", queue_hwm);
+                if let Some(c) = &cal {
+                    m.fgauge_set("cal_benefit_err", c.benefit_error());
+                    m.fgauge_set("cal_eject_err", c.eject_error());
+                    m.fgauge_set("cal_pred_benefit_ms", c.predicted_benefit_ms());
+                    m.fgauge_set("cal_real_benefit_ms", c.realized_benefit_ms());
+                    m.fgauge_set("cal_pred_eject_ms", c.predicted_eject_ms());
+                    m.fgauge_set("cal_real_eject_ms", c.realized_eject_ms());
+                }
+            });
+        }
+        let s = self.stats;
+        let live = self.admission.live() as u64;
+        let rejects = self.reject_global;
+        reg.update("", |m| {
+            m.gauge_set("tenants_live", live);
+            m.gauge_set("tenants_opened", s.opens);
+            m.gauge_set("service_events", s.events);
+            m.gauge_set("sheds", s.sheds);
+            m.gauge_set("rejects", s.rejects);
+            m.gauge_set("parse_errors", s.parse_errors);
+            m.gauge_set("quarantined", s.quarantined);
+            m.gauge_set("batches", s.batches);
+            for (name, n) in REJECT_METRIC_NAMES.into_iter().zip(rejects) {
+                m.gauge_set(name, n);
+            }
+        });
+    }
+
+    /// Batch-boundary snapshot cadence: write a snapshot once
+    /// `metrics_every` further events have been processed. Cadence is
+    /// driven by the deterministic event counter, never the wall clock,
+    /// so snapshot files are byte-identical at any `--threads N`.
+    fn maybe_write_metrics(&mut self) {
+        let every = self.opts.metrics_every;
+        if every == 0 || self.registry.is_none() {
+            return;
+        }
+        if self.stats.events - self.metrics_last_events < every {
+            return;
+        }
+        self.metrics_last_events = self.stats.events;
+        self.write_metrics_snapshot();
+    }
+
+    /// Append one `pfmetrics-snap/v1` snapshot (header line + the
+    /// `pfmetrics/v1` JSONL body) to the `metrics_out` file. Write
+    /// failures warn and keep serving — metrics are never load-bearing.
+    fn write_metrics_snapshot(&mut self) {
+        let Some(path) = self.opts.metrics_out.clone() else { return };
+        self.refresh_gauges();
+        let Some(reg) = self.registry.as_ref() else { return };
+        let snap = reg.snapshot();
+        self.metrics_snapshots += 1;
+        let mut buf = format!(
+            "{{\"schema\":\"pfmetrics-snap/v1\",\"snapshot\":{},\"events\":{}}}\n",
+            self.metrics_snapshots, self.stats.events
+        );
+        buf.push_str(&snap.render_jsonl());
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(buf.as_bytes()));
+        if let Err(e) = written {
+            tlog::warn("serve_metrics_write_failed")
+                .str("path", path.display().to_string())
+                .str("error", e.to_string())
+                .emit();
+        }
     }
 
     /// Emit a live-stats record to the telemetry log (the listener calls
@@ -1068,6 +1403,15 @@ impl Service {
             }
         };
         state.wal_state = "on";
+        if self.opts.trace_ring > 0 {
+            state.enable_flight(self.opts.trace_ring);
+            if let Some(fr) = state.flight_mut() {
+                fr.record_text(
+                    "admission",
+                    format!("recovered cache={} nodes={}", spec.cache_blocks, spec.node_limit),
+                );
+            }
+        }
         if cap > 0 && events > cap {
             self.recover_degraded(name, &mut state, &records, events, report);
         } else if !self.recover_replayed(name, &mut state, &records, base, report) {
@@ -1160,9 +1504,17 @@ impl Service {
                     let message = payload_message(payload);
                     state.flush_advice();
                     let (events, skipped, shed) = (state.seq, state.skipped, state.shed);
+                    let trace = state.flight().map(|fr| fr.dump_lines()).unwrap_or_default();
                     let idx = self.register_recovered_gone(
                         name,
-                        Gone::Quarantined { message: message.clone(), events, skipped, shed },
+                        Gone::Quarantined {
+                            message: message.clone(),
+                            events,
+                            skipped,
+                            shed,
+                            queue_hwm: state.queue_hwm,
+                            trace,
+                        },
                     );
                     self.quarantine.record_failure(BlockId(idx as u64));
                     self.admission.release(state.spec.estimated_bytes());
@@ -1270,7 +1622,14 @@ impl Service {
         let message = error.to_string();
         let idx = self.register_recovered_gone(
             name,
-            Gone::Quarantined { message: message.clone(), events: 0, skipped: 0, shed: 0 },
+            Gone::Quarantined {
+                message: message.clone(),
+                events: 0,
+                skipped: 0,
+                shed: 0,
+                queue_hwm: 0,
+                trace: Vec::new(),
+            },
         );
         self.quarantine.record_failure(BlockId(idx as u64));
         self.stats.quarantined += 1;
@@ -1383,32 +1742,104 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Fold a tenant's pending metric deltas into its registry cells. Called
+/// inside a `MetricsRegistry::update` at the drain points: every
+/// snapshot/exposition (via `refresh_gauges`) and the close/quarantine
+/// teardowns — the last flush's deltas survive the state drop.
+fn publish_pending(m: &mut MetricSet, pending: &PendingMetrics) {
+    if pending.is_empty() {
+        return;
+    }
+    m.add("events", pending.events);
+    m.add("demand_hits", pending.demand_hits);
+    m.add("prefetch_hits", pending.prefetch_hits);
+    m.add("misses", pending.misses);
+    m.add("prefetches", pending.prefetches);
+    m.record_many("stall_us", &pending.stall_us);
+}
+
 /// Apply one tenant's queued events in order, under `catch_unwind`.
 ///
 /// Responses produced before a panic are preserved (pushed through a
 /// mutex the unwinding cannot tear), so a tenant that dies mid-batch
-/// still delivers the advice it computed. Runs on a pool worker; touches
-/// only the one slot it was given.
-fn flush_tenant(slot: &Mutex<Slot>, events: &[(ConnId, u64)]) -> TenantFlush {
-    let responses: Mutex<Vec<(ConnId, String)>> = Mutex::new(Vec::with_capacity(events.len()));
-    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(events.len()));
+/// still delivers the advice it computed. Registry-bound measurements
+/// fold into the tenant's own [`PendingMetrics`] under the slot lock the
+/// flush already holds — the shared registry is never touched here; the
+/// snapshot/exposition paths drain it later. A panic loses nothing: the
+/// folds already applied stay in the state, and the quarantine drain
+/// publishes them. Runs on a pool worker; touches only the one slot it
+/// was given.
+fn flush_tenant(slot: &Mutex<Slot>, events: &[(ConnId, u64)], metrics_on: bool) -> TenantFlush {
+    // One scratch mutex instead of one per collection: the per-event
+    // publish is a single uncontended lock, and unwinding cannot tear
+    // what was already pushed. Metric deltas accumulate here too — the
+    // scratch is flush-local and cache-hot, where the per-tenant
+    // `PendingMetrics` is one of hundreds and almost always cold.
+    struct Scratch {
+        responses: Vec<(ConnId, String)>,
+        latencies: Vec<u64>,
+        counts: BatchCounts,
+        stall_us: Vec<u64>,
+    }
+    let scratch: Mutex<Scratch> = Mutex::new(Scratch {
+        responses: Vec::with_capacity(events.len()),
+        latencies: Vec::with_capacity(events.len()),
+        counts: BatchCounts::default(),
+        stall_us: if metrics_on { Vec::with_capacity(events.len()) } else { Vec::new() },
+    });
     SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut guard = lock_slot(slot);
         let Some(state) = guard.state.as_mut() else {
             return;
         };
+        // Batch composition is listener-formed, so the high-water mark
+        // is deterministic at any worker count.
+        state.queue_hwm = state.queue_hwm.max(events.len() as u64);
+        if let Some(fr) = state.flight_mut() {
+            fr.record_kv("dispatch", "events", events.len() as u64);
+        }
         for (conn, block) in events {
             let t0 = Instant::now();
-            let line = state.process_event(*block);
+            let outcome = state.process_event_full(*block);
             let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-            latencies.lock().unwrap_or_else(|e| e.into_inner()).push(us);
-            responses.lock().unwrap_or_else(|e| e.into_inner()).push((*conn, line));
+            let mut s = scratch.lock().unwrap_or_else(|e| e.into_inner());
+            if metrics_on {
+                s.counts.fold(&outcome);
+                // Whole microseconds of *virtual* stall: no wall clock,
+                // so merged histograms are bit-identical across runs.
+                s.stall_us.push((outcome.stall_ms * 1000.0).round() as u64);
+            }
+            s.latencies.push(us);
+            s.responses.push((*conn, outcome.line));
+        }
+        // Reaching here means every event was served. Bank the metric
+        // deltas and record the "response" stage on the lock this flush
+        // already holds. A panicking flush records no response — the
+        // quarantine dump is the record.
+        if metrics_on {
+            let (counts, stalls) = {
+                let mut s = scratch.lock().unwrap_or_else(|e| e.into_inner());
+                (std::mem::take(&mut s.counts), std::mem::take(&mut s.stall_us))
+            };
+            state.pending_metrics.fold_batch(&counts, &stalls);
+        }
+        if let Some(fr) = state.flight_mut() {
+            fr.record_kv("response", "n", events.len() as u64);
         }
     }));
     SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
-    let responses = responses.into_inner().unwrap_or_else(|e| e.into_inner());
-    let latencies = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    let Scratch { responses, latencies, counts, stall_us } =
+        scratch.into_inner().unwrap_or_else(|e| e.into_inner());
+    if metrics_on && counts.events > 0 {
+        // Only a panic leaves deltas here: the tenant still banks the
+        // events it served before dying (its state is only taken later,
+        // by the quarantine in `absorb_flush`).
+        let mut guard = lock_slot(slot);
+        if let Some(state) = guard.state.as_mut() {
+            state.pending_metrics.fold_batch(&counts, &stall_us);
+        }
+    }
     let panicked = match result {
         Ok(()) => None,
         Err(payload) => Some((responses.len(), payload_message(payload))),

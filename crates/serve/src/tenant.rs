@@ -11,7 +11,9 @@
 
 use crate::protocol::RejectReason;
 use prefetch_core::policy::RefKind;
+use prefetch_core::CalibrationTracker;
 use prefetch_sim::{PolicySpec, SimConfig, SimEvent, SimMetrics, SimObserver, Simulator};
+use prefetch_telemetry::FlightRecorder;
 use prefetch_trace::{BlockId, TraceRecord};
 use prefetch_tree::PrefetchTree;
 use std::fs::File;
@@ -204,6 +206,81 @@ impl SimObserver for AdviceCapture {
     }
 }
 
+/// Registry-bound metric deltas accumulated on the flush path (under
+/// the slot lock the flush already holds) and drained into the shared
+/// [`prefetch_telemetry::MetricsRegistry`] only at snapshot/exposition
+/// boundaries — so the per-event hot path never touches a shared lock
+/// at all. Only deterministic quantities live here (per-kind counts and
+/// *virtual* stall); wall-clock advice latency stays in the service-side
+/// histogram. Drains are commutative (counter sums, bucket-wise
+/// histogram merge), so published totals at a snapshot boundary are
+/// identical at any `--threads N`.
+#[derive(Default)]
+pub struct PendingMetrics {
+    /// Events processed since the last drain.
+    pub events: u64,
+    /// References served from cache (demand-fetched blocks).
+    pub demand_hits: u64,
+    /// References served by a completed prefetch.
+    pub prefetch_hits: u64,
+    /// References that missed and stalled on disk.
+    pub misses: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// Virtual stall per reference, whole microseconds. Kept as raw
+    /// samples — appends are sequential and cheap on the flush path —
+    /// and bucketed into the registry histogram only at drain time.
+    pub stall_us: Vec<u64>,
+}
+
+impl PendingMetrics {
+    /// Fold one flush's batch-local accumulation in. Batched so the
+    /// per-event path only touches hot flush-local scratch; the
+    /// per-tenant (cache-cold at 100s of tenants) structures are hit
+    /// once per flush.
+    pub fn fold_batch(&mut self, counts: &BatchCounts, stall_us: &[u64]) {
+        self.events += counts.events;
+        self.demand_hits += counts.demand_hits;
+        self.prefetch_hits += counts.prefetch_hits;
+        self.misses += counts.misses;
+        self.prefetches += counts.prefetches;
+        self.stall_us.extend_from_slice(stall_us);
+    }
+
+    /// Whether any event was folded since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+}
+
+/// Flush-local event counters (see [`PendingMetrics::fold_batch`]).
+#[derive(Clone, Copy, Default)]
+pub struct BatchCounts {
+    /// Events processed this flush.
+    pub events: u64,
+    /// References served from cache.
+    pub demand_hits: u64,
+    /// References served by a completed prefetch.
+    pub prefetch_hits: u64,
+    /// References that missed and stalled on disk.
+    pub misses: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+}
+
+impl BatchCounts {
+    /// Fold one processed event's outcome in.
+    pub fn fold(&mut self, outcome: &EventOutcome) {
+        self.events += 1;
+        match outcome.kind {
+            RefKind::DemandHit => self.demand_hits += 1,
+            RefKind::PrefetchHit => self.prefetch_hits += 1,
+            RefKind::Miss => self.misses += 1,
+        }
+        self.prefetches += outcome.prefetched as u64;
+    }
+}
+
 /// Live state of one admitted tenant.
 pub struct TenantState {
     /// Tenant name (shared with the registry index).
@@ -232,7 +309,30 @@ pub struct TenantState {
     /// are logged), or `"degraded"` (the WAL failed mid-run; the tenant
     /// keeps serving in-memory only).
     pub wal_state: &'static str,
+    /// High-water mark of this tenant's per-batch input queue depth.
+    /// Batch composition is formed by the listener independent of the
+    /// worker count, so this is deterministic at any `--threads N`.
+    pub queue_hwm: u64,
+    /// Metric deltas awaiting the next registry drain (see
+    /// [`PendingMetrics`]); untouched when metrics are off.
+    pub pending_metrics: PendingMetrics,
+    /// Flight recorder, when `--trace-ring` enabled tracing at admission.
+    flight: Option<FlightRecorder>,
     advice_file: Option<BufWriter<File>>,
+}
+
+/// What one processed event produced: the `ADV` response line plus the
+/// measurements observability consumers record (metrics registry,
+/// flight recorder).
+pub struct EventOutcome {
+    /// The rendered `ADV` response line.
+    pub line: String,
+    /// How the reference was served.
+    pub kind: RefKind,
+    /// Virtual stall charged to the reference (ms).
+    pub stall_ms: f64,
+    /// Blocks the policy chose to prefetch this period.
+    pub prefetched: usize,
 }
 
 impl TenantState {
@@ -260,8 +360,32 @@ impl TenantState {
             charged_bytes,
             recovered: "none",
             wal_state: "off",
+            queue_hwm: 0,
+            pending_metrics: PendingMetrics::default(),
+            flight: None,
             advice_file,
         })
+    }
+
+    /// Turn on flight recording with a ring of `cap` events.
+    pub fn enable_flight(&mut self, cap: usize) {
+        self.flight = Some(FlightRecorder::new(cap));
+    }
+
+    /// The flight recorder, when tracing is enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Mutable flight-recorder access (service stages record through it).
+    pub fn flight_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
+    }
+
+    /// The tenant's predicted-vs-realized calibration accumulators, when
+    /// its policy tracks them (cost-benefit engine policies do).
+    pub fn calibration(&self) -> Option<&CalibrationTracker> {
+        self.sim.calibration()
     }
 
     /// The tenant's prefetch tree, when its policy keeps one.
@@ -292,6 +416,16 @@ impl TenantState {
     /// the underlying policy has a bug — the service catches either,
     /// quarantines the tenant, and keeps every other tenant running.
     pub fn process_event(&mut self, block: u64) -> String {
+        self.process_event_full(block).line
+    }
+
+    /// [`TenantState::process_event`] returning the full [`EventOutcome`]
+    /// (how the reference was served, its stall, and the prefetch count)
+    /// for metrics recording; also records the `decision` flight stage.
+    ///
+    /// # Panics
+    /// Same contract as [`TenantState::process_event`].
+    pub fn process_event_full(&mut self, block: u64) -> EventOutcome {
         if self.panic_armed {
             panic!("injected tenant panic (chaos hook)");
         }
@@ -299,12 +433,14 @@ impl TenantState {
         self.sim.step(TraceRecord::read(block), None, &mut (&mut self.metrics, &mut capture));
         let seq = self.seq;
         self.seq += 1;
-        let kind = match capture.kind {
-            Some(RefKind::DemandHit) => 'h',
-            Some(RefKind::PrefetchHit) => 'p',
-            Some(RefKind::Miss) | None => 'm',
+        let kind = capture.kind.unwrap_or(RefKind::Miss);
+        let kind_ch = match kind {
+            RefKind::DemandHit => 'h',
+            RefKind::PrefetchHit => 'p',
+            RefKind::Miss => 'm',
         };
-        let mut line = format!("ADV {} {} {} stall={} pf=", self.name, seq, kind, capture.stall_ms);
+        let mut line =
+            format!("ADV {} {} {} stall={} pf=", self.name, seq, kind_ch, capture.stall_ms);
         if capture.prefetched.is_empty() {
             line.push('-');
         } else {
@@ -318,12 +454,26 @@ impl TenantState {
         if let Some(f) = &mut self.advice_file {
             let _ = writeln!(f, "{line}");
         }
-        line
+        if let Some(fr) = self.flight.as_mut() {
+            // Per-event hot path: the decision is stored in binary form
+            // (virtual stall as whole microseconds) and only rendered if
+            // a dump is requested — a record is a few word writes.
+            let stall_us = (capture.stall_ms * 1000.0).round() as u64;
+            fr.record_decision(seq, kind_ch, stall_us, capture.prefetched.len() as u64);
+        }
+        EventOutcome {
+            line,
+            kind,
+            stall_ms: capture.stall_ms,
+            prefetched: capture.prefetched.len(),
+        }
     }
 
     /// Render the live `STATS` response line. The durability field is
     /// appended last so consumers pinned to the counter prefix keep
-    /// parsing.
+    /// parsing. The service appends its own observability fields
+    /// (`queue_hwm=`, `rejects=`) to the *response* only — the advice
+    /// file keeps this stable batch-composition-independent form.
     pub fn stats_line(&self) -> String {
         format!(
             "STATS {} events={} skipped={} shed={} demand_hits={} prefetch_hits={} misses={} \
@@ -347,7 +497,10 @@ impl TenantState {
 
     /// Render the end-of-life `FINAL` report line, appending it to the
     /// advice file when one is open (so per-tenant files are complete,
-    /// self-contained records).
+    /// self-contained records). The service's observability fields
+    /// (`queue_hwm=`, `rejects=`) go on the response only: the advice
+    /// file stays bit-identical across batch compositions, which the
+    /// recovery replay contract depends on.
     pub fn final_line(&mut self) -> String {
         let line = format!(
             "FINAL {} events={} skipped={} shed={} demand_hits={} prefetch_hits={} misses={} \

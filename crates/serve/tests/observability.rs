@@ -1,0 +1,353 @@
+//! Live-observability tests (PR 9): the sharded metrics registry's
+//! determinism contract, the frozen `pfmetrics/v1` / Prometheus schemas,
+//! and the service surface (`METRICS`/`HEALTH` verbs, `queue_hwm=` /
+//! `rejects=` response fields, flight-recorder `TRACE` dumps, and
+//! thread-count-invariant snapshot files).
+
+use prefetch_serve::loadgen::{generate, Fate, LoadgenOpts};
+use prefetch_serve::{ServeOpts, Service};
+use prefetch_telemetry::registry::MetricsRegistry;
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// `prefetch_pool::set_threads` is a process-global knob; tests that
+/// touch it serialize here so they cannot fight over it.
+static KNOB: Mutex<()> = Mutex::new(());
+
+fn lock_knob() -> std::sync::MutexGuard<'static, ()> {
+    KNOB.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pfserve-observe-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Feed a script through a fresh service in `chunk`-line batches and
+/// return every response line plus the drain report.
+fn run_script(lines: &[String], opts: ServeOpts, chunk: usize) -> (Vec<String>, Vec<String>) {
+    let mut service = Service::new(opts).expect("service init");
+    let mut responses = Vec::new();
+    for batch in lines.chunks(chunk) {
+        let tagged: Vec<(u64, String)> = batch.iter().map(|l| (0, l.clone())).collect();
+        for (_, line) in service.process_batch(&tagged) {
+            responses.push(line);
+        }
+        if service.shutdown_requested() {
+            break;
+        }
+    }
+    let finals = service.drain();
+    (responses, finals)
+}
+
+fn feed(service: &mut Service, lines: &[&str]) -> Vec<String> {
+    let tagged: Vec<(u64, String)> = lines.iter().map(|l| (0, l.to_string())).collect();
+    service.process_batch(&tagged).into_iter().map(|(_, l)| l).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Registry determinism: order- and thread-count-independent merges.
+// ---------------------------------------------------------------------------
+
+const TENANTS: usize = 6;
+
+fn apply(reg: &MetricsRegistry, tenant: &str, op: u8, val: u64) {
+    reg.update(tenant, |m| match op % 4 {
+        0 => m.add("events", val % 1000),
+        1 => m.record("stall_us", val % 100_000),
+        2 => m.gauge_max("queue_hwm", val % 512),
+        _ => m.add("prefetches", val % 64),
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The registry contract behind the any-`--threads` bit-identity
+    /// guarantee: applying each tenant's operation sequence in tenant
+    /// order — no matter which thread applies it, how tenants interleave,
+    /// or how many shards the registry has — produces byte-identical
+    /// JSONL and Prometheus renderings.
+    #[test]
+    fn sharded_merge_is_order_and_thread_count_independent(
+        ops in proptest::collection::vec((0u8..TENANTS as u8, 0u8..4, 0u64..1_000_000), 10..200),
+    ) {
+        let tenants: Vec<String> = (0..TENANTS).map(|i| format!("t{i:02}")).collect();
+
+        // Reference: one shard, sequential application in generated order.
+        let reference = MetricsRegistry::new(1);
+        for (t, op, val) in &ops {
+            apply(&reference, &tenants[*t as usize % TENANTS], *op, *val);
+        }
+        let ref_snap = reference.snapshot();
+        let (ref_jsonl, ref_prom) = (ref_snap.render_jsonl(), ref_snap.render_prometheus());
+
+        for (shards, workers) in [(64, 1), (64, 4), (129, 3)] {
+            // Partition tenants over worker threads; each worker applies
+            // its tenants' ops in tenant order, racing the other workers.
+            let reg = MetricsRegistry::new(shards);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let reg = &reg;
+                    let ops = &ops;
+                    let tenants = &tenants;
+                    scope.spawn(move || {
+                        for (t, op, val) in ops {
+                            let idx = *t as usize % TENANTS;
+                            if idx % workers == w {
+                                apply(reg, &tenants[idx], *op, *val);
+                            }
+                        }
+                    });
+                }
+            });
+            let snap = reg.snapshot();
+            prop_assert_eq!(&snap.render_jsonl(), &ref_jsonl);
+            prop_assert_eq!(&snap.render_prometheus(), &ref_prom);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden schema files: the exact bytes of both exposition formats.
+// ---------------------------------------------------------------------------
+
+/// A small registry exercising every metric type in both scopes.
+fn golden_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new(8);
+    reg.update("", |m| {
+        m.gauge_set("tenants_live", 2);
+        m.add("sheds", 1);
+    });
+    reg.update("alpha", |m| {
+        m.add("events", 42);
+        m.fgauge_set("cal_benefit_err", 0.25);
+        m.gauge_max("queue_hwm", 7);
+        m.record("stall_us", 900);
+        m.record("stall_us", 15000);
+        m.record("stall_us", 15000);
+    });
+    reg.update("beta", |m| m.add("events", 7));
+    reg
+}
+
+#[test]
+fn jsonl_schema_matches_golden_file() {
+    assert_eq!(
+        golden_registry().snapshot().render_jsonl(),
+        include_str!("golden/metrics.jsonl"),
+        "pfmetrics/v1 JSONL schema drifted; update tests/golden/metrics.jsonl deliberately"
+    );
+}
+
+#[test]
+fn prometheus_schema_matches_golden_file() {
+    assert_eq!(
+        golden_registry().snapshot().render_prometheus(),
+        include_str!("golden/metrics.prom"),
+        "Prometheus exposition drifted; update tests/golden/metrics.prom deliberately"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Service surface.
+// ---------------------------------------------------------------------------
+
+fn metrics_opts(dir: &std::path::Path, every: u64, ring: usize) -> ServeOpts {
+    ServeOpts {
+        echo_advice: true,
+        metrics_out: Some(dir.join("metrics.jsonl")),
+        metrics_every: every,
+        trace_ring: ring,
+        ..ServeOpts::default()
+    }
+}
+
+#[test]
+fn metrics_and_health_verbs_answer_end_to_end() {
+    let dir = tmp_dir("verbs");
+    let mut service = Service::new(metrics_opts(&dir, 0, 8)).unwrap();
+    let mut out = feed(&mut service, &["OPEN t1", "EV t1 1", "EV t1 2", "EV t1 1", "EV t1 2"]);
+    out.extend(feed(&mut service, &["METRICS", "HEALTH"]));
+
+    let metric_lines: Vec<&String> = out.iter().filter(|l| l.starts_with("METRIC ")).collect();
+    assert!(!metric_lines.is_empty(), "METRICS returned no exposition lines:\n{out:?}");
+    assert!(
+        metric_lines.iter().any(|l| l.contains("events{tenant=\"t1\"} 4")),
+        "per-tenant event counter missing: {metric_lines:?}"
+    );
+    assert!(
+        metric_lines.iter().any(|l| l.starts_with("METRIC # TYPE ")),
+        "exposition must carry # TYPE headers"
+    );
+    assert!(
+        metric_lines.iter().any(|l| l.contains("cal_benefit_err{tenant=\"t1\"}")),
+        "per-tenant calibration gauge missing: {metric_lines:?}"
+    );
+    let trailer = out.iter().find(|l| l.starts_with("OK metrics lines=")).unwrap();
+    assert_eq!(
+        trailer.strip_prefix("OK metrics lines=").unwrap().parse::<usize>().unwrap(),
+        metric_lines.len()
+    );
+
+    let health = out.iter().find(|l| l.starts_with("HEALTH ")).unwrap();
+    assert!(health.starts_with("HEALTH status=ok tenants=1 "), "unexpected: {health}");
+    assert!(health.contains(" metrics=on "), "unexpected: {health}");
+    assert!(health.ends_with(" trace_ring=8"), "unexpected: {health}");
+
+    // Without --metrics-out the verb answers but reports itself disabled.
+    let mut plain = Service::new(ServeOpts::default()).unwrap();
+    let out = feed(&mut plain, &["METRICS", "HEALTH"]);
+    assert!(out.contains(&"OK metrics lines=0 enabled=false".to_string()));
+    assert!(out.iter().any(|l| l.contains(" metrics=off ")));
+}
+
+#[test]
+fn stats_and_final_carry_queue_hwm_and_reject_tally() {
+    let mut service =
+        Service::new(ServeOpts { echo_advice: true, ..ServeOpts::default() }).unwrap();
+    let out =
+        feed(&mut service, &["OPEN t1", "EV t1 1", "EV t1 2", "EV t1 3", "OPEN t1", "STATS t1"]);
+    let stats = out.iter().find(|l| l.starts_with("STATS t1 ")).unwrap();
+    assert!(stats.contains(" queue_hwm=3 "), "three queued events in one batch: {stats}");
+    assert!(
+        stats.ends_with(
+            " rejects=tenant-limit:0,memory-budget:0,quarantined:0,unknown-tenant:0,\
+             duplicate:1,bad-config:0"
+        ),
+        "duplicate OPEN must be tallied: {stats}"
+    );
+    let finals = service.drain();
+    let fin = finals.iter().find(|l| l.starts_with("FINAL t1 ")).unwrap();
+    assert!(fin.contains(" queue_hwm=3 "), "drain FINAL keeps the high-water mark: {fin}");
+    assert!(fin.contains(" rejects="), "drain FINAL carries the tally: {fin}");
+}
+
+#[test]
+fn panic_dumps_flight_recorder_trace() {
+    let dir = tmp_dir("trace");
+    let mut service = Service::new(metrics_opts(&dir, 0, 16)).unwrap();
+    let mut out = feed(&mut service, &["OPEN t1", "EV t1 1", "EV t1 2"]);
+    out.extend(feed(&mut service, &["PANIC t1", "EV t1 3"]));
+
+    assert!(
+        out.iter().any(|l| l.starts_with("PANIC t1 quarantined")),
+        "panic must quarantine: {out:?}"
+    );
+    let trace: Vec<&String> = out.iter().filter(|l| l.starts_with("TRACE t1 ")).collect();
+    assert!(!trace.is_empty(), "quarantine must dump the flight ring: {out:?}");
+    // Ring contents are sequence-stamped lifecycle stages, newest last.
+    for stage in ["admission", "queue", "dispatch", "decision", "response"] {
+        assert!(
+            trace.iter().any(|l| l.contains(&format!(" {stage} "))),
+            "missing {stage} stage in {trace:?}"
+        );
+    }
+    // Stamps are sequence numbers, not wall clock: strictly increasing
+    // small integers in field 3.
+    let seqs: Vec<u64> =
+        trace.iter().map(|l| l.split_ascii_whitespace().nth(2).unwrap().parse().unwrap()).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "non-monotonic stamps: {seqs:?}");
+
+    // Without --trace-ring, no TRACE lines appear.
+    let mut plain = Service::new(ServeOpts::default()).unwrap();
+    let out = feed(&mut plain, &["OPEN t1", "EV t1 1", "PANIC t1", "EV t1 2"]);
+    assert!(out.iter().all(|l| !l.starts_with("TRACE ")), "unexpected trace: {out:?}");
+}
+
+#[test]
+fn metrics_snapshots_are_identical_across_thread_counts() {
+    let _knob = lock_knob();
+    let gen = generate(&LoadgenOpts {
+        tenants: 60,
+        events_per_tenant: 24,
+        slice: 4,
+        phase_len: 5,
+        seed: 21,
+        chaos: true,
+        shutdown: false,
+    });
+    assert!(gen.manifest.iter().any(|(_, f)| *f == Fate::Panicked));
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let dir = tmp_dir(&format!("threads{threads}"));
+        prefetch_pool::set_threads(threads);
+        let (responses, finals) = run_script(&gen.lines, metrics_opts(&dir, 64, 8), 32);
+        prefetch_pool::set_threads(0);
+        let snapshot_bytes = fs::read(dir.join("metrics.jsonl")).unwrap();
+        let traces: Vec<String> =
+            responses.iter().filter(|l| l.starts_with("TRACE ")).cloned().collect();
+        runs.push((snapshot_bytes, traces, finals));
+    }
+    assert!(!runs[0].1.is_empty(), "chaos run should dump flight traces");
+    assert!(
+        String::from_utf8_lossy(&runs[0].0).contains("pfmetrics-snap/v1"),
+        "snapshot file must carry its schema header"
+    );
+    assert_eq!(runs[0].0, runs[1].0, "metrics snapshot files differ across thread counts");
+    assert_eq!(runs[0].1, runs[1].1, "flight-recorder dumps differ across thread counts");
+    assert_eq!(runs[0].2, runs[1].2, "drain reports differ across thread counts");
+}
+
+// ---------------------------------------------------------------------------
+// Binary end-to-end: the CI job's contract in miniature.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pfserve_binary_writes_identical_snapshots_at_any_thread_count() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+
+    let gen = generate(&LoadgenOpts {
+        tenants: 40,
+        events_per_tenant: 16,
+        slice: 4,
+        phase_len: 5,
+        seed: 33,
+        chaos: true,
+        shutdown: true,
+    });
+    let script = gen.lines.join("\n") + "\n";
+
+    let mut outputs = Vec::new();
+    for threads in ["1", "4"] {
+        let dir = tmp_dir(&format!("bin{threads}"));
+        let metrics = dir.join("metrics.jsonl");
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pfserve"))
+            .args([
+                "--threads",
+                threads,
+                "--batch",
+                "32",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+                "--metrics-every",
+                "128",
+                "--trace-ring",
+                "8",
+                "--no-echo-advice",
+                "--quiet",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn pfserve");
+        child.stdin.take().unwrap().write_all(script.as_bytes()).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "pfserve exited with {:?}", out.status);
+        outputs.push((fs::read(&metrics).unwrap(), out.stdout));
+    }
+    assert!(!outputs[0].0.is_empty(), "snapshot file must not be empty");
+    assert_eq!(
+        outputs[0].0, outputs[1].0,
+        "--threads 1 vs 4 must write byte-identical metrics snapshots"
+    );
+    assert_eq!(outputs[0].1, outputs[1].1, "--threads 1 vs 4 must write byte-identical responses");
+}

@@ -84,6 +84,12 @@ impl Simulator {
         self.policy.install_tree(tree)
     }
 
+    /// The policy's predicted-vs-realized calibration accumulators, if the
+    /// configured policy tracks them (the cost-benefit engine does).
+    pub fn calibration(&self) -> Option<&prefetch_core::CalibrationTracker> {
+        self.policy.calibration()
+    }
+
     /// Process one reference: serve it from the cache (demand hits touch,
     /// prefetch hits migrate — Figure 2), demand-fetch on a miss with a
     /// policy-chosen victim, hand the completed reference to the policy,
@@ -144,6 +150,10 @@ impl Simulator {
             stall_ms,
             evicted_prefetch,
         });
+
+        // Let engine-backed policies realize the calibration counterparts
+        // of their earlier predictions before the next prefetch round.
+        self.policy.observe_served(rec.block, kind, stall_ms);
 
         let ctx = RefContext { block: rec.block, kind, next_block, period };
         // Reuse the block-list allocation across periods.

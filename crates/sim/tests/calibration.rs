@@ -1,0 +1,102 @@
+//! Predicted-vs-realized calibration tracking (PR 9 tentpole, part 3).
+//!
+//! The cost-benefit engine accumulates, per run, the expected stall
+//! savings of its issued prefetches (`p_b · ΔT_pf(d_b)`, Eq. 2 weighted
+//! by Eq. 1's path probability) against realized stall deltas
+//! (`T_disk − stall` at each prefetch hit), and the Eq. 11 predicted
+//! eviction cost against the actual re-fetch cost. These tests pin the
+//! contract the observability layer exports per tenant as
+//! `cal_benefit_err` / `cal_eject_err`: the accumulators populate on any
+//! tree-policy run, and an estimator whose timing assumptions are
+//! deliberately wrong for the deployed world is *detected* — its
+//! normalized error is materially worse on the same workload.
+
+use prefetch_core::SystemParams;
+use prefetch_sim::config::{PolicySpec, SimConfig};
+use prefetch_sim::observer::NullObserver;
+use prefetch_sim::simulator::Simulator;
+use prefetch_trace::TraceRecord;
+
+/// A strictly cyclic reference stream over `universe` blocks: fully
+/// learnable by the LZ tree, larger than the caches below, and free of
+/// randomness so every run is bit-deterministic.
+fn cyclic_trace(cycles: u64, universe: u64) -> Vec<TraceRecord> {
+    (0..cycles).flat_map(|_| (0..universe).map(TraceRecord::read)).collect()
+}
+
+/// Drive `cfg` over `recs` and return the final calibration accumulators.
+fn calibration_of(cfg: &SimConfig, recs: &[TraceRecord]) -> prefetch_core::CalibrationTracker {
+    cfg.validate().unwrap();
+    let mut sim = Simulator::new(cfg);
+    for (i, rec) in recs.iter().enumerate() {
+        sim.step(*rec, recs.get(i + 1).map(|r| r.block), &mut NullObserver);
+    }
+    sim.calibration().expect("tree policy tracks calibration").clone()
+}
+
+#[test]
+fn tree_run_populates_calibration_accumulators() {
+    let cal = calibration_of(&SimConfig::new(64, PolicySpec::Tree), &cyclic_trace(20, 256));
+    assert!(cal.benefit_predictions() > 0, "engine issued no priced prefetches");
+    assert!(cal.benefit_realizations() > 0, "no prefetch hit resolved a prediction");
+    assert!(cal.predicted_benefit_ms() > 0.0);
+    assert!(cal.realized_benefit_ms() > 0.0);
+    let err = cal.benefit_error();
+    assert!((0.0..=1.0).contains(&err), "normalized error out of range: {err}");
+}
+
+#[test]
+fn eject_accumulators_populate_under_cache_pressure() {
+    // A fast CPU makes prefetching aggressive enough that the prefetch
+    // partition itself supplies eviction victims (Eq. 11 territory).
+    let mut cfg = SimConfig::new(64, PolicySpec::Tree);
+    cfg.params = SystemParams { t_cpu: 2.0, ..SystemParams::patterson() };
+    let cal = calibration_of(&cfg, &cyclic_trace(20, 256));
+    assert!(cal.eject_predictions() > 0, "no prefetch-partition ejections were priced");
+    assert!(cal.eject_realizations() > 0, "no ejected block was re-referenced");
+    let err = cal.eject_error();
+    assert!((0.0..=1.0).contains(&err), "normalized error out of range: {err}");
+}
+
+#[test]
+fn no_prefetch_policy_tracks_no_calibration() {
+    let cfg = SimConfig::new(64, PolicySpec::NoPrefetch);
+    let recs = cyclic_trace(2, 256);
+    let mut sim = Simulator::new(&cfg);
+    for (i, rec) in recs.iter().enumerate() {
+        sim.step(*rec, recs.get(i + 1).map(|r| r.block), &mut NullObserver);
+    }
+    assert!(sim.calibration().is_none());
+}
+
+#[test]
+fn miscalibrated_estimator_is_detected() {
+    // Same estimator, same workload, two worlds. In the first the
+    // engine's Eq. 3/6 pipeline model matches the deployment (the
+    // paper's contention-free infinite-disk array). In the second the
+    // estimator is deliberately mis-calibrated: it still prices stalls
+    // with the contention-free model while the world routes every I/O
+    // through a single FIFO disk, so prefetch bursts queue behind each
+    // other and the predicted savings never materialize. The exported
+    // calibration error must flag the mismatch.
+    let recs = cyclic_trace(20, 256);
+    let mut well_cfg = SimConfig::new(64, PolicySpec::Tree);
+    well_cfg.params = SystemParams { t_cpu: 2.0, ..SystemParams::patterson() };
+    let bad_cfg = well_cfg.with_disks(1);
+
+    let well = calibration_of(&well_cfg, &recs);
+    let bad = calibration_of(&bad_cfg, &recs);
+
+    assert!(bad.benefit_predictions() > 0, "mis-calibrated run must still prefetch");
+    // Direction: the congested world under-delivers on the predictions.
+    assert!(
+        bad.realized_benefit_ms() < well.realized_benefit_ms(),
+        "queueing should shrink realized savings"
+    );
+    let (e_well, e_bad) = (well.benefit_error(), bad.benefit_error());
+    assert!(
+        e_bad > e_well + 0.15,
+        "calibration tracking failed to flag the mis-calibrated estimator: \
+         well={e_well:.4} bad={e_bad:.4}"
+    );
+}

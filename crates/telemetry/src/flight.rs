@@ -1,0 +1,260 @@
+//! Flight recorder: a fixed-size ring of request-lifecycle trace events.
+//!
+//! Each tenant carries one recorder; stages along the request path
+//! (admission → queue → shard dispatch → engine decision → WAL
+//! group-commit → response) append one event apiece. Events are stamped
+//! with a **monotone per-recorder sequence number, never wall clock**, so
+//! a dump is a pure function of the tenant's own ordered event stream and
+//! is byte-identical under any `--threads` count — the same bit-identity
+//! contract the advice stream obeys.
+//!
+//! Recording is designed for the per-reference hot path: details are
+//! stored in compact **binary** form ([`Detail`]) and rendered to text
+//! only when a dump is actually requested (quarantine, `TRACE`, drain
+//! report). A steady-state record is a handful of word writes into a
+//! pre-filled ring slot — no allocation, no `core::fmt`.
+//!
+//! The ring holds the most recent `cap` events; older events are replaced
+//! and counted in [`FlightRecorder::dropped`]. The ring is dumped into
+//! the quarantine/FINAL report when a tenant panics or its WAL degrades,
+//! preserving the post-mortem context that exit-time counters lose.
+
+/// Append `v` in decimal to `out` without going through `core::fmt` —
+/// the formatting machinery costs more than the digits on dump paths
+/// that render many events.
+pub fn push_dec(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+}
+
+/// Stage-specific payload of one trace event, kept in binary form until
+/// a dump renders it. Hot-path stages use the fixed-shape variants;
+/// `Text` is for rare, once-per-tenant stages (admission).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Detail {
+    /// No payload.
+    None,
+    /// Free-form text (cold paths only — this allocates).
+    Text(String),
+    /// One `key=value` numeric pair, rendered as `{key}={value}`.
+    Kv(&'static str, u64),
+    /// An engine decision: advice sequence number, how the reference
+    /// was served (`h`/`p`/`m`), virtual stall in whole microseconds,
+    /// and how many blocks were prefetched. Rendered as
+    /// `ev={ev} kind={kind} stall_us={stall_us} pf={pf}`.
+    Decision {
+        /// Advice sequence number of the reference.
+        ev: u64,
+        /// Reference kind tag: `h` demand hit, `p` prefetch hit, `m` miss.
+        kind: char,
+        /// Virtual stall charged to the reference, whole microseconds.
+        stall_us: u64,
+        /// Blocks prefetched this period.
+        pf: u64,
+    },
+}
+
+impl Detail {
+    /// Render into `out` exactly as the dump line shows it.
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Detail::None => {}
+            Detail::Text(s) => out.push_str(s),
+            Detail::Kv(key, v) => {
+                out.push_str(key);
+                out.push('=');
+                push_dec(out, *v);
+            }
+            Detail::Decision { ev, kind, stall_us, pf } => {
+                out.push_str("ev=");
+                push_dec(out, *ev);
+                out.push_str(" kind=");
+                out.push(*kind);
+                out.push_str(" stall_us=");
+                push_dec(out, *stall_us);
+                out.push_str(" pf=");
+                push_dec(out, *pf);
+            }
+        }
+    }
+}
+
+/// One trace event: which lifecycle stage, with a stage-specific binary
+/// detail, stamped with the recorder's sequence number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone per-recorder sequence number (0-based, counts every
+    /// recorded event including ones since evicted from the ring).
+    pub seq: u64,
+    /// Lifecycle stage tag (e.g. `admission`, `queue`, `dispatch`,
+    /// `decision`, `wal`, `response`).
+    pub stage: &'static str,
+    /// Stage-specific detail payload.
+    pub detail: Detail,
+}
+
+/// A bounded ring buffer of [`FlightEvent`]s.
+///
+/// Storage is a flat `Vec` that fills once and then wraps: `head` points
+/// at the oldest event, and a steady-state record *overwrites that slot
+/// in place* — no element moves and no deque bookkeeping.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    ring: Vec<FlightEvent>,
+    /// Index of the oldest event once the ring has wrapped; 0 before.
+    head: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder { cap, next_seq: 0, dropped: 0, ring: Vec::with_capacity(cap), head: 0 }
+    }
+
+    /// Append one event, evicting the oldest when full.
+    pub fn record(&mut self, stage: &'static str, detail: Detail) {
+        if self.ring.len() < self.cap {
+            self.ring.push(FlightEvent { seq: self.next_seq, stage, detail });
+        } else {
+            let slot = &mut self.ring[self.head];
+            slot.seq = self.next_seq;
+            slot.stage = stage;
+            slot.detail = detail;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+        self.next_seq += 1;
+    }
+
+    /// Append a free-form text event (cold paths only).
+    pub fn record_text(&mut self, stage: &'static str, detail: String) {
+        self.record(stage, Detail::Text(detail));
+    }
+
+    /// Append a `key=value` numeric event.
+    pub fn record_kv(&mut self, stage: &'static str, key: &'static str, v: u64) {
+        self.record(stage, Detail::Kv(key, v));
+    }
+
+    /// Append an engine-decision event (the per-reference hot path).
+    pub fn record_decision(&mut self, ev: u64, kind: char, stall_us: u64, pf: u64) {
+        self.record("decision", Detail::Decision { ev, kind, stall_us, pf });
+    }
+
+    /// Events currently in the ring, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        let (wrapped, front) = self.ring.split_at(self.head);
+        front.iter().chain(wrapped.iter())
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Render the ring as dump lines `"<seq> <stage> <detail>"` (oldest
+    /// first), for embedding in TRACE responses or quarantine reports.
+    pub fn dump_lines(&self) -> Vec<String> {
+        self.events()
+            .map(|e| {
+                let mut line = String::with_capacity(48);
+                push_dec(&mut line, e.seq);
+                line.push(' ');
+                line.push_str(e.stage);
+                line.push(' ');
+                e.detail.render_into(&mut line);
+                // `Detail::None` renders empty; keep the historical
+                // two-space-free form by trimming the trailing separator.
+                if line.ends_with(' ') {
+                    line.pop();
+                }
+                line
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record_kv("decision", "ev", i);
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(fr.dump_lines()[0], "2 decision ev=2");
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone_from_zero() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record_text("admission", "cache=64".to_string());
+        fr.record_kv("queue", "n", 1);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn decision_renders_all_fields() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record_decision(7, 'p', 1500, 3);
+        assert_eq!(fr.dump_lines(), vec!["0 decision ev=7 kind=p stall_us=1500 pf=3"]);
+    }
+
+    #[test]
+    fn wrapped_ring_dumps_oldest_first() {
+        let mut fr = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            fr.record_kv("decision", "ev", i);
+        }
+        assert_eq!(fr.dump_lines(), vec!["3 decision ev=3", "4 decision ev=4"]);
+        assert_eq!(fr.dropped(), 3);
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record("a", Detail::None);
+        fr.record("b", Detail::None);
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.cap(), 1);
+        assert_eq!(fr.dropped(), 1);
+    }
+}

@@ -14,10 +14,21 @@
 //! * [`phase`] — [`PhaseTimer`]/[`ScopeGuard`] profiling over the
 //!   simulator's five hot phases, with a disabled ("NullTelemetry") path
 //!   that costs one branch per probe so tier-1 timing is unaffected.
+//! * [`registry`] — a lock-sharded live [`MetricsRegistry`] keyed by
+//!   `(tenant, metric)`, sharded by tenant hash so snapshots stay
+//!   bit-identical at any worker count, with JSONL and Prometheus-style
+//!   renderers.
+//! * [`flight`] — the [`FlightRecorder`], a fixed-size per-tenant ring of
+//!   request-lifecycle trace events stamped with sequence numbers (never
+//!   wall clock), dumped on panic/WAL-degrade for post-mortem context.
 
+pub mod flight;
 pub mod histogram;
 pub mod log;
 pub mod phase;
+pub mod registry;
 
+pub use flight::{FlightEvent, FlightRecorder};
 pub use histogram::Histogram;
 pub use phase::{Phase, PhaseTimer, PhaseTimes, ScopeGuard};
+pub use registry::{MetricSet, MetricValue, MetricsRegistry, Snapshot};

@@ -1,0 +1,569 @@
+//! Lock-sharded live metrics registry.
+//!
+//! Keys are `(tenant, metric)`; values are counters, gauges (integer and
+//! float), and the existing mergeable log-scaled [`Histogram`]s. The
+//! registry is sharded so `prefetch-pool` workers flushing different
+//! tenants almost never contend on the hot path, and — critically for the
+//! service's any-`--threads` bit-identity contract — the shard is chosen
+//! by a deterministic hash of the **tenant key**, not the worker id.
+//! Every `(tenant, metric)` cell therefore lives in exactly one shard and
+//! is updated in the tenant's own event order regardless of how many
+//! workers exist, so float accumulation order (the one non-commutative
+//! operation in play) is identical at any thread count and snapshots are
+//! byte-identical.
+//!
+//! Reads merge all shards into one sorted view ([`MetricsRegistry::
+//! snapshot`]); the snapshot renders to a JSONL schema
+//! ([`Snapshot::render_jsonl`], `pfmetrics/v1`) and a Prometheus-style
+//! text exposition ([`Snapshot::render_prometheus`]). Both renderings are
+//! byte-stable: entries sort by `(metric, tenant)` and floats print via
+//! Rust's shortest-round-trip formatter.
+
+use crate::histogram::Histogram;
+use std::collections::HashMap;
+use std::fmt::Write;
+use std::sync::Mutex;
+
+/// Schema tag stamped on every JSONL metrics line.
+pub const METRICS_SCHEMA: &str = "pfmetrics/v1";
+
+/// Default shard count (power of two; ~1/64 collision odds between any
+/// two concurrently-flushed tenants).
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// One metric cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count (merge: sum).
+    Counter(u64),
+    /// Last-written integer level (merge: max — the only cross-shard
+    /// combination that is order-independent for a level).
+    Gauge(u64),
+    /// Last-written float level (merge: keep larger; set is last-write).
+    FGauge(f64),
+    /// Log-scaled sample distribution (merge: element-wise sum).
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    /// JSONL/Prometheus type tag.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::FGauge(_) => "fgauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Fold `other` into `self`. Shards never share a `(tenant, metric)`
+    /// cell, so this only runs if a caller merges snapshots from separate
+    /// registries; the fold is commutative so any merge order agrees.
+    pub fn merge(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = (*a).max(*b),
+            (MetricValue::FGauge(a), MetricValue::FGauge(b)) => *a = a.max(*b),
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+            (slot, other) => *slot = other.clone(),
+        }
+    }
+}
+
+/// The metrics of one tenant: metric name → cell. Names are `&'static
+/// str` by design — the metric taxonomy is fixed at compile time, only
+/// tenants are dynamic. The set is a small `Vec` kept sorted by name:
+/// with ~a dozen fixed metrics, a linear scan with a pointer-equality
+/// fast path (call sites pass the same literal every time) beats a
+/// `BTreeMap`'s string comparisons on every hot-path update.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricSet {
+    values: Vec<(&'static str, MetricValue)>,
+}
+
+impl MetricSet {
+    /// The cell for `name`, inserted at its sorted position via
+    /// `default` on first touch.
+    fn cell(
+        &mut self,
+        name: &'static str,
+        default: impl FnOnce() -> MetricValue,
+    ) -> &mut MetricValue {
+        let pos = self
+            .values
+            .iter()
+            .position(|(n, _)| std::ptr::eq(*n as *const str, name as *const str) || *n == name);
+        match pos {
+            Some(i) => &mut self.values[i].1,
+            None => {
+                let i = self.values.partition_point(|(n, _)| *n < name);
+                self.values.insert(i, (name, default()));
+                &mut self.values[i].1
+            }
+        }
+    }
+
+    /// Add `n` to counter `name` (creating it at 0).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        match self.cell(name, || MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c += n,
+            other => *other = MetricValue::Counter(n),
+        }
+    }
+
+    /// Set gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &'static str, v: u64) {
+        *self.cell(name, || MetricValue::Gauge(0)) = MetricValue::Gauge(v);
+    }
+
+    /// Raise gauge `name` to at least `v` (high-water mark).
+    pub fn gauge_max(&mut self, name: &'static str, v: u64) {
+        match self.cell(name, || MetricValue::Gauge(0)) {
+            MetricValue::Gauge(g) => *g = (*g).max(v),
+            other => *other = MetricValue::Gauge(v),
+        }
+    }
+
+    /// Set float gauge `name` to `v`.
+    pub fn fgauge_set(&mut self, name: &'static str, v: f64) {
+        *self.cell(name, || MetricValue::FGauge(0.0)) = MetricValue::FGauge(v);
+    }
+
+    /// Record `sample` into histogram `name` (creating it empty).
+    pub fn record(&mut self, name: &'static str, sample: u64) {
+        match self.cell(name, || MetricValue::Histogram(Histogram::new())) {
+            MetricValue::Histogram(h) => h.record(sample),
+            other => {
+                let mut h = Histogram::new();
+                h.record(sample);
+                *other = MetricValue::Histogram(h);
+            }
+        }
+    }
+
+    /// Record every sample in `samples` into histogram `name` with a
+    /// single cell lookup (the per-sample loop a batch flush would
+    /// otherwise pay walks the metric map once per sample).
+    pub fn record_many(&mut self, name: &'static str, samples: &[u64]) {
+        if samples.is_empty() {
+            return;
+        }
+        match self.cell(name, || MetricValue::Histogram(Histogram::new())) {
+            MetricValue::Histogram(h) => {
+                for s in samples {
+                    h.record(*s);
+                }
+            }
+            other => {
+                let mut h = Histogram::new();
+                for s in samples {
+                    h.record(*s);
+                }
+                *other = MetricValue::Histogram(h);
+            }
+        }
+    }
+
+    /// Fold a pre-accumulated histogram into histogram `name`: callers
+    /// that batch samples outside the registry (e.g. a per-tenant
+    /// accumulator drained at snapshot boundaries) publish the whole
+    /// distribution in one bucket-wise merge.
+    pub fn merge_hist(&mut self, name: &'static str, hist: &Histogram) {
+        if hist.is_empty() {
+            return;
+        }
+        match self.cell(name, || MetricValue::Histogram(Histogram::new())) {
+            MetricValue::Histogram(h) => h.merge(hist),
+            other => *other = MetricValue::Histogram(hist.clone()),
+        }
+    }
+
+    /// Iterate cells in metric-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &MetricValue)> {
+        self.values.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Whether no metric has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Deterministic tenant-key hash (FNV-1a; the std `HashMap` hasher is
+/// per-process randomized, which would be fine for shard *placement* but
+/// FNV keeps placement reproducible for tests and debugging too).
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a [`std::hash::Hasher`] for the in-shard tenant maps: SipHash is
+/// overkill for short protocol-validated tenant names and shows up on
+/// the per-batch flush path (two lookups per update). Std-only, keeping
+/// the crate dependency-free.
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+#[derive(Clone, Default)]
+struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+type ShardMap = HashMap<String, MetricSet, FnvBuild>;
+
+/// A lock-sharded `(tenant, metric)` → [`MetricValue`] registry.
+///
+/// The hot path ([`MetricsRegistry::update`]) takes exactly one shard
+/// lock, chosen by tenant hash; see the module docs for why that (and not
+/// per-worker sharding) preserves bit-identical snapshots at any thread
+/// count.
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<ShardMap>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").field("shards", &self.shards.len()).finish()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new(DEFAULT_SHARDS)
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry with `shards` lock shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        MetricsRegistry { shards: (0..shards).map(|_| Mutex::new(ShardMap::default())).collect() }
+    }
+
+    fn shard_for(&self, tenant: &str) -> &Mutex<ShardMap> {
+        &self.shards[(fnv1a(tenant) % self.shards.len() as u64) as usize]
+    }
+
+    /// Apply `f` to `tenant`'s [`MetricSet`] under its shard lock. This is
+    /// the hot-path entry point: batch all of a tenant's updates for one
+    /// flush into a single closure so the lock is taken once per batch.
+    /// The steady state (tenant already present) allocates nothing; only
+    /// a tenant's first update pays for the owned key.
+    pub fn update(&self, tenant: &str, f: impl FnOnce(&mut MetricSet)) {
+        let mut shard = self.shard_for(tenant).lock().unwrap_or_else(|e| e.into_inner());
+        if !shard.contains_key(tenant) {
+            shard.insert(tenant.to_string(), MetricSet::default());
+        }
+        f(shard.get_mut(tenant).expect("inserted above"));
+    }
+
+    /// Merge every shard into one deterministic point-in-time view,
+    /// sorted by `(metric, tenant)`. Collects into a `Vec` and sorts once
+    /// — far cheaper than a `BTreeMap` at snapshot cadence — and merges
+    /// adjacent duplicates, which can only arise if a caller somehow fed
+    /// one tenant into two shards (never within one registry).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries: Vec<((&'static str, String), MetricValue)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (tenant, set) in shard.iter() {
+                entries.extend(
+                    set.iter().map(|(name, value)| ((name, tenant.clone()), value.clone())),
+                );
+            }
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|dup, keep| {
+            let same = dup.0 == keep.0;
+            if same {
+                keep.1.merge(&dup.1);
+            }
+            same
+        });
+        Snapshot { entries }
+    }
+}
+
+/// A merged, sorted point-in-time view of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Sorted by `(metric, tenant)`, no duplicate keys.
+    entries: Vec<((&'static str, String), MetricValue)>,
+}
+
+/// Escape a tenant name for embedding in JSON/Prometheus label strings,
+/// appending to `out`. Tenant names are protocol-validated to a
+/// conservative charset, but the renderer should not rely on that; the
+/// common clean case is a single `push_str` with no allocation.
+fn escape_into(out: &mut String, s: &str) {
+    if !s.chars().any(|c| matches!(c, '"' | '\\') || (c as u32) < 0x20) {
+        out.push_str(s);
+        return;
+    }
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// [`escape_into`] returning an owned `String`.
+#[cfg(test)]
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+impl Snapshot {
+    /// Number of `(metric, tenant)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(metric, tenant, value)` in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &str, &MetricValue)> {
+        self.entries.iter().map(|((m, t), v)| (*m, t.as_str(), v))
+    }
+
+    /// Render the `pfmetrics/v1` JSONL schema: one object per `(metric,
+    /// tenant)` line, sorted by `(metric, tenant)`. Scalars carry
+    /// `"value"`; histograms carry `count/sum/min/max/p50/p90/p99`. The
+    /// global scope (tenant `""`) renders as `"tenant":""`.
+    pub fn render_jsonl(&self) -> String {
+        // Rendering runs at snapshot cadence over O(tenants) lines, so it
+        // writes straight into one buffer: no per-line temporaries.
+        let mut out = String::with_capacity(self.entries.len() * 80);
+        for ((metric, tenant), value) in &self.entries {
+            out.push_str("{\"schema\":\"");
+            out.push_str(METRICS_SCHEMA);
+            out.push_str("\",\"metric\":\"");
+            escape_into(&mut out, metric);
+            out.push_str("\",\"tenant\":\"");
+            escape_into(&mut out, tenant);
+            out.push_str("\",\"type\":\"");
+            out.push_str(value.type_name());
+            out.push('"');
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = write!(out, ",\"value\":{v}");
+                }
+                MetricValue::FGauge(v) => {
+                    let _ = write!(out, ",\"value\":{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\
+                         \"p99\":{}",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.p50(),
+                        h.p90(),
+                        h.p99()
+                    );
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Render a Prometheus-style text exposition. Each metric gets one
+    /// `# TYPE` header; tenants become a `tenant="..."` label (the global
+    /// scope, tenant `""`, renders unlabeled); histograms render as
+    /// summaries with `quantile` labels plus `_sum`/`_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 48);
+        let mut last_metric: Option<&'static str> = None;
+        for ((metric, tenant), value) in &self.entries {
+            if last_metric != Some(metric) {
+                let kind = match value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) | MetricValue::FGauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "summary",
+                };
+                let _ = writeln!(out, "# TYPE {metric} {kind}");
+                last_metric = Some(metric);
+            }
+            // Append `metric{tenant="...",extra}` (label braces elided
+            // when both parts are empty) straight into `out`.
+            let label = |out: &mut String, extra: &str| match (tenant.is_empty(), extra.is_empty())
+            {
+                (true, true) => {}
+                (true, false) => {
+                    out.push('{');
+                    out.push_str(extra);
+                    out.push('}');
+                }
+                (false, _) => {
+                    out.push_str("{tenant=\"");
+                    escape_into(out, tenant);
+                    out.push('"');
+                    if !extra.is_empty() {
+                        out.push(',');
+                        out.push_str(extra);
+                    }
+                    out.push('}');
+                }
+            };
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(metric);
+                    label(&mut out, "");
+                    let _ = writeln!(out, " {v}");
+                }
+                MetricValue::FGauge(v) => {
+                    out.push_str(metric);
+                    label(&mut out, "");
+                    let _ = writeln!(out, " {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    for (q, v) in [
+                        ("quantile=\"0.5\"", h.p50()),
+                        ("quantile=\"0.9\"", h.p90()),
+                        ("quantile=\"0.99\"", h.p99()),
+                    ] {
+                        out.push_str(metric);
+                        label(&mut out, q);
+                        let _ = writeln!(out, " {v}");
+                    }
+                    out.push_str(metric);
+                    out.push_str("_sum");
+                    label(&mut out, "");
+                    let _ = writeln!(out, " {}", h.sum());
+                    out.push_str(metric);
+                    out.push_str("_count");
+                    label(&mut out, "");
+                    let _ = writeln!(out, " {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_round_trip() {
+        let reg = MetricsRegistry::new(8);
+        reg.update("a", |m| {
+            m.add("events", 3);
+            m.gauge_max("queue_hwm", 7);
+            m.gauge_max("queue_hwm", 5);
+            m.fgauge_set("cal", 0.25);
+            m.record("stall_us", 100);
+        });
+        reg.update("a", |m| m.add("events", 2));
+        let snap = reg.snapshot();
+        let mut it = snap.iter();
+        let (m, t, v) = it.next().unwrap();
+        assert_eq!((m, t), ("cal", "a"));
+        assert_eq!(v, &MetricValue::FGauge(0.25));
+        let (m, _, v) = it.next().unwrap();
+        assert_eq!(m, "events");
+        assert_eq!(v, &MetricValue::Counter(5));
+        let (m, _, v) = it.next().unwrap();
+        assert_eq!(m, "queue_hwm");
+        assert_eq!(v, &MetricValue::Gauge(7));
+        let (m, _, v) = it.next().unwrap();
+        assert_eq!(m, "stall_us");
+        match v {
+            MetricValue::Histogram(h) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn snapshot_sorts_by_metric_then_tenant() {
+        let reg = MetricsRegistry::new(4);
+        for tenant in ["zz", "aa", "mm"] {
+            reg.update(tenant, |m| m.add("events", 1));
+        }
+        reg.update("aa", |m| m.gauge_set("depth", 2));
+        let keys: Vec<_> = reg.snapshot().iter().map(|(m, t, _)| (m, t.to_string())).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("depth", "aa".to_string()),
+                ("events", "aa".to_string()),
+                ("events", "mm".to_string()),
+                ("events", "zz".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn shard_count_does_not_change_snapshot_bytes() {
+        let tenants: Vec<String> = (0..40).map(|i| format!("t{i:05}")).collect();
+        let mut renders = Vec::new();
+        for shards in [1, 2, 64, 129] {
+            let reg = MetricsRegistry::new(shards);
+            for (i, t) in tenants.iter().enumerate() {
+                reg.update(t, |m| {
+                    m.add("events", i as u64 + 1);
+                    m.fgauge_set("cal", i as f64 * 0.125);
+                    m.record("stall_us", (i as u64 * 37) % 5000);
+                });
+            }
+            let snap = reg.snapshot();
+            renders.push((snap.render_jsonl(), snap.render_prometheus()));
+        }
+        for pair in &renders[1..] {
+            assert_eq!(pair, &renders[0]);
+        }
+    }
+
+    #[test]
+    fn global_scope_renders_unlabeled_in_prometheus() {
+        let reg = MetricsRegistry::new(2);
+        reg.update("", |m| m.add("sheds", 4));
+        reg.update("t1", |m| m.add("sheds", 1));
+        let text = reg.snapshot().render_prometheus();
+        assert_eq!(text, "# TYPE sheds counter\nsheds 4\nsheds{tenant=\"t1\"} 1\n");
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}
