@@ -20,6 +20,7 @@
 //!    step 4), realizing "prefetch along multiple paths simultaneously".
 
 use crate::calibration::CalibrationTracker;
+use crate::kernel::{self, DepthTable, KernelImpl};
 use crate::model::{CostBenefitModel, ModelConfig};
 use crate::params::SystemParams;
 use crate::policy::{PeriodActivity, RefKind, Victim};
@@ -27,7 +28,7 @@ use crate::resilience::Quarantine;
 use prefetch_cache::{BufferCache, PrefetchMeta, StackDistanceEstimator};
 use prefetch_telemetry::{Phase, PhaseTimer, PhaseTimes};
 use prefetch_trace::BlockId;
-use prefetch_tree::{AccessOutcome, Candidate, PrefetchTree};
+use prefetch_tree::{AccessOutcome, Candidate, CandidateBatch, PrefetchTree};
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap};
 
@@ -108,6 +109,47 @@ impl Ord for FrontierEntry {
     }
 }
 
+/// Per-period memo of everything the frontier arithmetic derives from the
+/// dynamic prefetch rate `s`: the `ΔT_pf(d)` table the batch kernels read
+/// and the frontier-seed probability cutoff. `s` only moves in
+/// [`CostBenefitModel::observe_period`] (end of each prefetch round), so
+/// the memo is refreshed at most once per period — and *only* when `s`'s
+/// bits actually changed, which an EWMA at a fixed point never does.
+struct PeriodMemo {
+    /// `s.to_bits()` the memo was built for.
+    s_bits: u64,
+    /// `ΔT_pf(d)` for `d = 0..=max_depth`.
+    dt: DepthTable,
+    /// `min_useful_probability(1.0, 1)`: the frontier-seed cutoff, a pure
+    /// function of `(params, s)`.
+    seed_cutoff: f64,
+    /// Rebuild count (regression handle: must track `s` changes exactly).
+    rebuilds: u64,
+}
+
+impl PeriodMemo {
+    fn new(model: &CostBenefitModel, max_depth: u32) -> Self {
+        let mut memo =
+            PeriodMemo { s_bits: 0, dt: DepthTable::default(), seed_cutoff: 0.0, rebuilds: 0 };
+        memo.rebuild(model, max_depth);
+        memo
+    }
+
+    fn rebuild(&mut self, model: &CostBenefitModel, max_depth: u32) {
+        self.s_bits = model.s().to_bits();
+        self.dt.rebuild(model.params(), model.s(), max_depth);
+        self.seed_cutoff = model.min_useful_probability(1.0, 1);
+        self.rebuilds += 1;
+    }
+
+    /// Rebuild iff the model's `s` no longer matches the memo.
+    fn refresh(&mut self, model: &CostBenefitModel, max_depth: u32) {
+        if model.s().to_bits() != self.s_bits {
+            self.rebuild(model, max_depth);
+        }
+    }
+}
+
 /// Tree + model + H(n) estimator + the Section 7 prefetch loop.
 pub struct CostBenefitEngine {
     tree: PrefetchTree,
@@ -115,7 +157,16 @@ pub struct CostBenefitEngine {
     stack: StackDistanceEstimator,
     cfg: EngineConfig,
     period: u64,
-    scratch: Vec<Candidate>,
+    /// SoA candidate scratch: enumeration emits kernel-ready columns.
+    batch: CandidateBatch,
+    /// Kernel output column, parallel to `batch`.
+    net: Vec<f64>,
+    /// Batched Eq. 1/14 kernels, resolved at construction from the
+    /// process-wide choice ([`kernel::active`]). Every path is
+    /// bit-identical, so this affects throughput only — never results.
+    kern: &'static KernelImpl,
+    /// `s`-derived memo: `ΔT_pf` table + frontier-seed cutoff.
+    memo: PeriodMemo,
     quarantine: Quarantine,
     timer: PhaseTimer,
     calibration: CalibrationTracker,
@@ -138,18 +189,52 @@ impl CostBenefitEngine {
             };
             PrefetchTree::with_node_budget(cfg.node_limit, overflow)
         };
+        let model = CostBenefitModel::new(params, cfg.model);
+        let memo = PeriodMemo::new(&model, cfg.max_depth);
         CostBenefitEngine {
             tree,
-            model: CostBenefitModel::new(params, cfg.model),
+            model,
             stack: StackDistanceEstimator::new(cfg.stack_decay),
             cfg,
             period: 0,
-            scratch: Vec::new(),
+            batch: CandidateBatch::new(),
+            net: Vec::new(),
+            kern: kernel::active(),
+            memo,
             quarantine: Quarantine::default(),
             timer: PhaseTimer::null(),
             calibration: CalibrationTracker::new(),
             ejected: HashMap::new(),
         }
+    }
+
+    /// Name of the batch-kernel path this engine evaluates Eq. 1/14
+    /// through (`scalar`, `avx2`, `avx512`) — the `kernel=` telemetry
+    /// value.
+    pub fn kernel_name(&self) -> &'static str {
+        self.kern.name
+    }
+
+    /// Override the batch-kernel path for this engine (tests and the
+    /// frontier microbenchmark; CLIs use the process-wide
+    /// [`kernel::force`] instead). All paths are bit-identical, so this
+    /// never changes results.
+    pub fn set_kernel(&mut self, kern: &'static KernelImpl) {
+        self.kern = kern;
+    }
+
+    /// The memoized frontier-seed probability cutoff
+    /// (`min_useful_probability(1.0, 1)` for the current `s`), before the
+    /// `min_probability` floor is applied.
+    pub fn seed_cutoff(&self) -> f64 {
+        self.memo.seed_cutoff
+    }
+
+    /// How many times the `s`-derived memo (ΔT_pf table + seed cutoff) has
+    /// been rebuilt, including the build at construction. Regression
+    /// handle: increments exactly when `s`'s bits change.
+    pub fn depth_table_rebuilds(&self) -> u64 {
+        self.memo.rebuilds
     }
 
     /// Turn on per-phase profiling (off by default — the NullTelemetry
@@ -384,22 +469,33 @@ impl CostBenefitEngine {
         cache: &mut BufferCache,
         act: &mut PeriodActivity,
     ) {
+        // `s` moved at the end of the previous round (or an external
+        // `model_mut` touch): re-derive the ΔT_pf table and seed cutoff
+        // once, instead of inside every benefit evaluation below.
+        self.memo.refresh(&self.model, self.cfg.max_depth);
         let anchor = if self.cfg.reanchor_after_reset {
             self.tree.prediction_anchor(last_block)
         } else {
             self.tree.cursor()
         };
         let mut frontier: BinaryHeap<FrontierEntry> = BinaryHeap::new();
-        self.scratch.clear();
         // Enumerate only children that could possibly have positive net
         // benefit (children are weight-sorted, so this is O(useful), not
         // O(fan-out) — the root can have tens of thousands of children).
         let tok = self.timer.begin();
-        let cutoff = self.model.min_useful_probability(1.0, 1).max(self.cfg.min_probability);
-        self.tree.child_candidates_pruned(anchor, 1.0, 0, cutoff, &mut self.scratch);
-        for cand in self.scratch.drain(..) {
-            let net = self.model.net_benefit(cand.probability, cand.depth, cand.parent_probability);
-            frontier.push(FrontierEntry { net, cand });
+        let cutoff = self.memo.seed_cutoff.max(self.cfg.min_probability);
+        self.batch.clear();
+        self.tree.child_candidates_pruned_soa(anchor, 1.0, 0, cutoff, &mut self.batch);
+        self.kern.net_benefit_batch(
+            &self.batch.p_b,
+            &self.batch.p_x,
+            &self.batch.d_b,
+            &self.memo.dt,
+            self.model.params().t_driver,
+            &mut self.net,
+        );
+        for i in 0..self.batch.len() {
+            frontier.push(FrontierEntry { net: self.net[i], cand: self.batch.candidate(i) });
         }
         self.timer.end(Phase::CandidateSelection, tok);
 
@@ -487,21 +583,32 @@ impl CostBenefitEngine {
             return;
         }
         let tok = self.timer.begin();
-        self.scratch.clear();
+        // Table-based cutoff: bit-identical to the model's
+        // `min_useful_probability` (the memo holds the very ΔT_pf values
+        // that formula recomputes).
         let cutoff = self
-            .model
-            .min_useful_probability(cand.probability, cand.depth + 1)
+            .memo
+            .dt
+            .min_useful_probability(self.model.params().t_driver, cand.probability, cand.depth + 1)
             .max(self.cfg.min_probability);
-        self.tree.child_candidates_pruned(
+        self.batch.clear();
+        self.tree.child_candidates_pruned_soa(
             cand.node,
             cand.probability,
             cand.depth,
             cutoff,
-            &mut self.scratch,
+            &mut self.batch,
         );
-        for c in self.scratch.drain(..) {
-            let net = self.model.net_benefit(c.probability, c.depth, c.parent_probability);
-            frontier.push(FrontierEntry { net, cand: c });
+        self.kern.net_benefit_batch(
+            &self.batch.p_b,
+            &self.batch.p_x,
+            &self.batch.d_b,
+            &self.memo.dt,
+            self.model.params().t_driver,
+            &mut self.net,
+        );
+        for i in 0..self.batch.len() {
+            frontier.push(FrontierEntry { net: self.net[i], cand: self.batch.candidate(i) });
         }
         self.timer.end(Phase::CandidateSelection, tok);
     }

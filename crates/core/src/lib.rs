@@ -17,6 +17,9 @@
 //! * [`overhead`] — wasted-initiation overhead `T_oh`, Eq. 14;
 //! * [`model`] — the assembled model with its dynamic `s`/`h` state
 //!   (Figure 4);
+//! * [`kernel`] — batched SoA evaluation of Eq. 1/11/14 with runtime
+//!   CPU-feature dispatch (scalar reference + AVX2/AVX-512 paths,
+//!   bit-identical by contract);
 //! * [`engine`] — the Section 7 algorithm: benefit frontier + cheapest
 //!   victim + stopping rule;
 //! * [`policy`] — the eight policies evaluated in the paper;
@@ -53,6 +56,7 @@ pub mod benefit;
 pub mod calibration;
 pub mod cost;
 pub mod engine;
+pub mod kernel;
 pub mod model;
 pub mod overhead;
 pub mod params;
@@ -62,6 +66,7 @@ pub mod timing;
 
 pub use calibration::CalibrationTracker;
 pub use engine::{CostBenefitEngine, EngineConfig};
+pub use kernel::{DepthTable, KernelChoice, KernelImpl};
 pub use model::{CostBenefitModel, ModelConfig};
 pub use params::SystemParams;
 pub use resilience::{Quarantine, RetryPolicy};

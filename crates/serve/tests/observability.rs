@@ -216,11 +216,15 @@ fn stats_and_final_carry_queue_hwm_and_reject_tally() {
     let stats = out.iter().find(|l| l.starts_with("STATS t1 ")).unwrap();
     assert!(stats.contains(" queue_hwm=3 "), "three queued events in one batch: {stats}");
     assert!(
-        stats.ends_with(
+        stats.contains(
             " rejects=tenant-limit:0,memory-budget:0,quarantined:0,unknown-tenant:0,\
              duplicate:1,bad-config:0"
         ),
         "duplicate OPEN must be tallied: {stats}"
+    );
+    assert!(
+        stats.contains(" kernel=") && stats.split(" kernel=").nth(1).is_some_and(|k| !k.is_empty()),
+        "STATS must report the active cost-benefit kernel path: {stats}"
     );
     let finals = service.drain();
     let fin = finals.iter().find(|l| l.starts_with("FINAL t1 ")).unwrap();

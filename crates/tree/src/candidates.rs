@@ -33,6 +33,74 @@ pub struct Candidate {
     pub depth: u32,
 }
 
+/// Struct-of-arrays candidate buffer: the fields of [`Candidate`] as
+/// parallel columns, in the arena's SoA style. The cost-benefit engine
+/// owns one as scratch and hands the probability/depth columns straight to
+/// the batched kernels (`prefetch-core::kernel`) — candidate data arrives
+/// kernel-ready, with no AoS→SoA transpose on the hot path.
+///
+/// Invariant: all five columns always have equal length; mutate through
+/// [`Self::push`]/[`Self::clear`] or keep them in lockstep by hand.
+#[derive(Clone, Debug, Default)]
+pub struct CandidateBatch {
+    /// Tree node per candidate.
+    pub node: Vec<NodeId>,
+    /// Candidate block per candidate.
+    pub block: Vec<BlockId>,
+    /// Path probability `p_b` per candidate.
+    pub p_b: Vec<f64>,
+    /// Parent path probability `p_x` per candidate.
+    pub p_x: Vec<f64>,
+    /// Distance `d_b` per candidate.
+    pub d_b: Vec<u32>,
+}
+
+impl CandidateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Candidates in the batch.
+    pub fn len(&self) -> usize {
+        self.p_b.len()
+    }
+
+    /// True when no candidates are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.p_b.is_empty()
+    }
+
+    /// Drop all candidates, keeping the column allocations.
+    pub fn clear(&mut self) {
+        self.node.clear();
+        self.block.clear();
+        self.p_b.clear();
+        self.p_x.clear();
+        self.d_b.clear();
+    }
+
+    /// Append one candidate across all columns.
+    pub fn push(&mut self, c: Candidate) {
+        self.node.push(c.node);
+        self.block.push(c.block);
+        self.p_b.push(c.probability);
+        self.p_x.push(c.parent_probability);
+        self.d_b.push(c.depth);
+    }
+
+    /// Reassemble row `i` as an AoS [`Candidate`] (heap entries stay AoS).
+    pub fn candidate(&self, i: usize) -> Candidate {
+        Candidate {
+            node: self.node[i],
+            block: self.block[i],
+            probability: self.p_b[i],
+            parent_probability: self.p_x[i],
+            depth: self.d_b[i],
+        }
+    }
+}
+
 impl PrefetchTree {
     /// Candidates one edge below `node`.
     ///
@@ -97,6 +165,35 @@ impl PrefetchTree {
                 parent_probability: base_probability,
                 depth: base_depth + 1,
             });
+        }
+    }
+
+    /// [`Self::child_candidates_pruned`] emitting straight into a
+    /// [`CandidateBatch`]'s SoA columns: same candidates, same order, same
+    /// probability bits, no intermediate `Candidate` vector. The engine's
+    /// batch kernels consume the columns directly.
+    pub fn child_candidates_pruned_soa(
+        &self,
+        node: NodeId,
+        base_probability: f64,
+        base_depth: u32,
+        min_probability: f64,
+        out: &mut CandidateBatch,
+    ) {
+        let parent_weight = self.weight(node);
+        if parent_weight == 0 {
+            return;
+        }
+        for child in self.children(node) {
+            let p = base_probability * self.weight(child) as f64 / parent_weight as f64;
+            if p < min_probability || p <= 0.0 {
+                break; // children are weight-sorted: the rest are smaller
+            }
+            out.node.push(child);
+            out.block.push(self.block(child).expect("children are never the root"));
+            out.p_b.push(p);
+            out.p_x.push(base_probability);
+            out.d_b.push(base_depth + 1);
         }
     }
 
@@ -396,6 +493,108 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Filter-after-full-enumeration oracle for the pruned early exit:
+    /// keep exactly the candidates the pruned predicate accepts.
+    fn filtered_full(
+        t: &PrefetchTree,
+        node: NodeId,
+        base_probability: f64,
+        base_depth: u32,
+        min_probability: f64,
+    ) -> Vec<Candidate> {
+        let mut full = Vec::new();
+        t.child_candidates(node, base_probability, base_depth, &mut full);
+        full.into_iter().filter(|c| c.probability >= min_probability).collect()
+    }
+
+    /// Anchors to compare at: the root plus its first few children (the
+    /// pruned path is called below arbitrary interior nodes too).
+    fn sample_anchors(t: &PrefetchTree) -> Vec<(NodeId, f64, u32)> {
+        let mut anchors = vec![(t.root(), 1.0f64, 0u32)];
+        let mut kids = Vec::new();
+        t.child_candidates(t.root(), 1.0, 0, &mut kids);
+        anchors.extend(kids.iter().take(8).map(|c| (c.node, c.probability, c.depth)));
+        anchors
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        /// The weight-sorted early-exit invariant: because children are
+        /// stored by descending weight, breaking at the first child below
+        /// the cutoff yields exactly the filter-after-full-enumeration
+        /// result — same candidates, same order, same probability bits.
+        #[test]
+        fn pruned_equals_filter_after_full_enumeration(
+            accesses in proptest::collection::vec(0u64..24, 1..400),
+            cutoff_scale in 0.0f64..1.2,
+        ) {
+            let mut t = PrefetchTree::new();
+            for &b in &accesses {
+                t.record_access(BlockId(b));
+            }
+            for (node, base_p, base_d) in sample_anchors(&t) {
+                // Cutoffs from 0 (keep everything) past base_p (drop
+                // everything), relative to the anchor's own path prob.
+                let min_p = cutoff_scale * base_p;
+                let mut pruned = Vec::new();
+                t.child_candidates_pruned(node, base_p, base_d, min_p, &mut pruned);
+                let want = filtered_full(&t, node, base_p, base_d, min_p);
+                proptest::prop_assert_eq!(&pruned, &want);
+            }
+        }
+
+        /// The SoA emission path produces the same rows, in the same
+        /// order, with the same bits as the AoS pruned enumeration.
+        #[test]
+        fn soa_emission_matches_aos(
+            accesses in proptest::collection::vec(0u64..24, 1..400),
+            cutoff_scale in 0.0f64..1.2,
+        ) {
+            let mut t = PrefetchTree::new();
+            for &b in &accesses {
+                t.record_access(BlockId(b));
+            }
+            for (node, base_p, base_d) in sample_anchors(&t) {
+                let min_p = cutoff_scale * base_p;
+                let mut aos = Vec::new();
+                t.child_candidates_pruned(node, base_p, base_d, min_p, &mut aos);
+                let mut soa = CandidateBatch::new();
+                t.child_candidates_pruned_soa(node, base_p, base_d, min_p, &mut soa);
+                proptest::prop_assert_eq!(soa.len(), aos.len());
+                for (i, want) in aos.iter().enumerate() {
+                    let got = soa.candidate(i);
+                    proptest::prop_assert_eq!(&got, want);
+                    proptest::prop_assert_eq!(got.probability.to_bits(), want.probability.to_bits());
+                    proptest::prop_assert_eq!(
+                        got.parent_probability.to_bits(),
+                        want.parent_probability.to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_batch_push_and_clear_keep_columns_aligned() {
+        let t = fig1_tree();
+        let mut batch = CandidateBatch::new();
+        assert!(batch.is_empty());
+        let mut aos = Vec::new();
+        t.child_candidates(t.root(), 1.0, 0, &mut aos);
+        for &c in &aos {
+            batch.push(c);
+        }
+        assert_eq!(batch.len(), aos.len());
+        for (i, want) in aos.iter().enumerate() {
+            assert_eq!(&batch.candidate(i), want);
+        }
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.node.len(), 0);
+        assert_eq!(batch.d_b.len(), 0);
     }
 
     #[test]

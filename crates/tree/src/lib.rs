@@ -49,7 +49,7 @@ pub mod snap;
 pub mod stats;
 pub mod tree;
 
-pub use candidates::Candidate;
+pub use candidates::{Candidate, CandidateBatch};
 pub use io::{read_tree, to_dot, write_tree, TreeIoError};
 pub use node::NodeId;
 pub use snap::SnapshotInfo;
